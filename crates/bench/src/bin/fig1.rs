@@ -1,0 +1,25 @@
+//! Regenerates Figure 1: Top-Down stacks per workload for
+//! `523.xalancbmk_r` (left) and `557.xz_r` (right).
+//!
+//! ```text
+//! cargo run --release -p alberta-bench --bin fig1 [test|train|ref]
+//! ```
+
+use alberta_bench::scale_from_args;
+use alberta_core::figures::fig1_series;
+use alberta_core::Suite;
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = Suite::new(scale);
+    for name in ["xalancbmk", "xz"] {
+        let c = suite.characterize(name).expect("characterization");
+        let series = fig1_series(&c);
+        println!("{}", series.render());
+        println!("{}", series.render_numeric());
+        println!(
+            "visual variation score: {:.4}\n",
+            series.visual_variation()
+        );
+    }
+}

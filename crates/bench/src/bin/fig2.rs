@@ -1,0 +1,25 @@
+//! Regenerates Figure 2: method-coverage variation across workloads for
+//! `531.deepsjeng_r` (left) and `557.xz_r` (right).
+//!
+//! ```text
+//! cargo run --release -p alberta-bench --bin fig2 [test|train|ref]
+//! ```
+
+use alberta_bench::scale_from_args;
+use alberta_core::figures::fig2_series;
+use alberta_core::Suite;
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = Suite::new(scale);
+    for name in ["deepsjeng", "xz"] {
+        let c = suite.characterize(name).expect("characterization");
+        let series = fig2_series(&c);
+        println!("{}", series.render());
+        println!("per-method range (max − min %):");
+        for (method, range) in series.method_ranges() {
+            println!("  {method:>28}  {range:6.2}");
+        }
+        println!("μg(M) = {:.2}\n", c.coverage.mu_g_m);
+    }
+}

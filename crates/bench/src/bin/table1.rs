@@ -1,0 +1,17 @@
+//! Regenerates Table I: the SPEC CPU 2006 → 2017 evolution, with our
+//! mini-benchmark refrate cycles as the measured column.
+//!
+//! ```text
+//! cargo run --release -p alberta-bench --bin table1 [test|train|ref]
+//! ```
+
+use alberta_bench::scale_from_args;
+use alberta_core::tables;
+use alberta_core::Suite;
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = Suite::new(scale);
+    println!("Reproduced Table I ({scale:?} scale)\n");
+    println!("{}", tables::table1(&suite).expect("characterization"));
+}

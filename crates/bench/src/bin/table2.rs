@@ -1,0 +1,19 @@
+//! Regenerates Table II: the per-benchmark behaviour-variation summary.
+//!
+//! ```text
+//! cargo run --release -p alberta-bench --bin table2 [test|train|ref]
+//! ```
+
+use alberta_bench::scale_from_args;
+use alberta_core::tables;
+use alberta_core::Suite;
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = Suite::new(scale);
+    let table = tables::table2(&suite).expect("suite characterization");
+    println!("Reproduced Table II ({scale:?} scale)\n");
+    println!("{}", table.render());
+    println!("\nMeasured vs paper (headline columns)\n");
+    println!("{}", table.render_comparison());
+}

@@ -1,0 +1,26 @@
+//! Internal tool: per-benchmark characterization wall time.
+
+use alberta_core::Suite;
+use alberta_workloads::Scale;
+use std::time::Instant;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("train") => Scale::Train,
+        Some("ref") => Scale::Ref,
+        _ => Scale::Test,
+    };
+    let suite = Suite::new(scale);
+    for b in suite.benchmarks() {
+        let start = Instant::now();
+        match suite.characterize(b.short_name()) {
+            Ok(c) => println!(
+                "{:>12}  {:>3} workloads  {:>8.2?}",
+                b.short_name(),
+                c.workload_count(),
+                start.elapsed()
+            ),
+            Err(e) => println!("{:>12}  FAILED: {e}", b.short_name()),
+        }
+    }
+}

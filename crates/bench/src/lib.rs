@@ -1,0 +1,13 @@
+//! Shared helpers for the experiment-regeneration binaries and benches.
+
+use alberta_workloads::Scale;
+
+/// Parses the first CLI argument as a scale (`test`, `train`, `ref`);
+/// defaults to `Scale::Test` so every binary completes in seconds.
+pub fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("train") => Scale::Train,
+        Some("ref") => Scale::Ref,
+        _ => Scale::Test,
+    }
+}

@@ -1,0 +1,254 @@
+//! Mini-benchmark programs standing in for the SPEC CPU 2017 suite.
+//!
+//! The paper characterizes fifteen SPEC benchmarks; this crate implements
+//! one from-scratch Rust mini-program per benchmark, each reproducing the
+//! *algorithm family* of the original (network simplex for mcf, α–β
+//! search for deepsjeng, LZ77+range coding for xz, …). Every program is
+//! instrumented: it reports function entry/exit, conditional branches,
+//! loads/stores and retired work to an [`alberta_profile::Profiler`],
+//! which is how the reproduction derives method coverage and Top-Down
+//! ratios without hardware counters.
+//!
+//! The [`Benchmark`] trait is the seam between the individual programs and
+//! the characterization harness in `alberta-core`; [`suite`] returns the
+//! full Table II line-up.
+//!
+//! # Examples
+//!
+//! ```
+//! use alberta_benchmarks::{suite, Benchmark};
+//! use alberta_profile::Profiler;
+//! use alberta_workloads::Scale;
+//!
+//! # fn main() -> Result<(), alberta_benchmarks::BenchError> {
+//! let benchmarks = suite(Scale::Test);
+//! assert_eq!(benchmarks.len(), 15);
+//! let mcf = &benchmarks[1];
+//! let mut profiler = Profiler::default();
+//! let output = mcf.run("train", &mut profiler)?;
+//! assert!(output.work > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod minicactu;
+pub mod minideepsjeng;
+pub mod miniexchange;
+pub mod minigcc;
+pub mod minilbm;
+pub mod minileela;
+pub mod miniblender;
+pub mod minimcf;
+pub mod mininab;
+pub mod miniomnetpp;
+pub mod miniparest;
+pub mod minipovray;
+pub mod miniwrf;
+pub mod minixalan;
+pub mod minixz;
+
+use alberta_profile::Profiler;
+use alberta_workloads::Scale;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a benchmark run cannot proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// The requested workload name is not in this benchmark's set.
+    UnknownWorkload {
+        /// The benchmark that was asked.
+        benchmark: &'static str,
+        /// The name that failed to resolve.
+        workload: String,
+    },
+    /// The workload was rejected by the program (malformed input).
+    InvalidInput {
+        /// The benchmark that rejected it.
+        benchmark: &'static str,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::UnknownWorkload {
+                benchmark,
+                workload,
+            } => write!(f, "benchmark {benchmark} has no workload named {workload:?}"),
+            BenchError::InvalidInput { benchmark, reason } => {
+                write!(f, "benchmark {benchmark} rejected its input: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for BenchError {}
+
+/// The result of one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutput {
+    /// A checksum over the program's semantic output (solution cost,
+    /// rendered image hash, compressed size, …). Deterministic per
+    /// (benchmark, workload); tests use it to catch silent corruption.
+    pub checksum: u64,
+    /// Total abstract work units performed (equals retired ops recorded
+    /// in the profiler for the run).
+    pub work: u64,
+}
+
+/// One SPEC-style benchmark program with its workload set attached.
+///
+/// Object safe: the harness holds `Box<dyn Benchmark>`.
+pub trait Benchmark {
+    /// SPEC-style identifier, e.g. `"505.mcf_r"`.
+    fn name(&self) -> &'static str;
+
+    /// Short name, e.g. `"mcf"`.
+    fn short_name(&self) -> &'static str;
+
+    /// Names of every available workload (train, refrate, alberta.*).
+    fn workload_names(&self) -> Vec<String>;
+
+    /// Runs the named workload under the given profiler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::UnknownWorkload`] if `workload` is not one of
+    /// [`Benchmark::workload_names`], or [`BenchError::InvalidInput`] if
+    /// the workload data is rejected.
+    fn run(&self, workload: &str, profiler: &mut Profiler) -> Result<RunOutput, BenchError>;
+}
+
+/// Builds the full fifteen-benchmark Table II suite at the given scale.
+///
+/// Order matches Table II: gcc, mcf, cactuBSSN, parest, povray, lbm,
+/// omnetpp, wrf, xalancbmk, blender, deepsjeng, leela, nab, exchange2, xz.
+pub fn suite(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(minigcc::MiniGcc::new(scale)),
+        Box::new(minimcf::MiniMcf::new(scale)),
+        Box::new(minicactu::MiniCactu::new(scale)),
+        Box::new(miniparest::MiniParest::new(scale)),
+        Box::new(minipovray::MiniPovray::new(scale)),
+        Box::new(minilbm::MiniLbm::new(scale)),
+        Box::new(miniomnetpp::MiniOmnetpp::new(scale)),
+        Box::new(miniwrf::MiniWrf::new(scale)),
+        Box::new(minixalan::MiniXalan::new(scale)),
+        Box::new(miniblender::MiniBlender::new(scale)),
+        Box::new(minideepsjeng::MiniDeepsjeng::new(scale)),
+        Box::new(minileela::MiniLeela::new(scale)),
+        Box::new(mininab::MiniNab::new(scale)),
+        Box::new(miniexchange::MiniExchange::new(scale)),
+        Box::new(minixz::MiniXz::new(scale)),
+    ]
+}
+
+/// FNV-1a hash used for run checksums throughout the crate.
+pub(crate) fn fnv1a(data: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for v in data {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Resolves `workload` in a named set, with the standard error.
+pub(crate) fn find_workload<'a, W>(
+    set: &'a [alberta_workloads::Named<W>],
+    benchmark: &'static str,
+    workload: &str,
+) -> Result<&'a W, BenchError> {
+    set.iter()
+        .find(|n| n.name == workload)
+        .map(|n| &n.workload)
+        .ok_or_else(|| BenchError::UnknownWorkload {
+            benchmark,
+            workload: workload.to_owned(),
+        })
+}
+
+/// Collects the standard workload list (train, refrate, alberta set) for
+/// a benchmark from the generator module's three constructors.
+pub(crate) fn standard_set<W>(
+    scale: Scale,
+    train: fn(Scale) -> alberta_workloads::Named<W>,
+    refrate: fn(Scale) -> alberta_workloads::Named<W>,
+    alberta: fn(Scale) -> Vec<alberta_workloads::Named<W>>,
+) -> Vec<alberta_workloads::Named<W>> {
+    let mut set = vec![train(scale), refrate(scale)];
+    set.extend(alberta(scale));
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table_ii_lineup() {
+        let s = suite(Scale::Test);
+        let names: Vec<&str> = s.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "502.gcc_r",
+                "505.mcf_r",
+                "507.cactuBSSN_r",
+                "510.parest_r",
+                "511.povray_r",
+                "519.lbm_r",
+                "520.omnetpp_r",
+                "521.wrf_r",
+                "523.xalancbmk_r",
+                "526.blender_r",
+                "531.deepsjeng_r",
+                "541.leela_r",
+                "544.nab_r",
+                "548.exchange2_r",
+                "557.xz_r",
+            ]
+        );
+    }
+
+    #[test]
+    fn every_benchmark_has_train_refrate_and_alberta_workloads() {
+        for b in suite(Scale::Test) {
+            let names = b.workload_names();
+            assert!(names.iter().any(|n| n == "train"), "{} lacks train", b.name());
+            assert!(
+                names.iter().any(|n| n == "refrate"),
+                "{} lacks refrate",
+                b.name()
+            );
+            assert!(
+                names.iter().any(|n| n.starts_with("alberta.")),
+                "{} lacks alberta workloads",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_workload_errors() {
+        let s = suite(Scale::Test);
+        let mut p = Profiler::default();
+        let err = s[0].run("no-such-workload", &mut p).unwrap_err();
+        assert!(matches!(err, BenchError::UnknownWorkload { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("no-such-workload"));
+    }
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        assert_eq!(fnv1a([1, 2, 3]), fnv1a([1, 2, 3]));
+        assert_ne!(fnv1a([1, 2, 3]), fnv1a([1, 2, 4]));
+        assert_ne!(fnv1a([0]), fnv1a([]));
+    }
+}

@@ -1,0 +1,699 @@
+//! `531.deepsjeng_r` stand-in: a chess engine performing α–β tree search.
+//!
+//! Implements a 0x88-board chess engine: pseudo-legal move generation
+//! with legality filtering, material + piece-square evaluation, negamax
+//! α–β search with a transposition table and MVV-LVA move ordering, and a
+//! capture-only quiescence search. Move generation is validated against
+//! the standard perft node counts.
+//!
+//! Simplifications relative to full chess (documented substitutions):
+//! castling and en passant are omitted and promotion is always to a
+//! queen. Workload positions are derived by playing seeded random legal
+//! moves from the initial position, so they are legal by construction —
+//! the role the Arasan test-suite positions play in the paper.
+
+use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use alberta_profile::{FnId, Profiler};
+use alberta_workloads::chess::{self, ChessWorkload, PositionSpec};
+use alberta_workloads::{Named, Scale};
+
+const BOARD_REGION: u64 = 0x6000_0000;
+const TT_REGION: u64 = 0x7000_0000;
+
+/// Piece codes; positive = white, negative = black, 0 = empty.
+pub mod piece {
+    /// Pawn.
+    pub const PAWN: i8 = 1;
+    /// Knight.
+    pub const KNIGHT: i8 = 2;
+    /// Bishop.
+    pub const BISHOP: i8 = 3;
+    /// Rook.
+    pub const ROOK: i8 = 4;
+    /// Queen.
+    pub const QUEEN: i8 = 5;
+    /// King.
+    pub const KING: i8 = 6;
+}
+
+/// A chess position on a 0x88 board.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Board {
+    /// 128-cell 0x88 board.
+    pub squares: [i8; 128],
+    /// Side to move: 1 = white, -1 = black.
+    pub side: i8,
+    /// Cached king squares: `[white, black]`. Kept in sync by
+    /// [`Board::make`]/[`Board::unmake`]; may briefly point at a captured
+    /// king inside pseudo-legal lines, which [`Board::in_check`] detects.
+    kings: [u8; 2],
+}
+
+/// A move: from/to 0x88 indices plus the captured piece for unmake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    from: u8,
+    to: u8,
+    captured: i8,
+    promotion: bool,
+}
+
+impl Board {
+    /// The initial chess position.
+    pub fn initial() -> Self {
+        use piece::*;
+        let mut squares = [0i8; 128];
+        let back = [ROOK, KNIGHT, BISHOP, QUEEN, KING, BISHOP, KNIGHT, ROOK];
+        for (f, &p) in back.iter().enumerate() {
+            squares[f] = p; // white back rank (rank 0)
+            squares[0x10 + f] = PAWN;
+            squares[0x60 + f] = -PAWN;
+            squares[0x70 + f] = -p;
+        }
+        Board {
+            squares,
+            side: 1,
+            kings: [0x04, 0x74],
+        }
+    }
+
+    fn on_board(sq: i16) -> bool {
+        sq & 0x88 == 0 && sq >= 0
+    }
+
+    /// Generates pseudo-legal moves (may leave own king in check).
+    pub fn pseudo_moves(&self, out: &mut Vec<Move>) {
+        use piece::*;
+        out.clear();
+        const KNIGHT_D: [i16; 8] = [14, 18, 31, 33, -14, -18, -31, -33];
+        const KING_D: [i16; 8] = [1, -1, 16, -16, 15, 17, -15, -17];
+        const BISHOP_D: [i16; 4] = [15, 17, -15, -17];
+        const ROOK_D: [i16; 4] = [1, -1, 16, -16];
+        for from in 0..128u8 {
+            if from & 0x88 != 0 {
+                continue;
+            }
+            let p = self.squares[from as usize];
+            if p == 0 || p.signum() != self.side {
+                continue;
+            }
+            match p.abs() {
+                PAWN => {
+                    let dir: i16 = if self.side == 1 { 16 } else { -16 };
+                    let fwd = from as i16 + dir;
+                    if Board::on_board(fwd) && self.squares[fwd as usize] == 0 {
+                        out.push(self.mk(from, fwd as u8));
+                        // Double push from the home rank.
+                        let home = if self.side == 1 { 1 } else { 6 };
+                        let fwd2 = fwd + dir;
+                        if (from >> 4) == home
+                            && Board::on_board(fwd2)
+                            && self.squares[fwd2 as usize] == 0
+                        {
+                            out.push(self.mk(from, fwd2 as u8));
+                        }
+                    }
+                    for dd in [dir - 1, dir + 1] {
+                        let t = from as i16 + dd;
+                        if Board::on_board(t) {
+                            let q = self.squares[t as usize];
+                            if q != 0 && q.signum() != self.side {
+                                out.push(self.mk(from, t as u8));
+                            }
+                        }
+                    }
+                }
+                KNIGHT => self.step_moves(from, &KNIGHT_D, out),
+                KING => self.step_moves(from, &KING_D, out),
+                BISHOP => self.slide_moves(from, &BISHOP_D, out),
+                ROOK => self.slide_moves(from, &ROOK_D, out),
+                QUEEN => {
+                    self.slide_moves(from, &BISHOP_D, out);
+                    self.slide_moves(from, &ROOK_D, out);
+                }
+                _ => unreachable!("invalid piece code"),
+            }
+        }
+    }
+
+    fn mk(&self, from: u8, to: u8) -> Move {
+        let promotion = self.squares[from as usize].abs() == piece::PAWN
+            && matches!(to >> 4, 0 | 7);
+        Move {
+            from,
+            to,
+            captured: self.squares[to as usize],
+            promotion,
+        }
+    }
+
+    fn step_moves(&self, from: u8, deltas: &[i16], out: &mut Vec<Move>) {
+        for &d in deltas {
+            let t = from as i16 + d;
+            if Board::on_board(t) {
+                let q = self.squares[t as usize];
+                if q == 0 || q.signum() != self.side {
+                    out.push(self.mk(from, t as u8));
+                }
+            }
+        }
+    }
+
+    fn slide_moves(&self, from: u8, deltas: &[i16], out: &mut Vec<Move>) {
+        for &d in deltas {
+            let mut t = from as i16 + d;
+            while Board::on_board(t) {
+                let q = self.squares[t as usize];
+                if q == 0 {
+                    out.push(self.mk(from, t as u8));
+                } else {
+                    if q.signum() != self.side {
+                        out.push(self.mk(from, t as u8));
+                    }
+                    break;
+                }
+                t += d;
+            }
+        }
+    }
+
+    fn king_index(side: i8) -> usize {
+        if side == 1 {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Applies a move.
+    pub fn make(&mut self, m: Move) {
+        let mut p = self.squares[m.from as usize];
+        if m.promotion {
+            p = piece::QUEEN * p.signum();
+        }
+        if p.abs() == piece::KING {
+            self.kings[Board::king_index(p.signum())] = m.to;
+        }
+        self.squares[m.to as usize] = p;
+        self.squares[m.from as usize] = 0;
+        self.side = -self.side;
+    }
+
+    /// Reverts a move made by [`Board::make`].
+    pub fn unmake(&mut self, m: Move) {
+        let mut p = self.squares[m.to as usize];
+        if m.promotion {
+            p = piece::PAWN * p.signum();
+        }
+        if p.abs() == piece::KING {
+            self.kings[Board::king_index(p.signum())] = m.from;
+        }
+        self.squares[m.from as usize] = p;
+        self.squares[m.to as usize] = m.captured;
+        self.side = -self.side;
+    }
+
+    /// Whether `side`'s king is attacked.
+    pub fn in_check(&self, side: i8) -> bool {
+        use piece::*;
+        let cached = self.kings[Board::king_index(side)] as usize;
+        if self.squares[cached] != KING * side {
+            return true; // king captured in a pseudo-legal line
+        }
+        let ks = cached as i16;
+        // Knights.
+        for d in [14i16, 18, 31, 33, -14, -18, -31, -33] {
+            let t = ks + d;
+            if Board::on_board(t) && self.squares[t as usize] == -side * KNIGHT {
+                return true;
+            }
+        }
+        // Sliders and king adjacency.
+        for (deltas, pieces) in [
+            ([15i16, 17, -15, -17].as_slice(), [BISHOP, QUEEN].as_slice()),
+            ([1i16, -1, 16, -16].as_slice(), [ROOK, QUEEN].as_slice()),
+        ] {
+            for &d in deltas {
+                let mut t = ks + d;
+                let mut first = true;
+                while Board::on_board(t) {
+                    let q = self.squares[t as usize];
+                    if q != 0 {
+                        if q.signum() == -side {
+                            let a = q.abs();
+                            if pieces.contains(&a) || (first && a == KING) {
+                                return true;
+                            }
+                        }
+                        break;
+                    }
+                    t += d;
+                    first = false;
+                }
+            }
+        }
+        // Pawns.
+        let dir: i16 = if side == 1 { 16 } else { -16 };
+        for dd in [dir - 1, dir + 1] {
+            let t = ks + dd;
+            if Board::on_board(t) && self.squares[t as usize] == -side * PAWN {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Generates fully legal moves.
+    pub fn legal_moves(&mut self) -> Vec<Move> {
+        let mut pseudo = Vec::with_capacity(64);
+        self.pseudo_moves(&mut pseudo);
+        let side = self.side;
+        pseudo
+            .into_iter()
+            .filter(|&m| {
+                self.make(m);
+                let ok = !self.in_check(side);
+                self.unmake(m);
+                ok
+            })
+            .collect()
+    }
+
+    /// Perft node count (for move-generator validation).
+    pub fn perft(&mut self, depth: u32) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let moves = self.legal_moves();
+        if depth == 1 {
+            return moves.len() as u64;
+        }
+        let mut nodes = 0;
+        for m in moves {
+            self.make(m);
+            nodes += self.perft(depth - 1);
+            self.unmake(m);
+        }
+        nodes
+    }
+
+    /// Zobrist-style hash of the position.
+    pub fn hash(&self) -> u64 {
+        let mut h = if self.side == 1 { 0x9E37 } else { 0x79B9 };
+        for s in 0..128 {
+            if s & 0x88 == 0 && self.squares[s] != 0 {
+                let code = (self.squares[s] + 6) as u64;
+                h ^= splitmix(code * 131 + s as u64);
+            }
+        }
+        h
+    }
+
+    /// Derives a position by playing `spec.random_moves` seeded random
+    /// legal moves from the initial position (stops early at mate or
+    /// stalemate).
+    pub fn from_spec(spec: &PositionSpec) -> Board {
+        let mut board = Board::initial();
+        let mut state = spec.seed;
+        for _ in 0..spec.random_moves {
+            let moves = board.legal_moves();
+            if moves.is_empty() {
+                break;
+            }
+            state = splitmix(state);
+            let m = moves[(state % moves.len() as u64) as usize];
+            board.make(m);
+        }
+        board
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+const PIECE_VALUE: [i32; 7] = [0, 100, 320, 330, 500, 900, 20000];
+
+/// Center-weighted piece-square bonus.
+fn square_bonus(sq: u8) -> i32 {
+    let file = (sq & 7) as i32;
+    let rank = (sq >> 4) as i32;
+    let df = (file - 3).abs().min((file - 4).abs());
+    let dr = (rank - 3).abs().min((rank - 4).abs());
+    8 - 2 * (df + dr)
+}
+
+struct Engine<'a> {
+    board: Board,
+    profiler: &'a mut Profiler,
+    fns: Fns,
+    tt: Vec<(u64, i32, u32)>, // (hash, score, depth)
+    nodes: u64,
+}
+
+struct Fns {
+    search: FnId,
+    quiesce: FnId,
+    movegen: FnId,
+    evaluate: FnId,
+    make_move: FnId,
+}
+
+fn register(profiler: &mut Profiler) -> Fns {
+    Fns {
+        search: profiler.register_function("deepsjeng::search", 2600),
+        quiesce: profiler.register_function("deepsjeng::qsearch", 1200),
+        movegen: profiler.register_function("deepsjeng::gen_moves", 1800),
+        evaluate: profiler.register_function("deepsjeng::evaluate", 1400),
+        make_move: profiler.register_function("deepsjeng::make", 400),
+    }
+}
+
+const TT_SIZE: usize = 1 << 12;
+const MATE: i32 = 100_000;
+
+impl Engine<'_> {
+    fn evaluate(&mut self) -> i32 {
+        self.profiler.enter(self.fns.evaluate);
+        let mut score = 0;
+        for s in 0..128u8 {
+            if s & 0x88 != 0 {
+                continue;
+            }
+            let p = self.board.squares[s as usize];
+            // The board scan reads one cache line per rank; reporting one
+            // load per eight squares models that without drowning the
+            // profiler in events.
+            if s % 8 == 0 {
+                self.profiler.load(BOARD_REGION + s as u64);
+            }
+            if p != 0 {
+                let v = PIECE_VALUE[p.unsigned_abs() as usize] + square_bonus(s);
+                score += v * p.signum() as i32;
+                self.profiler.retire(2);
+            }
+        }
+        self.profiler.exit();
+        score * self.board.side as i32
+    }
+
+    fn ordered_moves(&mut self, captures_only: bool) -> Vec<Move> {
+        self.profiler.enter(self.fns.movegen);
+        let mut moves = self.board.legal_moves();
+        self.profiler.retire(moves.len() as u64 * 4);
+        for m in &moves {
+            self.profiler.load(BOARD_REGION + m.from as u64);
+        }
+        if captures_only {
+            moves.retain(|m| m.captured != 0);
+        }
+        // MVV-LVA: most valuable victim, least valuable attacker first.
+        moves.sort_by_key(|m| {
+            let victim = PIECE_VALUE[m.captured.unsigned_abs() as usize];
+            let attacker = PIECE_VALUE[self.board.squares[m.from as usize].unsigned_abs() as usize];
+            -(victim * 100 - attacker)
+        });
+        self.profiler.exit();
+        moves
+    }
+
+    fn quiesce(&mut self, mut alpha: i32, beta: i32) -> i32 {
+        self.profiler.enter(self.fns.quiesce);
+        self.nodes += 1;
+        let stand = self.evaluate();
+        if stand >= beta {
+            self.profiler.branch(10, true);
+            self.profiler.exit();
+            return beta;
+        }
+        self.profiler.branch(10, false);
+        alpha = alpha.max(stand);
+        for m in self.ordered_moves(true) {
+            self.make(m);
+            let score = -self.quiesce(-beta, -alpha);
+            self.unmake(m);
+            let cut = score >= beta;
+            self.profiler.branch(11, cut);
+            if cut {
+                self.profiler.exit();
+                return beta;
+            }
+            alpha = alpha.max(score);
+        }
+        self.profiler.exit();
+        alpha
+    }
+
+    fn make(&mut self, m: Move) {
+        self.profiler.enter(self.fns.make_move);
+        self.profiler.store(BOARD_REGION + m.to as u64);
+        self.profiler.store(BOARD_REGION + m.from as u64);
+        self.profiler.retire(3);
+        self.board.make(m);
+        self.profiler.exit();
+    }
+
+    fn unmake(&mut self, m: Move) {
+        self.board.unmake(m);
+        self.profiler.retire(3);
+    }
+
+    fn search(&mut self, depth: u32, mut alpha: i32, beta: i32) -> i32 {
+        self.profiler.enter(self.fns.search);
+        self.nodes += 1;
+        let hash = self.board.hash();
+        let slot = (hash as usize) & (TT_SIZE - 1);
+        self.profiler.load(TT_REGION + slot as u64 * 16);
+        let (tt_hash, tt_score, tt_depth) = self.tt[slot];
+        let tt_hit = tt_hash == hash && tt_depth >= depth;
+        self.profiler.branch(12, tt_hit);
+        if tt_hit {
+            self.profiler.exit();
+            return tt_score;
+        }
+        if depth == 0 {
+            let score = self.quiesce(alpha, beta);
+            self.profiler.exit();
+            return score;
+        }
+        let moves = self.ordered_moves(false);
+        if moves.is_empty() {
+            let side = self.board.side;
+            let score = if self.board.in_check(side) { -MATE } else { 0 };
+            self.profiler.exit();
+            return score;
+        }
+        let mut best = -MATE * 2;
+        for m in moves {
+            self.make(m);
+            let score = -self.search(depth - 1, -beta, -alpha);
+            self.unmake(m);
+            best = best.max(score);
+            alpha = alpha.max(score);
+            let cut = alpha >= beta;
+            self.profiler.branch(13, cut);
+            if cut {
+                break;
+            }
+        }
+        self.tt[slot] = (hash, best, depth);
+        self.profiler.store(TT_REGION + slot as u64 * 16);
+        self.profiler.exit();
+        best
+    }
+}
+
+/// Searches one position spec to its depth; returns (score, nodes).
+pub fn analyze(spec: &PositionSpec, profiler: &mut Profiler) -> (i32, u64) {
+    let fns = register(profiler);
+    let board = Board::from_spec(spec);
+    let mut engine = Engine {
+        board,
+        profiler,
+        fns,
+        tt: vec![(0, 0, u32::MAX); TT_SIZE],
+        nodes: 0,
+    };
+    // Fresh TT depth marker must not fake a hit: use depth 0 sentinel.
+    for slot in engine.tt.iter_mut() {
+        *slot = (u64::MAX, 0, 0);
+    }
+    let score = engine.search(spec.depth, -MATE * 2, MATE * 2);
+    (score, engine.nodes)
+}
+
+/// The deepsjeng mini-benchmark.
+#[derive(Debug)]
+pub struct MiniDeepsjeng {
+    workloads: Vec<Named<ChessWorkload>>,
+}
+
+impl MiniDeepsjeng {
+    /// Builds the benchmark with its standard workload set.
+    pub fn new(scale: Scale) -> Self {
+        MiniDeepsjeng {
+            workloads: standard_set(scale, chess::train, chess::refrate, chess::alberta_set),
+        }
+    }
+}
+
+impl Benchmark for MiniDeepsjeng {
+    fn name(&self) -> &'static str {
+        "531.deepsjeng_r"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "deepsjeng"
+    }
+
+    fn workload_names(&self) -> Vec<String> {
+        self.workloads.iter().map(|n| n.name.clone()).collect()
+    }
+
+    fn run(&self, workload: &str, profiler: &mut Profiler) -> Result<RunOutput, BenchError> {
+        let w = find_workload(&self.workloads, self.name(), workload)?;
+        let mut scores = Vec::new();
+        let mut nodes = 0;
+        for spec in &w.positions {
+            let (score, n) = analyze(spec, profiler);
+            scores.push(score as u64 as u64);
+            nodes += n;
+        }
+        Ok(RunOutput {
+            checksum: fnv1a(scores),
+            work: nodes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perft_matches_standard_counts() {
+        // Standard chess perft; no castling/en passant is reachable at
+        // these depths from the initial position, so the counts match
+        // full chess.
+        let mut b = Board::initial();
+        assert_eq!(b.perft(1), 20);
+        assert_eq!(b.perft(2), 400);
+        assert_eq!(b.perft(3), 8902);
+    }
+
+    #[test]
+    fn make_unmake_round_trips() {
+        let mut b = Board::initial();
+        let snapshot = b.clone();
+        for m in b.legal_moves() {
+            b.make(m);
+            b.unmake(m);
+            assert_eq!(b, snapshot, "unmake failed for {m:?}");
+        }
+    }
+
+    #[test]
+    fn initial_position_is_not_check() {
+        let b = Board::initial();
+        assert!(!b.in_check(1));
+        assert!(!b.in_check(-1));
+    }
+
+    #[test]
+    fn scholars_mate_is_detected_as_winning_capture_line() {
+        // A queen en prise must be captured by the search: material swing
+        // visible at depth 2.
+        let mut b = Board::initial();
+        // Hang a black queen on a3 (0x20): the b1 knight captures it
+        // outright and nothing defends the square.
+        b.squares[0x20] = -piece::QUEEN;
+        let spec = PositionSpec {
+            seed: 0,
+            random_moves: 0,
+            depth: 2,
+        };
+        let mut p = Profiler::default();
+        let fns = register(&mut p);
+        let mut engine = Engine {
+            board: b,
+            profiler: &mut p,
+            fns,
+            tt: vec![(u64::MAX, 0, 0); TT_SIZE],
+            nodes: 0,
+        };
+        // Statically, white is down a full queen...
+        let static_eval = engine.evaluate();
+        assert!(static_eval < -700, "static eval should show the deficit: {static_eval}");
+        // ...but the search finds Nxa3 and restores material equality.
+        let score = engine.search(spec.depth, -MATE * 2, MATE * 2);
+        assert!(
+            score > -200,
+            "search must recover the queen (≈0), got {score}"
+        );
+        let _ = p.finish();
+    }
+
+    #[test]
+    fn from_spec_is_deterministic_and_legal() {
+        let spec = PositionSpec {
+            seed: 99,
+            random_moves: 30,
+            depth: 1,
+        };
+        let a = Board::from_spec(&spec);
+        let b = Board::from_spec(&spec);
+        assert_eq!(a, b);
+        // Both kings alive.
+        let kings = a
+            .squares
+            .iter()
+            .filter(|&&p| p.abs() == piece::KING)
+            .count();
+        assert_eq!(kings, 2);
+    }
+
+    #[test]
+    fn deeper_search_visits_more_nodes() {
+        let mut p1 = Profiler::default();
+        let mut p2 = Profiler::default();
+        let shallow = analyze(
+            &PositionSpec { seed: 5, random_moves: 10, depth: 2 },
+            &mut p1,
+        );
+        let deep = analyze(
+            &PositionSpec { seed: 5, random_moves: 10, depth: 4 },
+            &mut p2,
+        );
+        assert!(deep.1 > shallow.1 * 3, "{} vs {}", deep.1, shallow.1);
+    }
+
+    #[test]
+    fn benchmark_runs_with_search_dominating_coverage() {
+        let b = MiniDeepsjeng::new(Scale::Test);
+        let mut p = Profiler::default();
+        let out = b.run("train", &mut p).unwrap();
+        assert!(out.work > 0);
+        let profile = p.finish();
+        let cov = profile.coverage_percent();
+        let search_family = cov["deepsjeng::search"]
+            + cov["deepsjeng::qsearch"]
+            + cov["deepsjeng::gen_moves"]
+            + cov["deepsjeng::evaluate"];
+        assert!(search_family > 80.0, "{cov:?}");
+    }
+
+    #[test]
+    fn determinism() {
+        let b = MiniDeepsjeng::new(Scale::Test);
+        let mut p1 = Profiler::default();
+        let mut p2 = Profiler::default();
+        assert_eq!(
+            b.run("alberta.1", &mut p1).unwrap(),
+            b.run("alberta.1", &mut p2).unwrap()
+        );
+        assert_eq!(p1.finish().totals, p2.finish().totals);
+    }
+}

@@ -1,0 +1,395 @@
+//! Bytecode generation for the mini-C subset.
+
+use super::ast::{BinOp, Expr, Program, Stmt};
+use alberta_profile::Profiler;
+
+/// Optimization and code-layout options — the compiler's `-O` flags plus
+/// the profile-guided knobs used by the FDO laboratory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptOptions {
+    /// Constant folding.
+    pub fold_constants: bool,
+    /// Dead-code elimination.
+    pub dead_code_elimination: bool,
+    /// Heuristic inlining of small leaf-shaped functions.
+    pub inline_calls: bool,
+    /// Maximum body statements for heuristic inlining.
+    pub inline_budget: usize,
+    /// Functions to force-inline wherever legal (profile-guided).
+    pub force_inline: Vec<String>,
+    /// Profile-guided function emission order (hot-first code layout).
+    pub function_order: Option<Vec<String>>,
+}
+
+impl Default for OptOptions {
+    /// `-O2`-ish: folding, DCE and heuristic inlining, no profile data.
+    fn default() -> Self {
+        OptOptions {
+            fold_constants: true,
+            dead_code_elimination: true,
+            inline_calls: true,
+            inline_budget: 4,
+            force_inline: Vec::new(),
+            function_order: None,
+        }
+    }
+}
+
+impl OptOptions {
+    /// `-O0`: no transformation at all.
+    pub fn none() -> Self {
+        OptOptions {
+            fold_constants: false,
+            dead_code_elimination: false,
+            inline_calls: false,
+            inline_budget: 0,
+            force_inline: Vec::new(),
+            function_order: None,
+        }
+    }
+}
+
+/// A bytecode instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Push a constant.
+    Const(i64),
+    /// Push local slot.
+    LoadLocal(u16),
+    /// Pop into local slot.
+    StoreLocal(u16),
+    /// Push global scalar.
+    LoadGlobal(u16),
+    /// Pop into global scalar.
+    StoreGlobal(u16),
+    /// Pop index, push `array[index % len]`.
+    LoadArr(u16),
+    /// Pop value then index, store into `array[index % len]`.
+    StoreArr(u16),
+    /// Pop rhs then lhs, push the operation result.
+    Bin(BinOp),
+    /// Arithmetic negation of the stack top.
+    Neg,
+    /// Logical not of the stack top.
+    Not,
+    /// Unconditional jump to an absolute instruction index.
+    Jump(u32),
+    /// Pop; jump when zero.
+    JumpIfZero(u32),
+    /// Call function by module index; arguments are on the stack.
+    Call(u16),
+    /// Return with the stack top as the value.
+    Ret,
+    /// Discard the stack top.
+    Pop,
+}
+
+/// Compiled code of one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncCode {
+    /// Function name.
+    pub name: String,
+    /// Parameter count (occupying the first local slots).
+    pub params: u16,
+    /// Total local slots (params + declared locals).
+    pub locals: u16,
+    /// The instructions.
+    pub code: Vec<Op>,
+}
+
+/// A compiled module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Functions in emission (code layout) order.
+    pub funcs: Vec<FuncCode>,
+    /// Initial values of global scalars.
+    pub global_init: Vec<i64>,
+    /// Global scalar names (parallel to `global_init`).
+    pub global_names: Vec<String>,
+    /// Array lengths.
+    pub array_lens: Vec<usize>,
+    /// Array names (parallel to `array_lens`).
+    pub array_names: Vec<String>,
+    /// Index of `main` in `funcs`.
+    pub main: usize,
+}
+
+struct FnCompiler<'a> {
+    code: Vec<Op>,
+    locals: Vec<String>,
+    params: u16,
+    globals: &'a [String],
+    arrays: &'a [String],
+    fn_names: &'a [String],
+}
+
+impl FnCompiler<'_> {
+    fn local_slot(&mut self, name: &str) -> Option<u16> {
+        self.locals.iter().position(|l| l == name).map(|i| i as u16)
+    }
+
+    fn declare_local(&mut self, name: &str) -> Result<u16, String> {
+        if self.local_slot(name).is_some() {
+            return Err(format!("duplicate local {name}"));
+        }
+        self.locals.push(name.to_owned());
+        Ok((self.locals.len() - 1) as u16)
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), String> {
+        match e {
+            Expr::Num(n) => self.code.push(Op::Const(*n)),
+            Expr::Var(name) => {
+                if let Some(slot) = self.local_slot(name) {
+                    self.code.push(Op::LoadLocal(slot));
+                } else if let Some(g) = self.globals.iter().position(|g| g == name) {
+                    self.code.push(Op::LoadGlobal(g as u16));
+                } else {
+                    return Err(format!("undeclared variable {name}"));
+                }
+            }
+            Expr::Bin(op, l, r) => {
+                self.expr(l)?;
+                self.expr(r)?;
+                self.code.push(Op::Bin(*op));
+            }
+            Expr::Neg(i) => {
+                self.expr(i)?;
+                self.code.push(Op::Neg);
+            }
+            Expr::Not(i) => {
+                self.expr(i)?;
+                self.code.push(Op::Not);
+            }
+            Expr::Call(name, args) => {
+                let idx = self
+                    .fn_names
+                    .iter()
+                    .position(|f| f == name)
+                    .ok_or_else(|| format!("call to undefined function {name}"))?;
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.code.push(Op::Call(idx as u16));
+            }
+            Expr::Index(name, idx) => {
+                let a = self
+                    .arrays
+                    .iter()
+                    .position(|x| x == name)
+                    .ok_or_else(|| format!("unknown array {name}"))?;
+                self.expr(idx)?;
+                self.code.push(Op::LoadArr(a as u16));
+            }
+        }
+        Ok(())
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), String> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), String> {
+        match s {
+            Stmt::Decl(name, e) => {
+                self.expr(e)?;
+                let slot = self.declare_local(name)?;
+                self.code.push(Op::StoreLocal(slot));
+            }
+            Stmt::Assign(name, e) => {
+                self.expr(e)?;
+                if let Some(slot) = self.local_slot(name) {
+                    self.code.push(Op::StoreLocal(slot));
+                } else if let Some(g) = self.globals.iter().position(|g| g == name) {
+                    self.code.push(Op::StoreGlobal(g as u16));
+                } else {
+                    return Err(format!("assignment to undeclared variable {name}"));
+                }
+            }
+            Stmt::Store(name, idx, val) => {
+                let a = self
+                    .arrays
+                    .iter()
+                    .position(|x| x == name)
+                    .ok_or_else(|| format!("unknown array {name}"))?;
+                self.expr(idx)?;
+                self.expr(val)?;
+                self.code.push(Op::StoreArr(a as u16));
+            }
+            Stmt::If(cond, then, els) => {
+                self.expr(cond)?;
+                let jz_at = self.code.len();
+                self.code.push(Op::JumpIfZero(0));
+                self.block(then)?;
+                if els.is_empty() {
+                    let end = self.code.len() as u32;
+                    self.code[jz_at] = Op::JumpIfZero(end);
+                } else {
+                    let jmp_at = self.code.len();
+                    self.code.push(Op::Jump(0));
+                    let else_start = self.code.len() as u32;
+                    self.code[jz_at] = Op::JumpIfZero(else_start);
+                    self.block(els)?;
+                    let end = self.code.len() as u32;
+                    self.code[jmp_at] = Op::Jump(end);
+                }
+            }
+            Stmt::While(cond, body) => {
+                let top = self.code.len() as u32;
+                self.expr(cond)?;
+                let jz_at = self.code.len();
+                self.code.push(Op::JumpIfZero(0));
+                self.block(body)?;
+                self.code.push(Op::Jump(top));
+                let end = self.code.len() as u32;
+                self.code[jz_at] = Op::JumpIfZero(end);
+            }
+            Stmt::Return(e) => {
+                self.expr(e)?;
+                self.code.push(Op::Ret);
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.code.push(Op::Pop);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compiles an (already optimized) program into a bytecode module.
+///
+/// # Errors
+///
+/// Returns a message for name-resolution failures or a missing `main`.
+pub fn compile(
+    program: &Program,
+    _options: &OptOptions,
+    profiler: &mut Profiler,
+) -> Result<Module, String> {
+    let global_names: Vec<String> = program
+        .globals
+        .iter()
+        .filter(|g| g.array_len.is_none())
+        .map(|g| g.name.clone())
+        .collect();
+    let global_init: Vec<i64> = program
+        .globals
+        .iter()
+        .filter(|g| g.array_len.is_none())
+        .map(|g| g.init)
+        .collect();
+    let array_names: Vec<String> = program
+        .globals
+        .iter()
+        .filter(|g| g.array_len.is_some())
+        .map(|g| g.name.clone())
+        .collect();
+    let array_lens: Vec<usize> = program
+        .globals
+        .iter()
+        .filter_map(|g| g.array_len)
+        .collect();
+    let fn_names: Vec<String> = program.functions.iter().map(|f| f.name.clone()).collect();
+
+    let mut funcs = Vec::with_capacity(program.functions.len());
+    for f in &program.functions {
+        let mut c = FnCompiler {
+            code: Vec::new(),
+            locals: f.params.clone(),
+            params: f.params.len() as u16,
+            globals: &global_names,
+            arrays: &array_names,
+            fn_names: &fn_names,
+        };
+        c.block(&f.body)?;
+        // Implicit `return 0` safety net at the end of every function.
+        c.code.push(Op::Const(0));
+        c.code.push(Op::Ret);
+        profiler.retire(c.code.len() as u64 * 2);
+        funcs.push(FuncCode {
+            name: f.name.clone(),
+            params: c.params,
+            locals: c.locals.len() as u16,
+            code: c.code,
+        });
+    }
+    let main = fn_names
+        .iter()
+        .position(|n| n == "main")
+        .ok_or_else(|| "program has no main function".to_owned())?;
+    Ok(Module {
+        funcs,
+        global_init,
+        global_names,
+        array_lens,
+        array_names,
+        main,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex;
+    use super::super::parser::parse;
+    use super::*;
+
+    fn compile_src(src: &str) -> Result<Module, String> {
+        let program = parse(&lex(src)?)?;
+        let mut p = Profiler::default();
+        let m = compile(&program, &OptOptions::none(), &mut p);
+        let _ = p.finish();
+        m
+    }
+
+    #[test]
+    fn compiles_straight_line_code() {
+        let m = compile_src("int main() { int x = 3; return x * 2; }").unwrap();
+        let f = &m.funcs[m.main];
+        assert_eq!(f.params, 0);
+        assert_eq!(f.locals, 1);
+        assert!(f.code.contains(&Op::Bin(BinOp::Mul)));
+        assert!(f.code.ends_with(&[Op::Const(0), Op::Ret]));
+    }
+
+    #[test]
+    fn jump_targets_are_well_formed() {
+        let m = compile_src(
+            "int main() { int i = 0; while (i < 4) { if (i == 2) { i = i + 2; } else { i = i + 1; } } return i; }",
+        )
+        .unwrap();
+        let f = &m.funcs[m.main];
+        for op in &f.code {
+            if let Op::Jump(t) | Op::JumpIfZero(t) = op {
+                assert!((*t as usize) <= f.code.len(), "target out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn name_resolution_errors() {
+        assert!(compile_src("int main() { return y; }").is_err());
+        assert!(compile_src("int main() { y = 3; return 0; }").is_err());
+        assert!(compile_src("int main() { return f(1); }").is_err());
+        assert!(compile_src("int main() { return b[0]; }").is_err());
+        assert!(compile_src("int f() { return 0; }").is_err(), "no main");
+    }
+
+    #[test]
+    fn globals_split_into_scalars_and_arrays() {
+        let m = compile_src("int a = 1;\nint buf[5];\nint b = 2;\nint main() { return a + b; }")
+            .unwrap();
+        assert_eq!(m.global_names, vec!["a", "b"]);
+        assert_eq!(m.global_init, vec![1, 2]);
+        assert_eq!(m.array_names, vec!["buf"]);
+        assert_eq!(m.array_lens, vec![5]);
+    }
+
+    #[test]
+    fn duplicate_locals_rejected() {
+        assert!(compile_src("int main() { int x = 1; int x = 2; return x; }").is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Lexer for the mini-C subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Num(i64),
+    /// Keyword `int`.
+    KwInt,
+    /// Keyword `if`.
+    KwIf,
+    /// Keyword `else`.
+    KwElse,
+    /// Keyword `while`.
+    KwWhile,
+    /// Keyword `return`.
+    KwReturn,
+    /// Keyword `static`.
+    KwStatic,
+    /// Keyword `extern`.
+    KwExtern,
+    /// A punctuation/operator token, e.g. `"+"`, `"<="`, `"{"`.
+    Punct(&'static str),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::KwInt => write!(f, "int"),
+            Token::KwIf => write!(f, "if"),
+            Token::KwElse => write!(f, "else"),
+            Token::KwWhile => write!(f, "while"),
+            Token::KwReturn => write!(f, "return"),
+            Token::KwStatic => write!(f, "static"),
+            Token::KwExtern => write!(f, "extern"),
+            Token::Punct(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+const PUNCTS: [&str; 24] = [
+    "<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")",
+    "{", "}", "[", "]", ";", ",", "#",
+];
+
+/// Tokenizes mini-C source. `//` line comments are skipped.
+///
+/// # Errors
+///
+/// Returns a message pointing at the first unrecognized character.
+pub fn lex(source: &str) -> Result<Vec<Token>, String> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &source[start..i];
+            tokens.push(match word {
+                "int" => Token::KwInt,
+                "if" => Token::KwIf,
+                "else" => Token::KwElse,
+                "while" => Token::KwWhile,
+                "return" => Token::KwReturn,
+                "static" => Token::KwStatic,
+                "extern" => Token::KwExtern,
+                _ => Token::Ident(word.to_owned()),
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = source[start..i]
+                .parse()
+                .map_err(|_| format!("integer literal too large at byte {start}"))?;
+            tokens.push(Token::Num(n));
+            continue;
+        }
+        for p in PUNCTS {
+            if source[i..].starts_with(p) {
+                tokens.push(Token::Punct(p));
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(format!("unexpected character {:?} at byte {i}", c as char));
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_function() {
+        let tokens = lex("int f(int a) { return a + 42; }").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::KwInt,
+                Token::Ident("f".into()),
+                Token::Punct("("),
+                Token::KwInt,
+                Token::Ident("a".into()),
+                Token::Punct(")"),
+                Token::Punct("{"),
+                Token::KwReturn,
+                Token::Ident("a".into()),
+                Token::Punct("+"),
+                Token::Num(42),
+                Token::Punct(";"),
+                Token::Punct("}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win_over_one_char() {
+        let tokens = lex("a <= b == c && d").unwrap();
+        let puncts: Vec<&str> = tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["<=", "==", "&&"]);
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let tokens = lex("// a comment\nint x; // trailing\n").unwrap();
+        assert_eq!(
+            tokens,
+            vec![Token::KwInt, Token::Ident("x".into()), Token::Punct(";")]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(lex("int x = 'c';").is_err());
+        assert!(lex("int x = 1.5;").is_err());
+    }
+
+    #[test]
+    fn rejects_huge_literals() {
+        assert!(lex("int x = 99999999999999999999;").is_err());
+    }
+
+    #[test]
+    fn tokens_display_round_trip() {
+        for t in lex("static int f ( ) { return 1 <= 2 ; }").unwrap() {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Recursive-descent parser for the mini-C subset.
+
+use super::ast::{BinOp, Expr, Function, Global, Item, Program, Stmt};
+use super::lexer::Token;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, String>;
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> PResult<&Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| "unexpected end of input".to_owned())?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> PResult<()> {
+        match self.next()? {
+            Token::Punct(q) if *q == p => Ok(()),
+            t => Err(format!("expected {p:?}, found {t}")),
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Some(Token::Punct(q)) if *q == p)
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s.clone()),
+            t => Err(format!("expected identifier, found {t}")),
+        }
+    }
+
+    fn item(&mut self) -> PResult<Item> {
+        let is_extern = matches!(self.peek(), Some(Token::KwExtern));
+        if is_extern {
+            self.pos += 1;
+        }
+        let is_static = matches!(self.peek(), Some(Token::KwStatic));
+        if is_static {
+            self.pos += 1;
+        }
+        match self.next()? {
+            Token::KwInt => {}
+            t => return Err(format!("expected type `int`, found {t}")),
+        }
+        let name = self.ident()?;
+        if self.at_punct("(") {
+            // Function definition or extern declaration.
+            self.eat_punct("(")?;
+            let mut params = Vec::new();
+            if !self.at_punct(")") {
+                loop {
+                    match self.next()? {
+                        Token::KwInt => {}
+                        t => return Err(format!("expected parameter type, found {t}")),
+                    }
+                    params.push(self.ident()?);
+                    if self.at_punct(",") {
+                        self.eat_punct(",")?;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.eat_punct(")")?;
+            if is_extern || self.at_punct(";") {
+                self.eat_punct(";")?;
+                return Ok(Item::ExternDecl(name));
+            }
+            let body = self.block()?;
+            Ok(Item::Function(Function {
+                name,
+                params,
+                body,
+                is_static,
+            }))
+        } else if self.at_punct("[") {
+            self.eat_punct("[")?;
+            let len = match self.next()? {
+                Token::Num(n) if *n > 0 => *n as usize,
+                t => return Err(format!("expected positive array length, found {t}")),
+            };
+            self.eat_punct("]")?;
+            self.eat_punct(";")?;
+            Ok(Item::Global(Global {
+                name,
+                init: 0,
+                array_len: Some(len),
+                is_static,
+            }))
+        } else {
+            let init = if self.at_punct("=") {
+                self.eat_punct("=")?;
+                self.const_int()?
+            } else {
+                0
+            };
+            self.eat_punct(";")?;
+            Ok(Item::Global(Global {
+                name,
+                init,
+                array_len: None,
+                is_static,
+            }))
+        }
+    }
+
+    fn const_int(&mut self) -> PResult<i64> {
+        let neg = self.at_punct("-");
+        if neg {
+            self.eat_punct("-")?;
+        }
+        match self.next()? {
+            Token::Num(n) => Ok(if neg { -n } else { *n }),
+            t => Err(format!("expected integer initializer, found {t}")),
+        }
+    }
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.at_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        self.eat_punct("}")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        match self.peek() {
+            Some(Token::KwInt) => {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.eat_punct("=")?;
+                let e = self.expr()?;
+                self.eat_punct(";")?;
+                Ok(Stmt::Decl(name, e))
+            }
+            Some(Token::KwIf) => {
+                self.pos += 1;
+                self.eat_punct("(")?;
+                let cond = self.expr()?;
+                self.eat_punct(")")?;
+                let then = self.block()?;
+                let els = if matches!(self.peek(), Some(Token::KwElse)) {
+                    self.pos += 1;
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Some(Token::KwWhile) => {
+                self.pos += 1;
+                self.eat_punct("(")?;
+                let cond = self.expr()?;
+                self.eat_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Some(Token::KwReturn) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.eat_punct(";")?;
+                Ok(Stmt::Return(e))
+            }
+            Some(Token::Ident(_)) => {
+                // Assignment, array store, or expression statement.
+                let save = self.pos;
+                let name = self.ident()?;
+                if self.at_punct("=") {
+                    self.eat_punct("=")?;
+                    let e = self.expr()?;
+                    self.eat_punct(";")?;
+                    Ok(Stmt::Assign(name, e))
+                } else if self.at_punct("[") {
+                    self.eat_punct("[")?;
+                    let idx = self.expr()?;
+                    self.eat_punct("]")?;
+                    if self.at_punct("=") {
+                        self.eat_punct("=")?;
+                        let val = self.expr()?;
+                        self.eat_punct(";")?;
+                        Ok(Stmt::Store(name, idx, val))
+                    } else {
+                        // It was an expression like `buf[i];` — reparse.
+                        self.pos = save;
+                        let e = self.expr()?;
+                        self.eat_punct(";")?;
+                        Ok(Stmt::Expr(e))
+                    }
+                } else {
+                    self.pos = save;
+                    let e = self.expr()?;
+                    self.eat_punct(";")?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+            _ => {
+                let e = self.expr()?;
+                self.eat_punct(";")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> PResult<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Some(Token::Punct(p)) => match *p {
+                    "||" => (BinOp::Or, 1),
+                    "&&" => (BinOp::And, 2),
+                    "==" => (BinOp::Eq, 3),
+                    "!=" => (BinOp::Ne, 3),
+                    "<" => (BinOp::Lt, 4),
+                    ">" => (BinOp::Gt, 4),
+                    "<=" => (BinOp::Le, 4),
+                    ">=" => (BinOp::Ge, 4),
+                    "+" => (BinOp::Add, 5),
+                    "-" => (BinOp::Sub, 5),
+                    "*" => (BinOp::Mul, 6),
+                    "/" => (BinOp::Div, 6),
+                    "%" => (BinOp::Mod, 6),
+                    _ => break,
+                },
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        if self.at_punct("-") {
+            self.eat_punct("-")?;
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.at_punct("!") {
+            self.eat_punct("!")?;
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        match self.next()?.clone() {
+            Token::Num(n) => Ok(Expr::Num(n)),
+            Token::Punct("(") => {
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if self.at_punct("(") {
+                    self.eat_punct("(")?;
+                    let mut args = Vec::new();
+                    if !self.at_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.at_punct(",") {
+                                self.eat_punct(",")?;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_punct(")")?;
+                    Ok(Expr::Call(name, args))
+                } else if self.at_punct("[") {
+                    self.eat_punct("[")?;
+                    let idx = self.expr()?;
+                    self.eat_punct("]")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            t => Err(format!("unexpected token {t} in expression")),
+        }
+    }
+}
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax error.
+pub fn parse(tokens: &[Token]) -> Result<Program, String> {
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut program = Program::default();
+    while parser.peek().is_some() {
+        match parser.item()? {
+            Item::Global(g) => {
+                if program.globals.iter().any(|x| x.name == g.name) {
+                    return Err(format!("duplicate global {}", g.name));
+                }
+                program.globals.push(g);
+            }
+            Item::Function(f) => {
+                if program.functions.iter().any(|x| x.name == f.name) {
+                    return Err(format!("duplicate function {}", f.name));
+                }
+                program.functions.push(f);
+            }
+            Item::ExternDecl(_) => {}
+        }
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex;
+    use super::*;
+
+    fn parse_src(src: &str) -> Result<Program, String> {
+        parse(&lex(src)?)
+    }
+
+    #[test]
+    fn parses_globals_functions_and_externs() {
+        let p = parse_src(
+            "int g = -3;\nstatic int h;\nint buf[16];\nextern int far(int a);\n\
+             static int f(int a, int b) { return a; }\nint main() { return f(1, 2); }\n",
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.globals[0].init, -3);
+        assert!(p.globals[1].is_static);
+        assert_eq!(p.globals[2].array_len, Some(16));
+        assert_eq!(p.functions.len(), 2);
+        assert!(p.functions[0].is_static);
+        assert_eq!(p.functions[0].params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn expression_precedence_shapes_the_tree() {
+        let p = parse_src("int main() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return(e) = &p.functions[0].body[0] else {
+            panic!("expected return");
+        };
+        // + at the root, * underneath.
+        assert!(matches!(e, Expr::Bin(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn if_else_and_while_nest() {
+        let p = parse_src(
+            "int main() { int i = 0; while (i < 3) { if (i == 1) { i = 5; } else { i = i + 1; } } return i; }",
+        )
+        .unwrap();
+        assert_eq!(p.functions[0].body.len(), 3);
+        let Stmt::While(_, body) = &p.functions[0].body[1] else {
+            panic!("expected while");
+        };
+        assert!(matches!(body[0], Stmt::If(_, _, _)));
+    }
+
+    #[test]
+    fn array_load_in_expression_position() {
+        let p = parse_src("int b[4];\nint main() { return b[2] + b[3]; }").unwrap();
+        let Stmt::Return(Expr::Bin(_, l, _)) = &p.functions[0].body[0] else {
+            panic!();
+        };
+        assert!(matches!(**l, Expr::Index(_, _)));
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        assert!(parse_src("int g;\nint g;\n").is_err());
+        assert!(parse_src("int f() { return 0; }\nint f() { return 1; }").is_err());
+    }
+
+    #[test]
+    fn syntax_errors_have_messages() {
+        for bad in [
+            "int main() { return 1 + ; }",
+            "int main() { while 1 { } }",
+            "int main() { int = 3; }",
+            "int [3];",
+            "int a[0];",
+        ] {
+            let err = parse_src(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad}");
+        }
+    }
+}

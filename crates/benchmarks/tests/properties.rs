@@ -1,0 +1,122 @@
+//! Property-based tests on the mini-benchmark substrates: the invariants
+//! that must hold for *any* input, not just the generated workloads.
+
+use alberta_benchmarks::minigcc::{MiniGcc, OptOptions};
+use alberta_benchmarks::minileela::{Color, GoBoard};
+use alberta_benchmarks::minimcf::solve_min_cost_flow;
+use alberta_benchmarks::{miniexchange, minixz};
+use alberta_profile::Profiler;
+use alberta_workloads::csrc::CSourceGen;
+use alberta_workloads::flow::FlowGen;
+use alberta_workloads::sudoku;
+use alberta_workloads::Scale;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LZ77 + range coder round-trips arbitrary bytes at any dictionary
+    /// size.
+    #[test]
+    fn xz_roundtrip_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+        dict_shift in 6u32..14,
+    ) {
+        let dict = 1usize << dict_shift;
+        let mut p = Profiler::default();
+        let packed = minixz::compress(&data, dict, &mut p);
+        let unpacked = minixz::decompress(&packed, &mut p).expect("stream we produced decodes");
+        let _ = p.finish();
+        prop_assert_eq!(unpacked, data);
+    }
+
+    /// Every generated Sudoku seed puzzle is consistent and solvable, and
+    /// its solution extends the clues.
+    #[test]
+    fn sudoku_generated_puzzles_solve(seed in any::<u64>(), clues in 20usize..60) {
+        let puzzle = sudoku::generate_puzzle(seed, clues);
+        prop_assert!(puzzle.is_consistent());
+        prop_assert_eq!(puzzle.clue_count(), clues);
+        let solved = miniexchange::solve_for_tests(&puzzle).expect("solvable by construction");
+        prop_assert!(solved.is_solved());
+        for i in 0..81 {
+            if puzzle.0[i] != 0 {
+                prop_assert_eq!(puzzle.0[i], solved.0[i]);
+            }
+        }
+    }
+
+    /// The optimizer never changes program semantics on generated mini-C.
+    #[test]
+    fn minigcc_optimizer_preserves_semantics(seed in any::<u64>()) {
+        let gen = CSourceGen::standard(Scale::Test);
+        let src = gen.generate(seed).source;
+        let mut p0 = Profiler::default();
+        let mut p2 = Profiler::default();
+        let (r0, _) = MiniGcc::compile_and_run(&src, &OptOptions::none(), &mut p0)
+            .expect("generated programs compile");
+        let (r2, _) = MiniGcc::compile_and_run(&src, &OptOptions::default(), &mut p2)
+            .expect("generated programs compile");
+        prop_assert_eq!(r0, r2);
+    }
+
+    /// Min-cost-flow solutions on generated scheduling instances are
+    /// always feasible (flow conservation) and capacity-respecting.
+    #[test]
+    fn mcf_solutions_are_feasible(seed in any::<u64>()) {
+        let mut gen = FlowGen::standard(Scale::Test);
+        gen.trips = 25;
+        let instance = gen.generate(seed);
+        let mut p = Profiler::default();
+        let solution = solve_min_cost_flow(&instance, &mut p).expect("feasible by construction");
+        let _ = p.finish();
+        let mut balance = vec![0i64; instance.node_count as usize];
+        for (k, arc) in instance.arcs.iter().enumerate() {
+            prop_assert!(solution.flows[k] >= 0);
+            prop_assert!(solution.flows[k] <= arc.capacity);
+            balance[arc.from as usize] -= solution.flows[k];
+            balance[arc.to as usize] += solution.flows[k];
+        }
+        for (b, s) in balance.iter().zip(&instance.supplies) {
+            prop_assert_eq!(*b, -*s);
+        }
+    }
+
+    /// Go: playing any sequence of random proposals never corrupts the
+    /// board — stone counts change only by legal amounts and captured
+    /// points are empty.
+    #[test]
+    fn go_board_stays_consistent(seed in any::<u64>(), size in 5usize..10) {
+        let mut board = GoBoard::new(size);
+        let mut state = seed;
+        let mut to_move = Color::Black;
+        for _ in 0..3 * size * size {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = (state >> 16) as usize % (size * size);
+            let before: usize = count_stones(&board, size);
+            match board.play(idx % size, idx / size, to_move) {
+                Some(captured) => {
+                    let after = count_stones(&board, size);
+                    // +1 stone placed, −captured removed.
+                    prop_assert_eq!(after as i64, before as i64 + 1 - captured as i64);
+                    to_move = to_move.other();
+                }
+                None => {
+                    prop_assert_eq!(count_stones(&board, size), before, "illegal move mutated board");
+                }
+            }
+        }
+    }
+}
+
+fn count_stones(board: &GoBoard, size: usize) -> usize {
+    let mut n = 0;
+    for y in 0..size {
+        for x in 0..size {
+            if board.at(x, y).is_some() {
+                n += 1;
+            }
+        }
+    }
+    n
+}

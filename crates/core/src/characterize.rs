@@ -1,0 +1,162 @@
+//! The per-benchmark characterization pipeline (Section V of the paper).
+//!
+//! For every workload of a benchmark: run it under a fresh [`Profiler`],
+//! derive the Top-Down ratios through the machine model, and collect the
+//! method-coverage row. Then summarize with the paper's geometric
+//! statistics into the Table II quantities `μg`, `σg`, `μg(V)`, `μg(M)`.
+
+use crate::suite::CoreError;
+use alberta_benchmarks::Benchmark;
+use alberta_profile::{Profiler, SampleConfig};
+use alberta_stats::variation::TopDownRatios;
+use alberta_stats::{CoverageMatrix, CoverageSummary, TopDownSummary};
+use alberta_uarch::{TopDownModel, TopDownReport};
+use std::collections::BTreeMap;
+
+/// One workload's measured behaviour.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// Workload name.
+    pub workload: String,
+    /// Top-Down analysis of the run.
+    pub report: TopDownReport,
+    /// Method coverage (percent of attributed work per function).
+    pub coverage: BTreeMap<String, f64>,
+    /// The benchmark's own work metric.
+    pub work: u64,
+    /// Semantic output checksum.
+    pub checksum: u64,
+}
+
+/// A benchmark characterized across all of its workloads — one Table II
+/// row plus the underlying per-workload data (Figures 1 and 2).
+#[derive(Debug, Clone)]
+pub struct Characterization {
+    /// SPEC-style id, e.g. `505.mcf_r`.
+    pub spec_id: String,
+    /// Short name, e.g. `mcf`.
+    pub short_name: String,
+    /// Per-workload runs, in workload order (train, refrate, alberta.*).
+    pub runs: Vec<WorkloadRun>,
+    /// Eq. (1)–(4) summary over the Top-Down ratios.
+    pub topdown: TopDownSummary,
+    /// Eq. (5) summary over method coverage.
+    pub coverage: CoverageSummary,
+    /// Modelled cycles of the refrate workload (the paper's "refrate
+    /// time" column, with modelled cycles standing in for seconds).
+    pub refrate_cycles: f64,
+}
+
+impl Characterization {
+    /// Number of workloads characterized.
+    pub fn workload_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The run for a named workload, if present.
+    pub fn run(&self, workload: &str) -> Option<&WorkloadRun> {
+        self.runs.iter().find(|r| r.workload == workload)
+    }
+}
+
+/// Runs the full pipeline for one benchmark.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Run`] if any workload fails.
+pub fn characterize_benchmark(
+    benchmark: &dyn Benchmark,
+    model: &TopDownModel,
+    sampling: SampleConfig,
+) -> Result<Characterization, CoreError> {
+    let mut runs = Vec::new();
+    let mut matrix = CoverageMatrix::new();
+    let mut ratios: Vec<TopDownRatios> = Vec::new();
+    let mut refrate_cycles = 0.0;
+    for workload in benchmark.workload_names() {
+        let mut profiler = Profiler::new(sampling);
+        let output = benchmark.run(&workload, &mut profiler)?;
+        let profile = profiler.finish();
+        let report = model.analyze(&profile);
+        let coverage = profile.coverage_percent();
+        matrix
+            .push_workload(&workload, coverage.iter().map(|(k, v)| (k.clone(), *v)))
+            .expect("coverage percentages are finite");
+        ratios.push(report.ratios);
+        if workload == "refrate" {
+            refrate_cycles = report.cycles;
+        }
+        runs.push(WorkloadRun {
+            workload,
+            report,
+            coverage,
+            work: output.work,
+            checksum: output.checksum,
+        });
+    }
+    let topdown = TopDownSummary::from_runs(&ratios).expect("at least one workload");
+    let coverage = CoverageSummary::from_matrix(&matrix).expect("at least one workload");
+    Ok(Characterization {
+        spec_id: benchmark.name().to_owned(),
+        short_name: benchmark.short_name().to_owned(),
+        runs,
+        topdown,
+        coverage,
+        refrate_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alberta_benchmarks::suite;
+    use alberta_workloads::Scale;
+
+    fn characterize(short: &str) -> Characterization {
+        let benchmarks = suite(Scale::Test);
+        let b = benchmarks
+            .iter()
+            .find(|b| b.short_name() == short)
+            .expect("benchmark exists");
+        characterize_benchmark(b.as_ref(), &TopDownModel::reference(), SampleConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn coverage_rows_sum_to_hundred_percent() {
+        let c = characterize("omnetpp");
+        for run in &c.runs {
+            let sum: f64 = run.coverage.values().sum();
+            assert!((sum - 100.0).abs() < 1e-6, "{}: {sum}", run.workload);
+        }
+    }
+
+    #[test]
+    fn workload_counts_match_benchmark_sets() {
+        let c = characterize("leela");
+        assert_eq!(c.workload_count(), 2 + 9, "train + refrate + 9 alberta");
+        assert!(c.run("train").is_some());
+        assert!(c.run("refrate").is_some());
+        assert!(c.run("alberta.0").is_some());
+        assert!(c.run("bogus").is_none());
+    }
+
+    #[test]
+    fn characterization_is_deterministic() {
+        let a = characterize("xz");
+        let b = characterize("xz");
+        assert_eq!(a.topdown.mu_g_v.to_bits(), b.topdown.mu_g_v.to_bits());
+        assert_eq!(a.coverage.mu_g_m.to_bits(), b.coverage.mu_g_m.to_bits());
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(ra.checksum, rb.checksum);
+        }
+    }
+
+    #[test]
+    fn refrate_cycles_recorded() {
+        let c = characterize("deepsjeng");
+        assert!(c.refrate_cycles > 0.0);
+        let refrate = c.run("refrate").unwrap();
+        assert!((refrate.report.cycles - c.refrate_cycles).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,240 @@
+//! Regeneration of the paper's figures as data series plus terminal
+//! renderings.
+
+use crate::characterize::Characterization;
+use crate::report::{format_table, Align};
+
+/// Figure 1 data: per-workload Top-Down stacks for one benchmark.
+///
+/// The paper plots `523.xalancbmk_r` (visibly workload-sensitive) beside
+/// `557.xz_r` (visibly stable); [`fig1_series`] produces the series for
+/// any characterized benchmark.
+#[derive(Debug, Clone)]
+pub struct Fig1Series {
+    /// Benchmark short name.
+    pub benchmark: String,
+    /// `(workload, [f, b, s, r])` per workload.
+    pub stacks: Vec<(String, [f64; 4])>,
+}
+
+/// Extracts the Figure 1 series from a characterization.
+pub fn fig1_series(c: &Characterization) -> Fig1Series {
+    Fig1Series {
+        benchmark: c.short_name.clone(),
+        stacks: c
+            .runs
+            .iter()
+            .map(|r| (r.workload.clone(), r.report.ratios.as_array()))
+            .collect(),
+    }
+}
+
+impl Fig1Series {
+    /// Renders the stacked bars as rows of `F`/`B`/`S`/`R` glyphs, forty
+    /// columns per workload — a terminal rendition of the paper's plot.
+    pub fn render(&self) -> String {
+        let mut out = format!("Top-Down stacks for {} (F=front end, B=back end, S=bad speculation, R=retiring)\n", self.benchmark);
+        const WIDTH: usize = 40;
+        for (workload, stack) in &self.stacks {
+            let mut bar = String::with_capacity(WIDTH);
+            let glyphs = ['F', 'B', 'S', 'R'];
+            let mut assigned = 0;
+            for (k, &fraction) in stack.iter().enumerate() {
+                let cells = if k == stack.len() - 1 {
+                    WIDTH - assigned
+                } else {
+                    (fraction * WIDTH as f64).round() as usize
+                };
+                let cells = cells.min(WIDTH - assigned);
+                bar.extend(std::iter::repeat(glyphs[k]).take(cells));
+                assigned += cells;
+            }
+            out.push_str(&format!("{workload:>24} |{bar}|\n"));
+        }
+        out
+    }
+
+    /// Renders the numeric series (one row per workload).
+    pub fn render_numeric(&self) -> String {
+        let header = vec![
+            "workload".to_owned(),
+            "front-end".to_owned(),
+            "back-end".to_owned(),
+            "bad-spec".to_owned(),
+            "retiring".to_owned(),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .stacks
+            .iter()
+            .map(|(w, s)| {
+                let mut row = vec![w.clone()];
+                row.extend(s.iter().map(|v| format!("{:.3}", v)));
+                row
+            })
+            .collect();
+        format_table(&header, &rows, Align::Right)
+    }
+
+    /// Mean absolute per-category deviation across workloads — a simple
+    /// visual-variation score used by the shape tests.
+    pub fn visual_variation(&self) -> f64 {
+        if self.stacks.is_empty() {
+            return 0.0;
+        }
+        let n = self.stacks.len() as f64;
+        let mut mean = [0.0f64; 4];
+        for (_, s) in &self.stacks {
+            for (m, v) in mean.iter_mut().zip(s) {
+                *m += v / n;
+            }
+        }
+        let mut dev = 0.0;
+        for (_, s) in &self.stacks {
+            for (m, v) in mean.iter().zip(s) {
+                dev += (v - m).abs();
+            }
+        }
+        dev / n
+    }
+}
+
+/// Figure 2 data: per-workload method coverage for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Fig2Series {
+    /// Benchmark short name.
+    pub benchmark: String,
+    /// Method names (columns), hottest overall first.
+    pub methods: Vec<String>,
+    /// `(workload, per-method percent)` rows, parallel to `methods`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+/// Extracts the Figure 2 series from a characterization.
+pub fn fig2_series(c: &Characterization) -> Fig2Series {
+    // Order methods by total coverage, hottest first.
+    let mut totals: std::collections::BTreeMap<&str, f64> = Default::default();
+    for run in &c.runs {
+        for (m, pct) in &run.coverage {
+            *totals.entry(m.as_str()).or_default() += pct;
+        }
+    }
+    let mut methods: Vec<String> = totals.keys().map(|s| (*s).to_owned()).collect();
+    methods.sort_by(|a, b| {
+        totals[b.as_str()]
+            .partial_cmp(&totals[a.as_str()])
+            .expect("finite totals")
+    });
+    let rows = c
+        .runs
+        .iter()
+        .map(|run| {
+            (
+                run.workload.clone(),
+                methods
+                    .iter()
+                    .map(|m| run.coverage.get(m).copied().unwrap_or(0.0))
+                    .collect(),
+            )
+        })
+        .collect();
+    Fig2Series {
+        benchmark: c.short_name.clone(),
+        methods,
+        rows,
+    }
+}
+
+impl Fig2Series {
+    /// Renders the coverage matrix as an aligned table.
+    pub fn render(&self) -> String {
+        let mut header = vec!["workload".to_owned()];
+        header.extend(self.methods.iter().cloned());
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(w, pcts)| {
+                let mut row = vec![w.clone()];
+                row.extend(pcts.iter().map(|p| format!("{p:.1}")));
+                row
+            })
+            .collect();
+        format!(
+            "Method coverage (% of work) for {}\n{}",
+            self.benchmark,
+            format_table(&header, &rows, Align::Right)
+        )
+    }
+
+    /// Per-method range (max − min percent across workloads) — the
+    /// quantity the paper's bar plots make visible.
+    pub fn method_ranges(&self) -> Vec<(String, f64)> {
+        self.methods
+            .iter()
+            .enumerate()
+            .map(|(j, m)| {
+                let col: Vec<f64> = self.rows.iter().map(|(_, p)| p[j]).collect();
+                let max = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
+                (m.clone(), max - min)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::Suite;
+    use alberta_workloads::Scale;
+
+    fn characterize(name: &str) -> Characterization {
+        Suite::new(Scale::Test).characterize(name).unwrap()
+    }
+
+    #[test]
+    fn fig1_bars_are_full_width_and_labelled() {
+        let c = characterize("xalancbmk");
+        let series = fig1_series(&c);
+        assert_eq!(series.stacks.len(), c.workload_count());
+        let rendering = series.render();
+        for line in rendering.lines().skip(1) {
+            let bar = line.split('|').nth(1).expect("bar present");
+            assert_eq!(bar.chars().count(), 40, "{line}");
+        }
+        assert!(series.render_numeric().contains("front-end"));
+    }
+
+    #[test]
+    fn fig2_orders_methods_hottest_first() {
+        let c = characterize("deepsjeng");
+        let series = fig2_series(&c);
+        assert!(!series.methods.is_empty());
+        // First method's total coverage is the largest.
+        let total = |j: usize| -> f64 { series.rows.iter().map(|(_, p)| p[j]).sum() };
+        for j in 1..series.methods.len() {
+            assert!(total(0) >= total(j) - 1e-9);
+        }
+        assert!(series.render().contains("deepsjeng"));
+        assert_eq!(series.method_ranges().len(), series.methods.len());
+    }
+
+    #[test]
+    fn visual_variation_is_zero_for_identical_stacks() {
+        let series = Fig1Series {
+            benchmark: "x".into(),
+            stacks: vec![
+                ("a".into(), [0.25, 0.25, 0.25, 0.25]),
+                ("b".into(), [0.25, 0.25, 0.25, 0.25]),
+            ],
+        };
+        assert_eq!(series.visual_variation(), 0.0);
+        let varied = Fig1Series {
+            benchmark: "y".into(),
+            stacks: vec![
+                ("a".into(), [0.5, 0.2, 0.1, 0.2]),
+                ("b".into(), [0.1, 0.5, 0.2, 0.2]),
+            ],
+        };
+        assert!(varied.visual_variation() > 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! `alberta-core`: the public facade of the Alberta Workloads
+//! reproduction.
+//!
+//! The paper's contribution is a *resource* — extra workloads and
+//! generators for the SPEC CPU 2017 suite — plus a summarization
+//! methodology for how much a benchmark's behaviour moves with its
+//! workload. This crate ties the reproduction's substrates together:
+//!
+//! * [`Suite`] — builds the fifteen mini-benchmarks with their train,
+//!   refrate, and Alberta workload sets, and runs the characterization
+//!   pipeline (instrumented execution → Top-Down model → geometric
+//!   summarization);
+//! * [`tables`] — regenerates Table I (SPEC 2006 → 2017 evolution) and
+//!   Table II (the per-benchmark behaviour-variation summary);
+//! * [`figures`] — regenerates Figure 1 (Top-Down stacks per workload)
+//!   and Figure 2 (method-coverage variation);
+//! * [`specdata`] — the published numbers from the paper, kept as data
+//!   for side-by-side comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use alberta_core::Suite;
+//! use alberta_workloads::Scale;
+//!
+//! # fn main() -> Result<(), alberta_core::CoreError> {
+//! let suite = Suite::new(Scale::Test);
+//! let chara = suite.characterize("xz")?;
+//! assert!(chara.topdown.mu_g_v >= 1.0);
+//! assert!(chara.runs.len() >= 3, "train + refrate + alberta workloads");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod characterize;
+pub mod figures;
+pub mod report;
+pub mod specdata;
+pub mod suite;
+pub mod tables;
+
+pub use characterize::{Characterization, WorkloadRun};
+pub use suite::{CoreError, Suite};
+
+// Re-export the layers users need to drive the facade.
+pub use alberta_benchmarks::{suite as benchmark_suite, Benchmark, BenchError, RunOutput};
+pub use alberta_profile::{Profiler, SampleConfig};
+pub use alberta_stats::{CoverageSummary, TopDownSummary};
+pub use alberta_uarch::{MachineConfig, PredictorKind, TopDownModel, TopDownReport};
+pub use alberta_workloads::Scale;

@@ -1,0 +1,103 @@
+//! Plain-text table rendering shared by the table/figure generators.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left.
+    Right,
+}
+
+/// Renders rows under a header with aligned, space-separated columns and
+/// a separator rule. Ragged rows are padded with empty cells.
+pub fn format_table(header: &[String], rows: &[Vec<String>], align: Align) -> String {
+    let columns = header
+        .len()
+        .max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let mut widths = vec![0usize; columns];
+    let measure = |widths: &mut Vec<usize>, row: &[String]| {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    };
+    measure(&mut widths, header);
+    for row in rows {
+        measure(&mut widths, row);
+    }
+    let render_row = |row: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, width) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = row.get(i).unwrap_or(&empty);
+            let pad = width - cell.chars().count();
+            match align {
+                Align::Left => {
+                    line.push_str(cell);
+                    line.extend(std::iter::repeat(' ').take(pad));
+                }
+                Align::Right => {
+                    line.extend(std::iter::repeat(' ').take(pad));
+                    line.push_str(cell);
+                }
+            }
+            if i + 1 < widths.len() {
+                line.push_str("  ");
+            }
+        }
+        line.trim_end().to_owned()
+    };
+    let mut out = render_row(header, &widths);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn columns_align_right() {
+        let t = format_table(
+            &s(&["name", "value"]),
+            &[s(&["a", "1"]), s(&["long", "12345"])],
+            Align::Right,
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].ends_with("value"));
+        assert!(lines[2].ends_with("    1"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn columns_align_left() {
+        let t = format_table(&s(&["h1", "h2"]), &[s(&["aa", "b"])], Align::Left);
+        assert!(t.starts_with("h1"));
+        assert!(t.contains("aa"));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let t = format_table(&s(&["a", "b", "c"]), &[s(&["1"])], Align::Right);
+        assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    fn separator_spans_all_columns() {
+        let t = format_table(&s(&["aa", "bb"]), &[], Align::Left);
+        let sep = t.lines().nth(1).unwrap();
+        assert!(sep.chars().all(|c| c == '-'));
+        assert_eq!(sep.len(), 2 + 2 + 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Published numbers from the paper, kept as data for side-by-side
+//! comparison with our measured reproduction.
+
+/// One row of the paper's Table I: the SPEC CPU INT 2006 → 2017
+/// evolution with official submitted times (seconds, 8 copies on an
+/// Intel Core i7-6700K at 4.2 GHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Application area as printed in the paper.
+    pub area: &'static str,
+    /// SPEC CPU 2017 benchmark (empty when absent).
+    pub spec2017: &'static str,
+    /// SPEC CPU 2006 benchmark (empty when absent).
+    pub spec2006: &'static str,
+    /// Official 2017 time in seconds (`None` when absent).
+    pub time2017: Option<f64>,
+    /// Official 2006 time in seconds (`None` when absent).
+    pub time2006: Option<f64>,
+}
+
+/// The paper's Table I.
+pub const TABLE1: [Table1Row; 13] = [
+    Table1Row { area: "Perl interpreter", spec2017: "500.perlbench_r", spec2006: "400.perlbench", time2017: Some(542.0), time2006: Some(425.0) },
+    Table1Row { area: "Compiler", spec2017: "502.gcc_r", spec2006: "403.gcc", time2017: Some(518.0), time2006: Some(346.0) },
+    Table1Row { area: "Route planning", spec2017: "505.mcf_r", spec2006: "429.mcf", time2017: Some(633.0), time2006: Some(333.0) },
+    Table1Row { area: "Discrete event simulation", spec2017: "520.omnetpp_r", spec2006: "471.omnetpp", time2017: Some(787.0), time2006: Some(483.0) },
+    Table1Row { area: "SML to HTML conversion", spec2017: "523.xalancbmk_r", spec2006: "483.xalancbmk", time2017: Some(323.0), time2006: Some(221.0) },
+    Table1Row { area: "Video compression", spec2017: "525.x264_r", spec2006: "464.h264ref", time2017: Some(379.0), time2006: Some(575.0) },
+    Table1Row { area: "AI: alpha-beta tree search", spec2017: "531.deepsjeng_r", spec2006: "458.sjeng", time2017: Some(373.0), time2006: Some(562.0) },
+    Table1Row { area: "AI: Sudoku recursive solution", spec2017: "548.exchange2_r", spec2006: "", time2017: Some(498.0), time2006: None },
+    Table1Row { area: "Data compression", spec2017: "557.xz_r", spec2006: "401.bzip2", time2017: Some(532.0), time2006: Some(681.0) },
+    Table1Row { area: "AI: Go game playing", spec2017: "541.leela_r", spec2006: "445.gobmk", time2017: Some(586.0), time2006: Some(506.0) },
+    Table1Row { area: "Search Gene Sequence", spec2017: "", spec2006: "456.hmmer", time2017: None, time2006: Some(202.0) },
+    Table1Row { area: "Physics: Quantum Computing", spec2017: "", spec2006: "462.libquantum", time2017: None, time2006: Some(65.0) },
+    Table1Row { area: "AI: path finding algorithm", spec2017: "", spec2006: "473.astar", time2017: None, time2006: Some(461.0) },
+];
+
+/// One row of the paper's Table II: geometric means/stds (means as
+/// fractions, not percent), the variation proxies, and the refrate time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Short benchmark name.
+    pub benchmark: &'static str,
+    /// Number of workloads characterized in the paper.
+    pub workloads: u32,
+    /// `μg` of front-end bound (fraction).
+    pub f_mean: f64,
+    /// `σg` of front-end bound.
+    pub f_std: f64,
+    /// `μg` of back-end bound.
+    pub b_mean: f64,
+    /// `σg` of back-end bound.
+    pub b_std: f64,
+    /// `μg` of bad speculation.
+    pub s_mean: f64,
+    /// `σg` of bad speculation.
+    pub s_std: f64,
+    /// `μg` of retiring.
+    pub r_mean: f64,
+    /// `σg` of retiring.
+    pub r_std: f64,
+    /// `μg(V)`.
+    pub mu_g_v: f64,
+    /// `μg(M)`.
+    pub mu_g_m: f64,
+    /// Refrate execution time in seconds (i7-2600, mean of 3 runs).
+    pub refrate_seconds: f64,
+}
+
+/// The paper's Table II, in print order.
+pub const TABLE2: [Table2Row; 15] = [
+    Table2Row { benchmark: "gcc", workloads: 19, f_mean: 0.234, f_std: 1.2, b_mean: 0.336, b_std: 1.2, s_mean: 0.119, s_std: 1.2, r_mean: 0.295, r_std: 1.1, mu_g_v: 5.1, mu_g_m: 25.0, refrate_seconds: 281.0 },
+    Table2Row { benchmark: "mcf", workloads: 7, f_mean: 0.141, f_std: 1.8, b_mean: 0.449, b_std: 1.3, s_mean: 0.153, s_std: 1.6, r_mean: 0.198, r_std: 1.2, mu_g_v: 6.9, mu_g_m: 1.0, refrate_seconds: 324.0 },
+    Table2Row { benchmark: "cactuBSSN", workloads: 11, f_mean: 0.204, f_std: 1.7, b_mean: 0.428, b_std: 1.4, s_mean: 0.002, s_std: 1.3, r_mean: 0.310, r_std: 1.1, mu_g_v: 17.1, mu_g_m: 1.0, refrate_seconds: 355.0 },
+    Table2Row { benchmark: "parest", workloads: 8, f_mean: 0.124, f_std: 1.1, b_mean: 0.260, b_std: 1.2, s_mean: 0.069, s_std: 1.3, r_mean: 0.537, r_std: 1.1, mu_g_v: 6.2, mu_g_m: 5.0, refrate_seconds: 449.0 },
+    Table2Row { benchmark: "povray", workloads: 10, f_mean: 0.094, f_std: 1.7, b_mean: 0.397, b_std: 1.5, s_mean: 0.088, s_std: 2.2, r_mean: 0.327, r_std: 1.4, mu_g_v: 9.2, mu_g_m: 66.0, refrate_seconds: 535.0 },
+    Table2Row { benchmark: "lbm", workloads: 30, f_mean: 0.019, f_std: 1.8, b_mean: 0.612, b_std: 1.1, s_mean: 0.004, s_std: 3.3, r_mean: 0.341, r_std: 1.3, mu_g_v: 27.4, mu_g_m: 59.0, refrate_seconds: 260.0 },
+    Table2Row { benchmark: "omnetpp", workloads: 10, f_mean: 0.091, f_std: 1.2, b_mean: 0.647, b_std: 1.1, s_mean: 0.081, s_std: 1.1, r_mean: 0.174, r_std: 1.2, mu_g_v: 6.8, mu_g_m: 17.0, refrate_seconds: 577.0 },
+    Table2Row { benchmark: "wrf", workloads: 16, f_mean: 0.071, f_std: 1.4, b_mean: 0.549, b_std: 1.1, s_mean: 0.043, s_std: 1.3, r_mean: 0.322, r_std: 1.0, mu_g_v: 7.8, mu_g_m: 4.0, refrate_seconds: 904.0 },
+    Table2Row { benchmark: "xalancbmk", workloads: 8, f_mean: 0.134, f_std: 1.8, b_mean: 0.427, b_std: 1.4, s_mean: 0.023, s_std: 2.4, r_mean: 0.337, r_std: 1.4, mu_g_v: 11.8, mu_g_m: 108.0, refrate_seconds: 263.0 },
+    Table2Row { benchmark: "blender", workloads: 16, f_mean: 0.171, f_std: 1.6, b_mean: 0.259, b_std: 1.4, s_mean: 0.113, s_std: 1.8, r_mean: 0.411, r_std: 1.1, mu_g_v: 6.7, mu_g_m: 44.0, refrate_seconds: 162.0 },
+    Table2Row { benchmark: "deepsjeng", workloads: 12, f_mean: 0.191, f_std: 1.1, b_mean: 0.274, b_std: 1.2, s_mean: 0.115, s_std: 1.1, r_mean: 0.412, r_std: 1.1, mu_g_v: 5.0, mu_g_m: 1.0, refrate_seconds: 316.0 },
+    Table2Row { benchmark: "leela", workloads: 12, f_mean: 0.169, f_std: 1.1, b_mean: 0.230, b_std: 1.1, s_mean: 0.276, s_std: 1.1, r_mean: 0.322, r_std: 1.0, mu_g_v: 4.3, mu_g_m: 1.0, refrate_seconds: 484.0 },
+    Table2Row { benchmark: "nab", workloads: 11, f_mean: 0.036, f_std: 1.4, b_mean: 0.553, b_std: 1.1, s_mean: 0.075, s_std: 1.3, r_mean: 0.330, r_std: 1.0, mu_g_v: 7.9, mu_g_m: 2.0, refrate_seconds: 476.0 },
+    Table2Row { benchmark: "exchange2", workloads: 13, f_mean: 0.139, f_std: 1.0, b_mean: 0.224, b_std: 1.0, s_mean: 0.051, s_std: 1.1, r_mean: 0.586, r_std: 1.0, mu_g_v: 5.9, mu_g_m: 1.0, refrate_seconds: 920.0 },
+    Table2Row { benchmark: "xz", workloads: 12, f_mean: 0.117, f_std: 1.1, b_mean: 0.428, b_std: 1.2, s_mean: 0.165, s_std: 1.3, r_mean: 0.272, r_std: 1.2, mu_g_v: 5.5, mu_g_m: 23.0, refrate_seconds: 352.0 },
+];
+
+/// Looks up the paper's Table II row by short name.
+pub fn paper_row(benchmark: &str) -> Option<&'static Table2Row> {
+    TABLE2.iter().find(|r| r.benchmark == benchmark)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_means_are_fractions_that_roughly_sum_to_one() {
+        for row in &TABLE2 {
+            let sum = row.f_mean + row.b_mean + row.s_mean + row.r_mean;
+            // Geometric means of components do not sum exactly to 1, but
+            // the paper's data stays near it.
+            assert!(
+                (0.75..=1.1).contains(&sum),
+                "{}: component means sum to {sum}",
+                row.benchmark
+            );
+        }
+    }
+
+    #[test]
+    fn mu_g_v_is_consistent_with_component_stats() {
+        // μg(V) = gmean(σg/μg per category) must reproduce the printed
+        // value within print rounding.
+        for row in &TABLE2 {
+            let v = [
+                row.f_std / row.f_mean,
+                row.b_std / row.b_mean,
+                row.s_std / row.s_mean,
+                row.r_std / row.r_mean,
+            ];
+            let gmean = v.iter().product::<f64>().powf(0.25);
+            let rel = (gmean - row.mu_g_v).abs() / row.mu_g_v;
+            assert!(
+                rel < 0.35,
+                "{}: recomputed {gmean:.1} vs printed {:.1}",
+                row.benchmark,
+                row.mu_g_v
+            );
+        }
+    }
+
+    #[test]
+    fn paper_highlights_hold_in_the_data() {
+        // The relationships the paper calls out in prose.
+        let xalanc = paper_row("xalancbmk").unwrap();
+        let xz = paper_row("xz").unwrap();
+        assert!(xalanc.mu_g_v > xz.mu_g_v, "Fig. 1's contrast");
+        let lbm = paper_row("lbm").unwrap();
+        assert!(lbm.s_mean < 0.01 && lbm.s_std > 3.0, "lbm's inflation case");
+        assert!(lbm.mu_g_v > 20.0);
+        let leela = paper_row("leela").unwrap();
+        assert!(
+            TABLE2.iter().all(|r| r.mu_g_v >= leela.mu_g_v),
+            "leela has the smallest mu_g_v"
+        );
+    }
+
+    #[test]
+    fn table1_lookup_and_shape() {
+        assert_eq!(TABLE1.len(), 13);
+        let with_both = TABLE1
+            .iter()
+            .filter(|r| r.time2017.is_some() && r.time2006.is_some())
+            .count();
+        assert_eq!(with_both, 9);
+        assert!(paper_row("gcc").is_some());
+        assert!(paper_row("x264").is_none(), "x264 is not in Table II");
+    }
+}

@@ -1,0 +1,178 @@
+//! The [`Suite`] orchestrator.
+
+use crate::characterize::{characterize_benchmark, Characterization};
+use alberta_benchmarks::{suite as build_benchmarks, BenchError, Benchmark};
+use alberta_profile::SampleConfig;
+use alberta_uarch::TopDownModel;
+use alberta_workloads::Scale;
+use std::error::Error;
+use std::fmt;
+
+/// Error from suite-level operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// No benchmark with the given short name.
+    UnknownBenchmark {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A benchmark run failed.
+    Run(BenchError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownBenchmark { name } => {
+                write!(f, "no benchmark named {name:?} in the suite")
+            }
+            CoreError::Run(e) => write!(f, "benchmark run failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Run(e) => Some(e),
+            CoreError::UnknownBenchmark { .. } => None,
+        }
+    }
+}
+
+impl From<BenchError> for CoreError {
+    fn from(e: BenchError) -> Self {
+        CoreError::Run(e)
+    }
+}
+
+/// The full benchmark suite plus the measurement configuration.
+pub struct Suite {
+    benchmarks: Vec<Box<dyn Benchmark>>,
+    model: TopDownModel,
+    sampling: SampleConfig,
+    scale: Scale,
+}
+
+impl Suite {
+    /// Builds the suite at a scale with the reference machine model.
+    pub fn new(scale: Scale) -> Self {
+        Suite {
+            benchmarks: build_benchmarks(scale),
+            model: TopDownModel::reference(),
+            sampling: SampleConfig::default(),
+            scale,
+        }
+    }
+
+    /// Overrides the microarchitecture model (predictor/latency ablations).
+    pub fn with_model(mut self, model: TopDownModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Overrides the event-sampling configuration.
+    pub fn with_sampling(mut self, sampling: SampleConfig) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// The scale this suite was built at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The benchmarks, in Table II order.
+    pub fn benchmarks(&self) -> &[Box<dyn Benchmark>] {
+        &self.benchmarks
+    }
+
+    /// Looks a benchmark up by short name (`"mcf"`) or SPEC id
+    /// (`"505.mcf_r"`).
+    pub fn benchmark(&self, name: &str) -> Option<&dyn Benchmark> {
+        self.benchmarks
+            .iter()
+            .find(|b| b.short_name() == name || b.name() == name)
+            .map(|b| b.as_ref())
+    }
+
+    /// Characterizes one benchmark across all of its workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownBenchmark`] for an unknown name or
+    /// [`CoreError::Run`] when a workload fails.
+    pub fn characterize(&self, name: &str) -> Result<Characterization, CoreError> {
+        let benchmark = self
+            .benchmark(name)
+            .ok_or_else(|| CoreError::UnknownBenchmark {
+                name: name.to_owned(),
+            })?;
+        characterize_benchmark(benchmark, &self.model, self.sampling)
+    }
+
+    /// Characterizes the whole suite in Table II order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure encountered.
+    pub fn characterize_all(&self) -> Result<Vec<Characterization>, CoreError> {
+        self.benchmarks
+            .iter()
+            .map(|b| characterize_benchmark(b.as_ref(), &self.model, self.sampling))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Suite")
+            .field("benchmarks", &self.benchmarks.len())
+            .field("scale", &self.scale)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_fifteen_benchmarks() {
+        let s = Suite::new(Scale::Test);
+        assert_eq!(s.benchmarks().len(), 15);
+        assert_eq!(s.scale(), Scale::Test);
+    }
+
+    #[test]
+    fn lookup_by_both_names() {
+        let s = Suite::new(Scale::Test);
+        assert!(s.benchmark("mcf").is_some());
+        assert!(s.benchmark("505.mcf_r").is_some());
+        assert!(s.benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_benchmark_errors() {
+        let s = Suite::new(Scale::Test);
+        let err = s.characterize("missing").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn characterize_one_benchmark_end_to_end() {
+        let s = Suite::new(Scale::Test);
+        let c = s.characterize("exchange2").unwrap();
+        assert_eq!(c.spec_id, "548.exchange2_r");
+        assert!(c.runs.len() >= 12, "train + refrate + 10 alberta");
+        // Every run's ratios sum to one.
+        for run in &c.runs {
+            let sum: f64 = run.report.ratios.as_array().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}", run.workload);
+        }
+        assert!(c.topdown.mu_g_v >= 1.0);
+        assert!(c.coverage.mu_g_m > 0.0);
+        assert!(c.refrate_cycles > 0.0);
+    }
+}

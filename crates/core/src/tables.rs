@@ -1,0 +1,235 @@
+//! Regeneration of the paper's tables.
+
+use crate::characterize::Characterization;
+use crate::report::{format_table, Align};
+use crate::specdata::{self, Table1Row};
+use crate::suite::{CoreError, Suite};
+
+/// One measured row of the reproduced Table II.
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// Short benchmark name.
+    pub benchmark: String,
+    /// Workloads characterized.
+    pub workloads: usize,
+    /// `(μg, σg)` for front-end bound.
+    pub f: (f64, f64),
+    /// `(μg, σg)` for back-end bound.
+    pub b: (f64, f64),
+    /// `(μg, σg)` for bad speculation.
+    pub s: (f64, f64),
+    /// `(μg, σg)` for retiring.
+    pub r: (f64, f64),
+    /// `μg(V)`.
+    pub mu_g_v: f64,
+    /// `μg(M)`.
+    pub mu_g_m: f64,
+    /// Modelled refrate cycles (time analogue).
+    pub refrate_cycles: f64,
+}
+
+impl MeasuredRow {
+    /// Builds the row from a characterization.
+    pub fn from_characterization(c: &Characterization) -> Self {
+        MeasuredRow {
+            benchmark: c.short_name.clone(),
+            workloads: c.workload_count(),
+            f: (c.topdown.front_end.geo_mean, c.topdown.front_end.geo_std),
+            b: (c.topdown.back_end.geo_mean, c.topdown.back_end.geo_std),
+            s: (
+                c.topdown.bad_speculation.geo_mean,
+                c.topdown.bad_speculation.geo_std,
+            ),
+            r: (c.topdown.retiring.geo_mean, c.topdown.retiring.geo_std),
+            mu_g_v: c.topdown.mu_g_v,
+            mu_g_m: c.coverage.mu_g_m,
+            refrate_cycles: c.refrate_cycles,
+        }
+    }
+}
+
+/// The reproduced Table II.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Measured rows in Table II order.
+    pub rows: Vec<MeasuredRow>,
+}
+
+/// Characterizes the whole suite and assembles Table II.
+///
+/// # Errors
+///
+/// Propagates any benchmark failure.
+pub fn table2(suite: &Suite) -> Result<Table2, CoreError> {
+    let rows = suite
+        .characterize_all()?
+        .iter()
+        .map(MeasuredRow::from_characterization)
+        .collect();
+    Ok(Table2 { rows })
+}
+
+impl Table2 {
+    /// Renders the measured table in the paper's layout.
+    pub fn render(&self) -> String {
+        let header = vec![
+            "Benchmark".to_owned(),
+            "#wl".to_owned(),
+            "f μg%".to_owned(),
+            "f σg".to_owned(),
+            "b μg%".to_owned(),
+            "b σg".to_owned(),
+            "s μg%".to_owned(),
+            "s σg".to_owned(),
+            "r μg%".to_owned(),
+            "r σg".to_owned(),
+            "μg(V)".to_owned(),
+            "μg(M)".to_owned(),
+            "ref Mcyc".to_owned(),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.benchmark.clone(),
+                    r.workloads.to_string(),
+                    format!("{:.1}", r.f.0 * 100.0),
+                    format!("{:.1}", r.f.1),
+                    format!("{:.1}", r.b.0 * 100.0),
+                    format!("{:.1}", r.b.1),
+                    format!("{:.1}", r.s.0 * 100.0),
+                    format!("{:.1}", r.s.1),
+                    format!("{:.1}", r.r.0 * 100.0),
+                    format!("{:.1}", r.r.1),
+                    format!("{:.1}", r.mu_g_v),
+                    format!("{:.1}", r.mu_g_m),
+                    format!("{:.2}", r.refrate_cycles / 1e6),
+                ]
+            })
+            .collect();
+        format_table(&header, &rows, Align::Right)
+    }
+
+    /// Renders measured vs paper side by side for the headline columns.
+    pub fn render_comparison(&self) -> String {
+        let header = vec![
+            "Benchmark".to_owned(),
+            "#wl (paper)".to_owned(),
+            "μg(V) meas".to_owned(),
+            "μg(V) paper".to_owned(),
+            "μg(M) meas".to_owned(),
+            "μg(M) paper".to_owned(),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let paper = specdata::paper_row(&r.benchmark);
+                vec![
+                    r.benchmark.clone(),
+                    format!(
+                        "{} ({})",
+                        r.workloads,
+                        paper.map(|p| p.workloads.to_string()).unwrap_or_default()
+                    ),
+                    format!("{:.1}", r.mu_g_v),
+                    paper.map(|p| format!("{:.1}", p.mu_g_v)).unwrap_or_default(),
+                    format!("{:.1}", r.mu_g_m),
+                    paper.map(|p| format!("{:.1}", p.mu_g_m)).unwrap_or_default(),
+                ]
+            })
+            .collect();
+        format_table(&header, &rows, Align::Right)
+    }
+
+    /// Measured row by benchmark short name.
+    pub fn row(&self, benchmark: &str) -> Option<&MeasuredRow> {
+        self.rows.iter().find(|r| r.benchmark == benchmark)
+    }
+}
+
+/// The reproduced Table I: the paper's published columns plus our
+/// mini-benchmark refrate cycles where a 2017 analogue exists.
+pub fn table1(suite: &Suite) -> Result<String, CoreError> {
+    let header = vec![
+        "Application Area".to_owned(),
+        "SPEC 2017".to_owned(),
+        "SPEC 2006".to_owned(),
+        "2017 s".to_owned(),
+        "2006 s".to_owned(),
+        "mini Mcyc".to_owned(),
+    ];
+    let mut rows = Vec::new();
+    for row in &specdata::TABLE1 {
+        rows.push(table1_row(suite, row)?);
+    }
+    // The paper closes with the arithmetic average of the times.
+    let avg = |sel: fn(&Table1Row) -> Option<f64>| -> f64 {
+        let v: Vec<f64> = specdata::TABLE1.iter().filter_map(sel).collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    rows.push(vec![
+        "Arithmetic Average of Times".to_owned(),
+        String::new(),
+        String::new(),
+        format!("{:.0}", avg(|r| r.time2017)),
+        format!("{:.0}", avg(|r| r.time2006)),
+        String::new(),
+    ]);
+    Ok(format_table(&header, &rows, Align::Left))
+}
+
+fn table1_row(suite: &Suite, row: &Table1Row) -> Result<Vec<String>, CoreError> {
+    // Our measured column: modelled refrate cycles of the matching mini.
+    let mini = row
+        .spec2017
+        .split('.')
+        .nth(1)
+        .map(|s| s.trim_end_matches("_r"))
+        .filter(|s| suite.benchmark(s).is_some());
+    let measured = match mini {
+        Some(name) => {
+            let c = suite.characterize(name)?;
+            format!("{:.2}", c.refrate_cycles / 1e6)
+        }
+        None => String::new(),
+    };
+    Ok(vec![
+        row.area.to_owned(),
+        row.spec2017.to_owned(),
+        row.spec2006.to_owned(),
+        row.time2017.map(|t| format!("{t:.0}")).unwrap_or_default(),
+        row.time2006.map(|t| format!("{t:.0}")).unwrap_or_default(),
+        measured,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alberta_workloads::Scale;
+
+    #[test]
+    fn table1_renders_with_published_and_measured_columns() {
+        let suite = Suite::new(Scale::Test);
+        let t = table1(&suite).unwrap();
+        assert!(t.contains("502.gcc_r"));
+        assert!(t.contains("Arithmetic Average"));
+        assert!(t.contains("517"), "paper's 2017 average");
+        assert!(t.contains("405"), "paper's 2006 average");
+        // perlbench has no mini: its measured cell is empty, gcc's is not.
+        let gcc_line = t.lines().find(|l| l.contains("502.gcc_r")).unwrap();
+        assert!(gcc_line.split_whitespace().count() >= 6);
+    }
+
+    #[test]
+    fn measured_row_mirrors_characterization() {
+        let suite = Suite::new(Scale::Test);
+        let c = suite.characterize("xz").unwrap();
+        let row = MeasuredRow::from_characterization(&c);
+        assert_eq!(row.benchmark, "xz");
+        assert_eq!(row.workloads, c.workload_count());
+        assert!((row.mu_g_v - c.topdown.mu_g_v).abs() < 1e-12);
+    }
+}

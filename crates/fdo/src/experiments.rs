@@ -1,0 +1,273 @@
+//! The methodology experiments the paper motivates.
+//!
+//! Three protocols are compared on the same program and workload family:
+//!
+//! 1. **Classic train→ref** — the criticized SPEC methodology: one
+//!    training workload, one evaluation workload, one reported number.
+//! 2. **Cross-validation** — leave-one-out over the full Alberta-style
+//!    workload set (Berube & Amaral's recommendation).
+//! 3. **Combined profiles** — merge the profiles of all training
+//!    workloads before recompiling.
+//!
+//! Plus the **hidden-learning** experiment: tuning a compiler heuristic
+//! (the inline budget) on the same workloads used for evaluation versus
+//! on held-out workloads.
+
+use crate::measure::{speedup, FdoPipeline, Measurement};
+use crate::FdoError;
+use alberta_stats::Summary;
+use alberta_workloads::Named;
+
+/// Result of the classic single-train/single-eval protocol, contrasted
+/// with how the same binary fares across every other workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassicOutcome {
+    /// The one number a classic paper would report.
+    pub reported_speedup: f64,
+    /// Speedup of the same FDO binary on every workload (name, speedup).
+    pub actual_speedups: Vec<(String, f64)>,
+    /// Summary over `actual_speedups`.
+    pub summary: Summary,
+}
+
+/// Classic protocol: train on `train`, report speedup on `reference`,
+/// then audit on `all` workloads.
+///
+/// # Errors
+///
+/// Returns [`FdoError`] on any compile/run failure.
+pub fn classic_train_ref(
+    pipeline: &FdoPipeline,
+    train: &Named<Vec<i64>>,
+    reference: &Named<Vec<i64>>,
+    all: &[Named<Vec<i64>>],
+) -> Result<ClassicOutcome, FdoError> {
+    let profile = pipeline.collect_profile(std::slice::from_ref(&train.workload))?;
+    let options = pipeline.guided_options(&profile);
+    let measure_pair = |input: &[i64]| -> Result<(Measurement, Measurement), FdoError> {
+        Ok((
+            pipeline.measure_baseline(input)?,
+            pipeline.measure_with_options(&options, input)?,
+        ))
+    };
+    let (base_ref, fdo_ref) = measure_pair(&reference.workload)?;
+    let reported_speedup = speedup(&base_ref, &fdo_ref);
+    let mut actual_speedups = Vec::with_capacity(all.len());
+    for w in all {
+        let (base, fdo) = measure_pair(&w.workload)?;
+        actual_speedups.push((w.name.clone(), speedup(&base, &fdo)));
+    }
+    let samples: Vec<f64> = actual_speedups.iter().map(|(_, s)| *s).collect();
+    let summary = Summary::from_samples(&samples).expect("non-empty workload set");
+    Ok(ClassicOutcome {
+        reported_speedup,
+        actual_speedups,
+        summary,
+    })
+}
+
+/// One fold of the cross-validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fold {
+    /// The held-out evaluation workload.
+    pub eval_name: String,
+    /// Speedup on the held-out workload after training on all others.
+    pub speedup: f64,
+}
+
+/// Leave-one-out cross-validation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValidation {
+    /// Per-fold results.
+    pub folds: Vec<Fold>,
+    /// Summary over fold speedups.
+    pub summary: Summary,
+}
+
+/// Leave-one-out cross-validation with combined training profiles — the
+/// evaluation protocol the Alberta Workloads enable.
+///
+/// # Errors
+///
+/// Returns [`FdoError::NotEnoughWorkloads`] for fewer than three
+/// workloads, or any compile/run failure.
+pub fn cross_validate(
+    pipeline: &FdoPipeline,
+    workloads: &[Named<Vec<i64>>],
+) -> Result<CrossValidation, FdoError> {
+    if workloads.len() < 3 {
+        return Err(FdoError::NotEnoughWorkloads {
+            got: workloads.len(),
+            need: 3,
+        });
+    }
+    let mut folds = Vec::with_capacity(workloads.len());
+    for (i, held_out) in workloads.iter().enumerate() {
+        let training: Vec<Vec<i64>> = workloads
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, w)| w.workload.clone())
+            .collect();
+        let base = pipeline.measure_baseline(&held_out.workload)?;
+        let fdo = pipeline.measure_fdo(&training, &held_out.workload)?;
+        folds.push(Fold {
+            eval_name: held_out.name.clone(),
+            speedup: speedup(&base, &fdo),
+        });
+    }
+    let samples: Vec<f64> = folds.iter().map(|f| f.speedup).collect();
+    let summary = Summary::from_samples(&samples).expect("non-empty folds");
+    Ok(CrossValidation { folds, summary })
+}
+
+/// Result of the hidden-learning experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HiddenLearning {
+    /// The inline budget chosen by tuning on the evaluation set itself.
+    pub tuned_on_eval_budget: usize,
+    /// Mean speedup that tuning *reports* (evaluated on the tuning set).
+    pub tuned_on_eval_speedup: f64,
+    /// The budget chosen on a disjoint tuning set.
+    pub tuned_held_out_budget: usize,
+    /// Mean speedup of the held-out-tuned configuration on the eval set —
+    /// the honest number.
+    pub tuned_held_out_speedup: f64,
+}
+
+/// The hidden-learning experiment: sweep the compiler's inline budget.
+/// "Dishonest" tuning picks the budget that maximizes mean speedup on
+/// `eval_set` itself; "honest" tuning picks it on `tune_set` and then
+/// evaluates on `eval_set`.
+///
+/// # Errors
+///
+/// Returns [`FdoError::NotEnoughWorkloads`] when either set is empty, or
+/// any compile/run failure.
+pub fn hidden_learning(
+    pipeline: &FdoPipeline,
+    budgets: &[usize],
+    tune_set: &[Named<Vec<i64>>],
+    eval_set: &[Named<Vec<i64>>],
+) -> Result<HiddenLearning, FdoError> {
+    if tune_set.is_empty() || eval_set.is_empty() || budgets.is_empty() {
+        return Err(FdoError::NotEnoughWorkloads {
+            got: tune_set.len().min(eval_set.len()),
+            need: 1,
+        });
+    }
+    let mean_speedup = |budget: usize, set: &[Named<Vec<i64>>]| -> Result<f64, FdoError> {
+        let mut options = pipeline.baseline_options.clone();
+        options.inline_budget = budget;
+        options.inline_calls = budget > 0;
+        let mut total = 0.0;
+        for w in set {
+            let base = pipeline.measure_baseline(&w.workload)?;
+            let opt = pipeline.measure_with_options(&options, &w.workload)?;
+            total += speedup(&base, &opt);
+        }
+        Ok(total / set.len() as f64)
+    };
+    let argmax = |set: &[Named<Vec<i64>>]| -> Result<(usize, f64), FdoError> {
+        let mut best = (budgets[0], f64::NEG_INFINITY);
+        for &b in budgets {
+            let s = mean_speedup(b, set)?;
+            if s > best.1 {
+                best = (b, s);
+            }
+        }
+        Ok(best)
+    };
+    let (eval_budget, eval_reported) = argmax(eval_set)?;
+    let (held_budget, _) = argmax(tune_set)?;
+    let honest = mean_speedup(held_budget, eval_set)?;
+    Ok(HiddenLearning {
+        tuned_on_eval_budget: eval_budget,
+        tuned_on_eval_speedup: eval_reported,
+        tuned_held_out_budget: held_budget,
+        tuned_held_out_speedup: honest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{alberta_inputs, classifier_program, Distribution, InputGen};
+
+    fn pipeline() -> FdoPipeline {
+        FdoPipeline::new(&classifier_program(4, &[1, 4, 20, 48])).unwrap()
+    }
+
+    fn named(name: &str, dist: Distribution, seed: u64) -> Named<Vec<i64>> {
+        Named::new(
+            name,
+            InputGen {
+                len: 80,
+                distribution: dist,
+            }
+            .generate(seed),
+        )
+    }
+
+    #[test]
+    fn classic_protocol_reports_one_number_but_spread_exists() {
+        let p = pipeline();
+        let train = named("train", Distribution::SkewLow, 1);
+        let reference = named("ref", Distribution::SkewLow, 2);
+        let all = vec![
+            named("w.low", Distribution::SkewLow, 3),
+            named("w.high", Distribution::SkewHigh, 4),
+            named("w.uniform", Distribution::Uniform, 5),
+            named("w.bimodal", Distribution::Bimodal, 6),
+        ];
+        let outcome = classic_train_ref(&p, &train, &reference, &all).unwrap();
+        assert!(outcome.reported_speedup > 0.9);
+        assert_eq!(outcome.actual_speedups.len(), 4);
+        // The audited range must show spread: the reported number is not
+        // representative of every workload (the paper's core claim).
+        assert!(outcome.summary.range() > 0.0);
+    }
+
+    #[test]
+    fn cross_validation_produces_one_fold_per_workload() {
+        let p = pipeline();
+        let workloads = alberta_inputs(80, 5);
+        let cv = cross_validate(&p, &workloads).unwrap();
+        assert_eq!(cv.folds.len(), 5);
+        for f in &cv.folds {
+            assert!(f.speedup > 0.5 && f.speedup < 2.0, "{f:?}");
+        }
+        assert!(cv.summary.mean() > 0.8);
+    }
+
+    #[test]
+    fn cross_validation_needs_three_workloads() {
+        let p = pipeline();
+        let too_few = alberta_inputs(80, 2);
+        assert!(matches!(
+            cross_validate(&p, &too_few),
+            Err(FdoError::NotEnoughWorkloads { .. })
+        ));
+    }
+
+    #[test]
+    fn hidden_learning_self_tuning_never_loses() {
+        let p = pipeline();
+        let tune = vec![
+            named("t.low", Distribution::SkewLow, 7),
+            named("t.peak", Distribution::Peak { center: 20 }, 8),
+        ];
+        let eval = vec![
+            named("e.high", Distribution::SkewHigh, 9),
+            named("e.peak", Distribution::Peak { center: 80 }, 10),
+        ];
+        let budgets = [0usize, 2, 8, 32];
+        let h = hidden_learning(&p, &budgets, &tune, &eval).unwrap();
+        // Tuning on the eval set can, by construction, never do worse on
+        // the eval set than the honestly tuned configuration.
+        assert!(
+            h.tuned_on_eval_speedup >= h.tuned_held_out_speedup - 1e-12,
+            "{h:?}"
+        );
+    }
+}

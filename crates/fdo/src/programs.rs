@@ -1,0 +1,229 @@
+//! Input-sensitive mini-C programs and input-workload generators.
+//!
+//! FDO only matters for programs whose hot paths depend on their input.
+//! [`classifier_program`] emits a bucketing program: every input value is
+//! dispatched to one of several per-bucket helper functions of very
+//! different code sizes. Which helper is hot — and therefore which
+//! function layout and inlining decisions pay off — depends entirely on
+//! the input's value distribution, which [`InputGen`] controls.
+
+use alberta_workloads::{Named, SeededRng};
+
+/// Emits the classifier program: `buckets` value ranges over `0..100`,
+/// each handled by a helper whose body runs `helper_sizes[i]` loop
+/// iterations (standing in for code size/complexity).
+///
+/// The program reads `input[]` (filled by the harness), accumulates a
+/// checksum, and maintains a histogram so no helper is dead code.
+///
+/// # Panics
+///
+/// Panics if `buckets` is zero or `helper_sizes.len() != buckets`.
+pub fn classifier_program(buckets: usize, helper_sizes: &[usize]) -> String {
+    assert!(buckets > 0, "need at least one bucket");
+    assert_eq!(helper_sizes.len(), buckets, "one size per bucket");
+    let mut src = String::new();
+    src.push_str("int input[256];\nint input_len = 256;\nint hist[16];\n");
+    for (i, &size) in helper_sizes.iter().enumerate() {
+        // Each helper has distinct arithmetic so profiles differ, plus a
+        // size-proportional loop so inlining/layout decisions matter.
+        src.push_str(&format!(
+            "int bucket{i}(int v) {{\n  int acc = v + {i};\n  int j = 0;\n  while (j < {size}) {{\n    acc = (acc * 3 + j + {mult}) % 9973;\n    j = j + 1;\n  }}\n  return acc;\n}}\n",
+            mult = 7 + i * 13,
+        ));
+    }
+    src.push_str("int main() {\n  int acc = 0;\n  int i = 0;\n  while (i < input_len) {\n    int v = input[i];\n");
+    let step = 100 / buckets;
+    for i in 0..buckets {
+        let bound = (i + 1) * step;
+        if i + 1 < buckets {
+            src.push_str(&format!(
+                "    if (v < {bound}) {{\n      acc = acc + bucket{i}(v);\n    }} else {{\n"
+            ));
+        } else {
+            src.push_str(&format!("    acc = acc + bucket{i}(v);\n"));
+        }
+    }
+    for _ in 0..buckets - 1 {
+        src.push_str("    }\n");
+    }
+    src.push_str(
+        "    hist[v % 16] = hist[v % 16] + 1;\n    i = i + 1;\n  }\n  int k = 0;\n  while (k < 16) {\n    acc = acc + hist[k] * k;\n    k = k + 1;\n  }\n  return acc % 100000;\n}\n",
+    );
+    src
+}
+
+/// Input value distributions over `0..100`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform over the full range.
+    Uniform,
+    /// Concentrated in the low buckets.
+    SkewLow,
+    /// Concentrated in the high buckets.
+    SkewHigh,
+    /// Two peaks at the extremes.
+    Bimodal,
+    /// Concentrated around one centre value.
+    Peak {
+        /// Centre of the peak in `0..100`.
+        center: u32,
+    },
+}
+
+/// Generates input arrays for the classifier program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputGen {
+    /// Number of input values (≤ 256, the program's buffer).
+    pub len: usize,
+    /// Value distribution.
+    pub distribution: Distribution,
+}
+
+impl InputGen {
+    /// Generates one input workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or exceeds 256.
+    pub fn generate(&self, seed: u64) -> Vec<i64> {
+        assert!((1..=256).contains(&self.len), "len must be 1..=256");
+        let mut rng = SeededRng::new(seed);
+        (0..self.len)
+            .map(|_| {
+                let v = match self.distribution {
+                    Distribution::Uniform => rng.below(100),
+                    Distribution::SkewLow => {
+                        let a = rng.below(100);
+                        let b = rng.below(100);
+                        a.min(b).min(rng.below(100))
+                    }
+                    Distribution::SkewHigh => {
+                        let a = rng.below(100);
+                        let b = rng.below(100);
+                        a.max(b).max(rng.below(100))
+                    }
+                    Distribution::Bimodal => {
+                        if rng.chance(0.5) {
+                            rng.below(15)
+                        } else {
+                            85 + rng.below(15)
+                        }
+                    }
+                    Distribution::Peak { center } => {
+                        let spread = rng.below(10) as i64 - 5;
+                        (center as i64 + spread).clamp(0, 99) as u64
+                    }
+                };
+                v as i64
+            })
+            .collect()
+    }
+}
+
+/// The standard Alberta-style workload family for the FDO experiments:
+/// one named input per distribution plus seeded duplicates, `count` total.
+pub fn alberta_inputs(len: usize, count: usize) -> Vec<Named<Vec<i64>>> {
+    let shapes = [
+        ("uniform", Distribution::Uniform),
+        ("skewlow", Distribution::SkewLow),
+        ("skewhigh", Distribution::SkewHigh),
+        ("bimodal", Distribution::Bimodal),
+        ("peak20", Distribution::Peak { center: 20 }),
+        ("peak50", Distribution::Peak { center: 50 }),
+        ("peak80", Distribution::Peak { center: 80 }),
+    ];
+    (0..count)
+        .map(|i| {
+            let (name, dist) = shapes[i % shapes.len()];
+            let gen = InputGen {
+                len,
+                distribution: dist,
+            };
+            Named::new(format!("alberta.{name}.{}", i / shapes.len()), gen.generate(0xFD0 + i as u64))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alberta_benchmarks::minigcc::{lex, parse};
+
+    #[test]
+    fn classifier_program_parses() {
+        let src = classifier_program(4, &[2, 5, 9, 20]);
+        let program = parse(&lex(&src).unwrap()).unwrap();
+        assert!(program.function("main").is_some());
+        assert!(program.function("bucket0").is_some());
+        assert!(program.function("bucket3").is_some());
+    }
+
+    #[test]
+    fn distributions_shape_values() {
+        let low = InputGen {
+            len: 200,
+            distribution: Distribution::SkewLow,
+        }
+        .generate(1);
+        let high = InputGen {
+            len: 200,
+            distribution: Distribution::SkewHigh,
+        }
+        .generate(1);
+        let mean = |v: &[i64]| v.iter().sum::<i64>() as f64 / v.len() as f64;
+        assert!(mean(&low) < 35.0, "skew-low mean {}", mean(&low));
+        assert!(mean(&high) > 65.0, "skew-high mean {}", mean(&high));
+        let peak = InputGen {
+            len: 200,
+            distribution: Distribution::Peak { center: 50 },
+        }
+        .generate(2);
+        assert!(peak.iter().all(|&v| (44..=56).contains(&v)));
+    }
+
+    #[test]
+    fn bimodal_avoids_the_middle() {
+        let v = InputGen {
+            len: 256,
+            distribution: Distribution::Bimodal,
+        }
+        .generate(3);
+        assert!(v.iter().all(|&x| x < 15 || x >= 85));
+        assert!(v.iter().any(|&x| x < 15));
+        assert!(v.iter().any(|&x| x >= 85));
+    }
+
+    #[test]
+    fn values_stay_in_range() {
+        for dist in [
+            Distribution::Uniform,
+            Distribution::SkewLow,
+            Distribution::SkewHigh,
+            Distribution::Bimodal,
+            Distribution::Peak { center: 3 },
+            Distribution::Peak { center: 99 },
+        ] {
+            let v = InputGen {
+                len: 128,
+                distribution: dist,
+            }
+            .generate(9);
+            assert!(v.iter().all(|&x| (0..100).contains(&x)), "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn alberta_inputs_are_named_and_counted() {
+        let set = alberta_inputs(64, 10);
+        assert_eq!(set.len(), 10);
+        assert!(set[0].name.starts_with("alberta."));
+        assert_ne!(set[0].workload, set[7].workload);
+    }
+
+    #[test]
+    #[should_panic(expected = "one size per bucket")]
+    fn mismatched_sizes_panic() {
+        let _ = classifier_program(3, &[1, 2]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Sampled event traces.
+//!
+//! A full instruction trace of even a reduced benchmark run is billions of
+//! events; the paper's hardware counters face the same constraint and
+//! sample. [`EventTrace`] keeps every Nth event of each kind and remembers
+//! the sampling interval so downstream consumers can weight replayed events
+//! accordingly. When the buffer reaches its capacity it *decimates*: every
+//! other retained event is dropped and the go-forward interval doubles,
+//! which keeps the retained events (approximately) uniformly spread over
+//! the whole execution instead of truncating its tail.
+
+use crate::profiler::FnId;
+
+/// One sampled dynamic event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Control transferred into `callee`.
+    Call {
+        /// Function being entered.
+        callee: FnId,
+    },
+    /// Control returned to the caller.
+    Return,
+    /// A conditional branch at static site `site` resolved to `taken`.
+    Branch {
+        /// Static branch-site identifier (stable across runs).
+        site: u32,
+        /// Whether the branch was taken.
+        taken: bool,
+    },
+    /// A data load from `addr`.
+    Load {
+        /// Byte address.
+        addr: u64,
+    },
+    /// A data store to `addr`.
+    Store {
+        /// Byte address.
+        addr: u64,
+    },
+}
+
+/// A bounded, decimating buffer of sampled [`Event`]s.
+#[derive(Debug, Clone)]
+pub struct EventTrace {
+    events: Vec<Event>,
+    capacity: usize,
+    /// Multiplicative weight each retained event stands for, grown by
+    /// decimation. Consumers replaying the trace should scale derived
+    /// counts by this factor times the per-kind sampling interval.
+    weight: u64,
+    decimations: u32,
+    /// Offered-event counter used to downsample after decimation.
+    phase: u64,
+}
+
+impl EventTrace {
+    /// Creates a trace that holds at most `capacity` events before
+    /// decimating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "event trace capacity must be positive");
+        EventTrace {
+            events: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            weight: 1,
+            decimations: 0,
+            phase: 0,
+        }
+    }
+
+    /// Offers an event, decimating first if the buffer is full.
+    ///
+    /// Returns `true` if the event was retained. After a decimation only
+    /// every `weight()`-th offered event is retained, so the buffer fills
+    /// at a geometrically decreasing rate and the retained samples stay
+    /// spread over the whole run. (Events are offered already downsampled
+    /// by the profiler's per-kind interval.)
+    pub fn push(&mut self, event: Event) -> bool {
+        self.phase += 1;
+        if self.phase % self.weight != 0 {
+            return false;
+        }
+        if self.events.len() == self.capacity {
+            self.decimate();
+        }
+        self.events.push(event);
+        true
+    }
+
+    fn decimate(&mut self) {
+        let mut keep = 0;
+        for i in (0..self.events.len()).step_by(2) {
+            self.events[keep] = self.events[i];
+            keep += 1;
+        }
+        self.events.truncate(keep);
+        self.weight *= 2;
+        self.decimations += 1;
+    }
+
+    /// Retained events in program order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Multiplicative weight of each retained event due to decimation.
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+
+    /// How many times the buffer was decimated.
+    pub fn decimations(&self) -> u32 {
+        self.decimations
+    }
+
+    /// Iterates over retained events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a EventTrace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl Default for EventTrace {
+    fn default() -> Self {
+        EventTrace::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+/// Default maximum number of retained events (~1M, tens of MB at most).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(i: u64) -> Event {
+        Event::Load { addr: i }
+    }
+
+    #[test]
+    fn push_retains_until_capacity() {
+        let mut t = EventTrace::with_capacity(8);
+        for i in 0..8 {
+            t.push(load(i));
+        }
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.weight(), 1);
+        assert_eq!(t.decimations(), 0);
+    }
+
+    #[test]
+    fn decimation_halves_and_doubles_weight() {
+        let mut t = EventTrace::with_capacity(8);
+        for i in 0..9 {
+            t.push(load(i));
+        }
+        // After overflow: kept events 0,2,4,6 then appended 8.
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.weight(), 2);
+        assert_eq!(t.decimations(), 1);
+        let addrs: Vec<u64> = t
+            .iter()
+            .map(|e| match e {
+                Event::Load { addr } => *addr,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(addrs, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn repeated_decimation_spreads_samples_over_run() {
+        let mut t = EventTrace::with_capacity(16);
+        for i in 0..1000 {
+            t.push(load(i));
+        }
+        assert!(t.len() <= 16);
+        assert!(t.weight() >= 64, "weight {} too small", t.weight());
+        // Retained samples must span most of the run, not just its head.
+        let max = t
+            .iter()
+            .map(|e| match e {
+                Event::Load { addr } => *addr,
+                _ => unreachable!(),
+            })
+            .max()
+            .unwrap();
+        assert!(max >= 900, "tail not represented: max addr {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = EventTrace::with_capacity(0);
+    }
+
+    #[test]
+    fn default_trace_is_empty() {
+        let t = EventTrace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.weight(), 1);
+    }
+
+    #[test]
+    fn iterates_in_program_order() {
+        let mut t = EventTrace::with_capacity(4);
+        t.push(Event::Call { callee: FnId(1) });
+        t.push(Event::Branch { site: 7, taken: true });
+        t.push(Event::Return);
+        let kinds: Vec<&Event> = (&t).into_iter().collect();
+        assert_eq!(kinds.len(), 3);
+        assert_eq!(*kinds[0], Event::Call { callee: FnId(1) });
+    }
+}

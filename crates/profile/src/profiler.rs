@@ -1,0 +1,453 @@
+//! The [`Profiler`] and its outputs.
+
+use crate::event::{Event, EventTrace, DEFAULT_TRACE_CAPACITY};
+use std::collections::BTreeMap;
+
+/// Identifier of an instrumented function, issued by
+/// [`Profiler::register_function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FnId(pub u32);
+
+/// Static metadata of an instrumented function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnMeta {
+    /// Human-readable name, unique per profiler.
+    pub name: String,
+    /// Approximate machine-code footprint in bytes, used by the I-cache
+    /// model. Mini-benchmarks assign footprints commensurate with the
+    /// complexity of the routine they stand in for.
+    pub code_bytes: u32,
+}
+
+/// Sampling configuration: keep one out of every `interval` events of each
+/// kind in the trace. Counters (totals, per-function work) are *always*
+/// exact; sampling only affects the replayable [`EventTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleConfig {
+    /// Keep every Nth conditional branch event.
+    pub branch_interval: u32,
+    /// Keep every Nth load/store event.
+    pub mem_interval: u32,
+    /// Keep every Nth call/return event.
+    pub call_interval: u32,
+    /// Maximum retained events before decimation kicks in.
+    pub trace_capacity: usize,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            branch_interval: 1,
+            mem_interval: 1,
+            call_interval: 1,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+impl SampleConfig {
+    /// A sparser configuration for quick experiments: 1-in-4 branch and
+    /// memory sampling with a smaller trace buffer.
+    pub fn sparse() -> Self {
+        SampleConfig {
+            branch_interval: 4,
+            mem_interval: 4,
+            call_interval: 4,
+            trace_capacity: DEFAULT_TRACE_CAPACITY / 4,
+        }
+    }
+}
+
+/// Exact aggregate event counts for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Abstract retired micro-ops (useful work).
+    pub retired_ops: u64,
+    /// Dynamic conditional branches.
+    pub branches: u64,
+    /// Dynamic taken conditional branches.
+    pub taken_branches: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// Dynamic calls to instrumented functions.
+    pub calls: u64,
+}
+
+/// The result of one instrumented run.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Function table, indexed by [`FnId`].
+    pub functions: Vec<FnMeta>,
+    /// Work units attributed to each function (parallel to `functions`).
+    pub fn_work: Vec<u64>,
+    /// Dynamic call counts per function (parallel to `functions`).
+    pub fn_calls: Vec<u64>,
+    /// Exact aggregate counters.
+    pub totals: Totals,
+    /// Sampled event trace for microarchitectural replay.
+    pub trace: EventTrace,
+    /// The sampling configuration the trace was captured with.
+    pub sampling: SampleConfig,
+}
+
+impl Profile {
+    /// Method coverage as percentages of total attributed work,
+    /// keyed by function name — the paper's Section V-C input.
+    ///
+    /// Functions with zero attributed work are included at 0%.
+    pub fn coverage_percent(&self) -> BTreeMap<String, f64> {
+        let total: u64 = self.fn_work.iter().sum();
+        self.functions
+            .iter()
+            .zip(&self.fn_work)
+            .map(|(meta, &work)| {
+                let pct = if total == 0 {
+                    0.0
+                } else {
+                    work as f64 / total as f64 * 100.0
+                };
+                (meta.name.clone(), pct)
+            })
+            .collect()
+    }
+
+    /// The fraction of branches that were taken, or `None` when no
+    /// branches executed.
+    pub fn taken_branch_fraction(&self) -> Option<f64> {
+        if self.totals.branches == 0 {
+            None
+        } else {
+            Some(self.totals.taken_branches as f64 / self.totals.branches as f64)
+        }
+    }
+
+    /// Looks up a function's id by name.
+    pub fn fn_id(&self, name: &str) -> Option<FnId> {
+        self.functions
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| FnId(i as u32))
+    }
+}
+
+/// Collects instrumentation events from a mini-benchmark run.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Profiler {
+    functions: Vec<FnMeta>,
+    fn_work: Vec<u64>,
+    fn_calls: Vec<u64>,
+    stack: Vec<FnId>,
+    totals: Totals,
+    trace: EventTrace,
+    sampling: SampleConfig,
+    branch_phase: u32,
+    mem_phase: u32,
+    call_phase: u32,
+}
+
+impl Profiler {
+    /// Creates a profiler with the given sampling configuration.
+    pub fn new(sampling: SampleConfig) -> Self {
+        Profiler {
+            functions: Vec::new(),
+            fn_work: Vec::new(),
+            fn_calls: Vec::new(),
+            stack: Vec::new(),
+            totals: Totals::default(),
+            trace: EventTrace::with_capacity(sampling.trace_capacity),
+            sampling,
+            branch_phase: 0,
+            mem_phase: 0,
+            call_phase: 0,
+        }
+    }
+
+    /// Registers an instrumented function and returns its id.
+    ///
+    /// Registering the same name twice returns the existing id (and keeps
+    /// the original footprint), so helper constructors may be called
+    /// repeatedly.
+    pub fn register_function(&mut self, name: &str, code_bytes: u32) -> FnId {
+        if let Some(i) = self.functions.iter().position(|m| m.name == name) {
+            return FnId(i as u32);
+        }
+        let id = FnId(self.functions.len() as u32);
+        self.functions.push(FnMeta {
+            name: name.to_owned(),
+            code_bytes,
+        });
+        self.fn_work.push(0);
+        self.fn_calls.push(0);
+        id
+    }
+
+    /// Enters function `id`. Pair with [`Profiler::exit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this profiler.
+    #[inline]
+    pub fn enter(&mut self, id: FnId) {
+        assert!(
+            (id.0 as usize) < self.functions.len(),
+            "unregistered function id {id:?}"
+        );
+        self.fn_calls[id.0 as usize] += 1;
+        self.totals.calls += 1;
+        self.stack.push(id);
+        self.call_phase += 1;
+        if self.call_phase >= self.sampling.call_interval {
+            self.call_phase = 0;
+            self.trace.push(Event::Call { callee: id });
+        }
+    }
+
+    /// Leaves the current function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function is active (unbalanced `exit`).
+    #[inline]
+    pub fn exit(&mut self) {
+        self.stack.pop().expect("exit without matching enter");
+        if self.call_phase == 0 {
+            self.trace.push(Event::Return);
+        }
+    }
+
+    /// Records `n` retired micro-ops, attributed to the current function
+    /// (or to no function when called outside any scope).
+    #[inline]
+    pub fn retire(&mut self, n: u64) {
+        self.totals.retired_ops += n;
+        if let Some(&id) = self.stack.last() {
+            self.fn_work[id.0 as usize] += n;
+        }
+    }
+
+    /// Records a conditional branch at static site `site`.
+    ///
+    /// Each branch also retires one micro-op, so purely branchy code still
+    /// accrues attributed work.
+    #[inline]
+    pub fn branch(&mut self, site: u32, taken: bool) {
+        self.totals.branches += 1;
+        self.totals.taken_branches += taken as u64;
+        self.retire(1);
+        self.branch_phase += 1;
+        if self.branch_phase >= self.sampling.branch_interval {
+            self.branch_phase = 0;
+            self.trace.push(Event::Branch { site, taken });
+        }
+    }
+
+    /// Records a data load from `addr` (retires one micro-op).
+    #[inline]
+    pub fn load(&mut self, addr: u64) {
+        self.totals.loads += 1;
+        self.retire(1);
+        self.mem_phase += 1;
+        if self.mem_phase >= self.sampling.mem_interval {
+            self.mem_phase = 0;
+            self.trace.push(Event::Load { addr });
+        }
+    }
+
+    /// Records a data store to `addr` (retires one micro-op).
+    #[inline]
+    pub fn store(&mut self, addr: u64) {
+        self.totals.stores += 1;
+        self.retire(1);
+        self.mem_phase += 1;
+        if self.mem_phase >= self.sampling.mem_interval {
+            self.mem_phase = 0;
+            self.trace.push(Event::Store { addr });
+        }
+    }
+
+    /// Current function-stack depth (for tests and assertions).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Finalizes the run and returns the collected [`Profile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any function scope is still open — an unbalanced
+    /// enter/exit pair is an instrumentation bug in the benchmark.
+    pub fn finish(self) -> Profile {
+        assert!(
+            self.stack.is_empty(),
+            "profiler finished with {} open scopes",
+            self.stack.len()
+        );
+        Profile {
+            functions: self.functions,
+            fn_work: self.fn_work,
+            fn_calls: self.fn_calls,
+            totals: self.totals,
+            trace: self.trace,
+            sampling: self.sampling,
+        }
+    }
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::new(SampleConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut p = Profiler::default();
+        let a = p.register_function("alpha", 100);
+        let b = p.register_function("beta", 200);
+        let a2 = p.register_function("alpha", 999);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        let profile = p.finish();
+        assert_eq!(profile.functions[a.0 as usize].code_bytes, 100);
+    }
+
+    #[test]
+    fn work_attributed_to_innermost_scope() {
+        let mut p = Profiler::default();
+        let outer = p.register_function("outer", 64);
+        let inner = p.register_function("inner", 64);
+        p.enter(outer);
+        p.retire(10);
+        p.enter(inner);
+        p.retire(30);
+        p.exit();
+        p.retire(5);
+        p.exit();
+        let profile = p.finish();
+        assert_eq!(profile.fn_work[outer.0 as usize], 15);
+        assert_eq!(profile.fn_work[inner.0 as usize], 30);
+        assert_eq!(profile.totals.retired_ops, 45);
+        assert_eq!(profile.fn_calls[inner.0 as usize], 1);
+    }
+
+    #[test]
+    fn coverage_percent_sums_to_hundred() {
+        let mut p = Profiler::default();
+        let a = p.register_function("a", 1);
+        let b = p.register_function("b", 1);
+        p.enter(a);
+        p.retire(75);
+        p.exit();
+        p.enter(b);
+        p.retire(25);
+        p.exit();
+        let cov = p.finish().coverage_percent();
+        assert_eq!(cov["a"], 75.0);
+        assert_eq!(cov["b"], 25.0);
+        assert!((cov.values().sum::<f64>() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_and_memory_ops_retire_and_count() {
+        let mut p = Profiler::default();
+        let f = p.register_function("f", 1);
+        p.enter(f);
+        p.branch(1, true);
+        p.branch(1, false);
+        p.branch(2, true);
+        p.load(0x10);
+        p.store(0x20);
+        p.exit();
+        let profile = p.finish();
+        assert_eq!(profile.totals.branches, 3);
+        assert_eq!(profile.totals.taken_branches, 2);
+        assert_eq!(profile.totals.loads, 1);
+        assert_eq!(profile.totals.stores, 1);
+        assert_eq!(profile.totals.retired_ops, 5);
+        assert_eq!(profile.taken_branch_fraction(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn sampling_reduces_trace_but_not_counters() {
+        let mut dense = Profiler::new(SampleConfig::default());
+        let mut sparse = Profiler::new(SampleConfig {
+            branch_interval: 8,
+            mem_interval: 8,
+            call_interval: 8,
+            trace_capacity: 1 << 16,
+        });
+        for p in [&mut dense, &mut sparse] {
+            let f = p.register_function("f", 1);
+            p.enter(f);
+            for i in 0..1000u64 {
+                p.branch(0, i % 2 == 0);
+                p.load(i * 64);
+            }
+            p.exit();
+        }
+        let d = dense.finish();
+        let s = sparse.finish();
+        assert_eq!(d.totals, s.totals);
+        assert!(s.trace.len() * 4 < d.trace.len());
+    }
+
+    #[test]
+    fn no_branches_means_no_fraction() {
+        let p = Profiler::default();
+        assert_eq!(p.finish().taken_branch_fraction(), None);
+    }
+
+    #[test]
+    fn fn_id_lookup() {
+        let mut p = Profiler::default();
+        let a = p.register_function("alpha", 10);
+        let profile = p.finish();
+        assert_eq!(profile.fn_id("alpha"), Some(a));
+        assert_eq!(profile.fn_id("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "open scopes")]
+    fn unbalanced_enter_panics_on_finish() {
+        let mut p = Profiler::default();
+        let f = p.register_function("f", 1);
+        p.enter(f);
+        let _ = p.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "exit without matching enter")]
+    fn exit_without_enter_panics() {
+        let mut p = Profiler::default();
+        p.exit();
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_profile() {
+        let run = || {
+            let mut p = Profiler::new(SampleConfig::sparse());
+            let f = p.register_function("f", 32);
+            p.enter(f);
+            for i in 0..500u64 {
+                p.branch((i % 7) as u32, i % 3 == 0);
+                p.load(i * 8 % 4096);
+                p.retire(2);
+            }
+            p.exit();
+            p.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.trace.events(), b.trace.events());
+        assert_eq!(a.fn_work, b.fn_work);
+    }
+}

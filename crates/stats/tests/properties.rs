@@ -1,0 +1,131 @@
+//! Property-based tests for the geometric summarization methodology.
+
+use alberta_stats::variation::TopDownRatios;
+use alberta_stats::{
+    geometric_mean, geometric_std, proportional_variation, CoverageMatrix, CoverageSummary,
+    Summary, TopDownSummary,
+};
+use proptest::prelude::*;
+
+fn positive_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1e-6..1e6f64, 1..64)
+}
+
+proptest! {
+    #[test]
+    fn gmean_bounded_by_extremes(xs in positive_samples()) {
+        let mu = geometric_mean(&xs).unwrap();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mu >= min * (1.0 - 1e-9));
+        prop_assert!(mu <= max * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn gmean_le_arithmetic_mean(xs in positive_samples()) {
+        let mu = geometric_mean(&xs).unwrap();
+        let am = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!(mu <= am * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn gmean_is_multiplicative_homogeneous(xs in positive_samples(), c in 1e-3..1e3f64) {
+        let mu = geometric_mean(&xs).unwrap();
+        let scaled: Vec<f64> = xs.iter().map(|x| x * c).collect();
+        let mu_scaled = geometric_mean(&scaled).unwrap();
+        prop_assert!((mu_scaled / (mu * c) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gstd_at_least_one(xs in positive_samples()) {
+        prop_assert!(geometric_std(&xs).unwrap() >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn gstd_scale_invariant(xs in positive_samples(), c in 1e-3..1e3f64) {
+        let sigma = geometric_std(&xs).unwrap();
+        let scaled: Vec<f64> = xs.iter().map(|x| x * c).collect();
+        let sigma_scaled = geometric_std(&scaled).unwrap();
+        prop_assert!((sigma - sigma_scaled).abs() < 1e-6 * sigma.max(1.0));
+    }
+
+    #[test]
+    fn variation_is_quotient(xs in positive_samples()) {
+        let v = proportional_variation(&xs).unwrap();
+        let expected = geometric_std(&xs).unwrap() / geometric_mean(&xs).unwrap();
+        prop_assert!((v - expected).abs() < 1e-9 * expected.max(1.0));
+    }
+
+    #[test]
+    fn summary_invariants(xs in prop::collection::vec(-1e6..1e6f64, 1..64)) {
+        let s = Summary::from_samples(&xs).unwrap();
+        prop_assert!(s.min() <= s.mean() + 1e-6);
+        prop_assert!(s.mean() <= s.max() + 1e-6);
+        prop_assert!(s.min() <= s.median() && s.median() <= s.max());
+        prop_assert!(s.variance() >= 0.0);
+        prop_assert_eq!(s.len(), xs.len());
+    }
+
+    #[test]
+    fn topdown_summary_means_bounded(
+        raw in prop::collection::vec((0.01..1.0f64, 0.01..1.0f64, 0.01..1.0f64, 0.01..1.0f64), 2..24)
+    ) {
+        let runs: Vec<TopDownRatios> = raw
+            .into_iter()
+            .map(|(a, b, c, d)| {
+                let sum = a + b + c + d;
+                TopDownRatios::new(a / sum, b / sum, c / sum, d / sum).unwrap()
+            })
+            .collect();
+        let s = TopDownSummary::from_runs(&runs).unwrap();
+        for cat in [&s.front_end, &s.back_end, &s.bad_speculation, &s.retiring] {
+            prop_assert!(cat.geo_mean > 0.0 && cat.geo_mean <= 1.0 + 1e-9);
+            prop_assert!(cat.geo_std >= 1.0 - 1e-12);
+            prop_assert!(cat.variation >= 1.0 - 1e-9, "V = σg/μg ≥ 1 when μg ≤ 1");
+        }
+        prop_assert!(s.mu_g_v >= 1.0 - 1e-9);
+        prop_assert_eq!(s.workloads, runs.len());
+    }
+
+    #[test]
+    fn coverage_summary_is_finite_and_positive(
+        rows in prop::collection::vec(
+            prop::collection::vec(0.0..100.0f64, 3),
+            1..12,
+        )
+    ) {
+        let mut m = CoverageMatrix::new();
+        for (i, row) in rows.iter().enumerate() {
+            let total: f64 = row.iter().sum::<f64>().max(1e-9);
+            m.push_workload(
+                &format!("w{i}"),
+                row.iter()
+                    .enumerate()
+                    .map(|(j, &p)| (format!("m{j}"), p / total * 100.0)),
+            )
+            .unwrap();
+        }
+        let s = CoverageSummary::from_matrix(&m).unwrap();
+        // Coverage is measured in percent, so per-method μg can exceed 1 and
+        // V = σg/μg can drop below 1; only positivity/finiteness is invariant.
+        prop_assert!(s.mu_g_m.is_finite());
+        prop_assert!(s.mu_g_m > 0.0);
+    }
+
+    #[test]
+    fn identical_coverage_rows_give_minimal_mu_g_m(row in prop::collection::vec(1.0..100.0f64, 2..6), n in 2..8usize) {
+        let total: f64 = row.iter().sum();
+        let mut m = CoverageMatrix::new();
+        for i in 0..n {
+            m.push_workload(
+                &format!("w{i}"),
+                row.iter().enumerate().map(|(j, &p)| (format!("m{j}"), p / total * 100.0)),
+            ).unwrap();
+        }
+        let s = CoverageSummary::from_matrix(&m).unwrap();
+        // All σg = 1, so μg(M) = gmean(1/μg_j) which only depends on the row.
+        for mv in &s.methods {
+            prop_assert!((mv.geo_std - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Set-associative caches, a D-TLB, and a two-level data hierarchy.
+//!
+//! Data-side locality drives the *back-end bound* Top-Down category; the
+//! instruction cache (fed with function-entry addresses by the Top-Down
+//! model) drives *front-end bound*.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u64,
+}
+
+impl CacheConfig {
+    /// 32 KiB, 64-byte lines, 8-way: an L1 in the i7-2600 the paper used.
+    pub fn l1d() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        }
+    }
+
+    /// 32 KiB, 64-byte lines, 8-way instruction cache.
+    pub fn l1i() -> Self {
+        Self::l1d()
+    }
+
+    /// 256 KiB, 64-byte lines, 8-way: the i7-2600's per-core L2.
+    pub fn l2() -> Self {
+        CacheConfig {
+            size_bytes: 256 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        }
+    }
+
+    fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+
+    fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.ways > 0, "associativity must be positive");
+        assert!(
+            self.size_bytes % (self.line_bytes * self.ways) == 0,
+            "capacity must be a whole number of sets"
+        );
+        assert!(self.sets().is_power_of_two(), "set count must be a power of two");
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 when no accesses occurred.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per-way tags, `u64::MAX` = invalid. Row-major: `sets × ways`.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    set_mask: u64,
+    line_shift: u32,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not internally consistent (line size
+    /// or set count not a power of two, zero ways, ragged capacity).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        let sets = config.sets();
+        Cache {
+            tags: vec![u64::MAX; (sets * config.ways) as usize],
+            stamps: vec![0; (sets * config.ways) as usize],
+            clock: 0,
+            set_mask: sets - 1,
+            line_shift: config.line_bytes.trailing_zeros(),
+            config,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accesses `addr`; returns `true` on hit. Allocates on miss.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+        let mut victim = base;
+        let mut oldest = u64::MAX;
+        for i in base..base + ways {
+            if self.tags[i] == line {
+                self.stamps[i] = self.clock;
+                self.stats.hits += 1;
+                return true;
+            }
+            if self.stamps[i] < oldest {
+                oldest = self.stamps[i];
+                victim = i;
+            }
+        }
+        self.tags[victim] = line;
+        self.stamps[victim] = self.clock;
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+}
+
+/// A fully-associative-by-set TLB over 4 KiB pages, modelled as a cache of
+/// page numbers.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    inner: Cache,
+}
+
+impl Tlb {
+    /// Page size assumed by the TLB model.
+    pub const PAGE_BYTES: u64 = 4096;
+
+    /// Creates a TLB with `entries` page slots (power of two), 4-way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of 4 with a
+    /// power-of-two set count.
+    pub fn new(entries: u64) -> Self {
+        Tlb {
+            inner: Cache::new(CacheConfig {
+                size_bytes: entries * Self::PAGE_BYTES,
+                line_bytes: Self::PAGE_BYTES,
+                ways: 4,
+            }),
+        }
+    }
+
+    /// Translates `addr`; returns `true` on TLB hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.inner.access(addr)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+}
+
+/// Where a data access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryOutcome {
+    /// Hit in L1D.
+    L1,
+    /// Missed L1, hit L2.
+    L2,
+    /// Missed both levels; satisfied by memory.
+    Memory,
+}
+
+/// L1D + L2 + D-TLB data-side hierarchy.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1d: Cache,
+    l2: Cache,
+    dtlb: Tlb,
+}
+
+impl MemoryHierarchy {
+    /// Builds the reference hierarchy (i7-2600-like geometry).
+    pub fn new() -> Self {
+        MemoryHierarchy {
+            l1d: Cache::new(CacheConfig::l1d()),
+            l2: Cache::new(CacheConfig::l2()),
+            dtlb: Tlb::new(64),
+        }
+    }
+
+    /// Builds a hierarchy with explicit geometries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid (see [`Cache::new`]).
+    pub fn with_configs(l1d: CacheConfig, l2: CacheConfig, tlb_entries: u64) -> Self {
+        MemoryHierarchy {
+            l1d: Cache::new(l1d),
+            l2: Cache::new(l2),
+            dtlb: Tlb::new(tlb_entries),
+        }
+    }
+
+    /// Performs one data access; returns where it was satisfied and
+    /// whether the TLB missed.
+    pub fn access(&mut self, addr: u64) -> (MemoryOutcome, bool) {
+        let tlb_hit = self.dtlb.access(addr);
+        let outcome = if self.l1d.access(addr) {
+            MemoryOutcome::L1
+        } else if self.l2.access(addr) {
+            MemoryOutcome::L2
+        } else {
+            MemoryOutcome::Memory
+        };
+        (outcome, !tlb_hit)
+    }
+
+    /// L1D statistics.
+    pub fn l1d_stats(&self) -> CacheStats {
+        self.l1d.stats()
+    }
+
+    /// L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// D-TLB statistics.
+    pub fn dtlb_stats(&self) -> CacheStats {
+        self.dtlb.stats()
+    }
+}
+
+impl Default for MemoryHierarchy {
+    fn default() -> Self {
+        MemoryHierarchy::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64-byte lines = 512 bytes.
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1030), "same 64-byte line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (line numbers ≡ 0 mod 4).
+        let a = 0u64;
+        let b = 4 * 64;
+        let d = 8 * 64;
+        c.access(a); // miss
+        c.access(b); // miss, set full
+        c.access(a); // hit, refreshes a
+        c.access(d); // miss, evicts b (LRU)
+        assert!(c.access(a), "a must survive");
+        assert!(!c.access(b), "b was evicted");
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_no_steady_state_misses() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        let lines = CacheConfig::l1d().size_bytes / 64;
+        for round in 0..4 {
+            for i in 0..lines / 2 {
+                let hit = c.access(i * 64);
+                if round > 0 {
+                    assert!(hit, "line {i} should be resident in round {round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_misses_every_line() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        for i in 0..100_000u64 {
+            c.access(i * 64);
+        }
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 100_000);
+        assert!((c.stats().miss_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_ratio_of_idle_cache_is_zero() {
+        assert_eq!(tiny().stats().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 48,
+            ways: 2,
+        });
+    }
+
+    #[test]
+    fn tlb_covers_pages_not_lines() {
+        let mut t = Tlb::new(16);
+        assert!(!t.access(0));
+        assert!(t.access(4000), "same 4 KiB page");
+        assert!(!t.access(4096), "next page");
+    }
+
+    #[test]
+    fn hierarchy_l2_catches_l1_victims() {
+        let mut h = MemoryHierarchy::new();
+        // Touch a working set larger than L1 (32 KiB) but well within L2
+        // (256 KiB): second pass should be mostly L2 hits, not memory.
+        let lines = 2 * 32 * 1024 / 64;
+        for i in 0..lines {
+            h.access(i * 64);
+        }
+        let mut l2_hits = 0;
+        let mut mem = 0;
+        for i in 0..lines {
+            match h.access(i * 64).0 {
+                MemoryOutcome::L2 => l2_hits += 1,
+                MemoryOutcome::Memory => mem += 1,
+                MemoryOutcome::L1 => {}
+            }
+        }
+        assert!(l2_hits > lines / 2, "l2_hits={l2_hits}");
+        assert_eq!(mem, 0, "the set fits in L2");
+    }
+
+    #[test]
+    fn hierarchy_reports_tlb_misses_for_scattered_pages() {
+        let mut h = MemoryHierarchy::new();
+        let mut tlb_misses = 0;
+        for i in 0..1000u64 {
+            // One access per page over far more pages than TLB entries.
+            let (_, tlb_miss) = h.access(i * 4096 * 3);
+            tlb_misses += tlb_miss as u64;
+        }
+        assert!(tlb_misses > 900, "tlb_misses={tlb_misses}");
+    }
+
+    #[test]
+    fn stats_accessors_consistent() {
+        let mut h = MemoryHierarchy::default();
+        for i in 0..100u64 {
+            h.access(i * 8);
+        }
+        assert_eq!(h.l1d_stats().accesses(), 100);
+        assert_eq!(h.l2_stats().accesses(), h.l1d_stats().misses);
+        assert_eq!(h.dtlb_stats().accesses(), 100);
+    }
+}

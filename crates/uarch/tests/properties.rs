@@ -1,0 +1,90 @@
+//! Property-based tests for the microarchitecture substrates.
+
+use alberta_profile::{Profiler, SampleConfig};
+use alberta_uarch::{Cache, CacheConfig, PredictorKind, TopDownModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Accounting identity: hits + misses equals accesses, and the number
+    /// of misses is at least the number of distinct lines touched when
+    /// they all map to a working set larger than the cache, and at least
+    /// the distinct line count's information-theoretic floor otherwise.
+    #[test]
+    fn cache_accounting_identity(addrs in prop::collection::vec(0u64..(1 << 20), 1..2000)) {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        for &a in &addrs {
+            cache.access(a);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses(), addrs.len() as u64);
+        let mut lines: Vec<u64> = addrs.iter().map(|a| a >> 6).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        // Cold misses: every distinct line misses at least once.
+        prop_assert!(stats.misses >= lines.len() as u64);
+        prop_assert!(stats.miss_ratio() <= 1.0);
+    }
+
+    /// A working set that fits in one way-set's worth of cache never
+    /// misses after the cold pass, regardless of access order.
+    #[test]
+    fn resident_working_set_has_only_cold_misses(
+        perm in prop::collection::vec(0u64..64, 64..512),
+    ) {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        // 64 lines × 64 B = 4 KiB ≪ 32 KiB: always resident.
+        for &i in &perm {
+            cache.access(i * 64);
+        }
+        let mut distinct: Vec<u64> = perm.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(cache.stats().misses, distinct.len() as u64);
+    }
+
+    /// Every predictor gets a perfectly biased branch almost always right
+    /// and never reports more mispredictions than observations.
+    #[test]
+    fn predictors_learn_constant_bias(taken in any::<bool>(), n in 64u64..512) {
+        for kind in [
+            PredictorKind::Bimodal { bits: 10 },
+            PredictorKind::Gshare { bits: 10 },
+            PredictorKind::Tournament { bits: 10 },
+        ] {
+            let mut p = kind.build();
+            let wrong = (0..n).filter(|_| !p.observe(7, taken)).count() as u64;
+            prop_assert!(wrong <= 4, "{}: {wrong} wrong of {n}", p.name());
+        }
+    }
+
+    /// The Top-Down ratios always form a distribution, whatever event mix
+    /// the profile contains.
+    #[test]
+    fn topdown_ratios_always_normalize(
+        ops in 0u64..100_000,
+        branches in 0u64..5_000,
+        loads in 0u64..5_000,
+        stride in 1u64..10_000,
+    ) {
+        let mut profiler = Profiler::new(SampleConfig::default());
+        let f = profiler.register_function("kernel", 777);
+        profiler.enter(f);
+        profiler.retire(ops);
+        for i in 0..branches {
+            profiler.branch((i % 13) as u32, i % 3 == 0);
+        }
+        for i in 0..loads {
+            profiler.load(i * stride);
+        }
+        profiler.exit();
+        let report = TopDownModel::reference().analyze(&profiler.finish());
+        let sum: f64 = report.ratios.as_array().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(report.cycles >= 0.9);
+        for r in report.ratios.as_array() {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+}

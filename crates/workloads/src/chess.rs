@@ -1,0 +1,170 @@
+//! Workload generator for `531.deepsjeng_r` — chess positions with search
+//! depths.
+//!
+//! The paper's script draws positions from the Arasan test suite and pairs
+//! each with a ply depth drawn from a user-supplied range; each Alberta
+//! workload holds eight positions with depths 11–16. We have no Arasan
+//! archive, so a position is specified as *a number of scrambling moves
+//! from the initial position* plus a seed: the mini-deepsjeng engine plays
+//! that many pseudo-random legal moves to derive a concrete (and therefore
+//! guaranteed legal) position before searching it. The knobs the paper
+//! names — positions per workload and the ply-depth range — are preserved.
+
+use crate::{Named, Scale, SeededRng};
+
+/// One search task: a position spec plus the depth to analyze it to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PositionSpec {
+    /// Seed for the scrambling move sequence.
+    pub seed: u64,
+    /// Number of pseudo-random legal half-moves played from the initial
+    /// position to reach the test position.
+    pub random_moves: u32,
+    /// Search depth in plies.
+    pub depth: u32,
+}
+
+/// A deepsjeng workload: a list of positions to analyze.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChessWorkload {
+    /// The positions, searched in order.
+    pub positions: Vec<PositionSpec>,
+}
+
+/// Parameters of the chess workload generator — mirrors the paper's
+/// script inputs: positions per workload and a ply-depth range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChessGen {
+    /// Positions per workload (the paper uses eight).
+    pub positions_per_workload: usize,
+    /// Minimum search depth (inclusive).
+    pub min_depth: u32,
+    /// Maximum search depth (inclusive).
+    pub max_depth: u32,
+    /// Range of scrambling moves: opening-ish (low) to endgame-ish (high).
+    pub min_random_moves: u32,
+    /// Upper bound of scrambling moves.
+    pub max_random_moves: u32,
+}
+
+impl ChessGen {
+    /// Standard configuration. Depth scales with the workload scale
+    /// (search cost is exponential in depth, so the step is small).
+    pub fn standard(scale: Scale) -> Self {
+        let depth_bonus = match scale {
+            Scale::Test => 0,
+            Scale::Train => 1,
+            Scale::Ref => 2,
+        };
+        ChessGen {
+            positions_per_workload: 8,
+            min_depth: 3 + depth_bonus,
+            max_depth: 5 + depth_bonus,
+            min_random_moves: 6,
+            max_random_moves: 60,
+        }
+    }
+
+    /// Generates one workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions_per_workload` is zero or the depth range is
+    /// inverted.
+    pub fn generate(&self, seed: u64) -> ChessWorkload {
+        assert!(self.positions_per_workload > 0);
+        assert!(self.min_depth <= self.max_depth, "inverted depth range");
+        assert!(self.min_random_moves <= self.max_random_moves);
+        let mut rng = SeededRng::new(seed);
+        let positions = (0..self.positions_per_workload)
+            .map(|_| PositionSpec {
+                seed: rng.next_u64(),
+                random_moves: rng.range(self.min_random_moves as i64, self.max_random_moves as i64)
+                    as u32,
+                depth: rng.range(self.min_depth as i64, self.max_depth as i64) as u32,
+            })
+            .collect();
+        ChessWorkload { positions }
+    }
+}
+
+/// The nine Alberta workloads (paper: "nine new workloads, each one
+/// containing eight chess positions").
+pub fn alberta_set(scale: Scale) -> Vec<Named<ChessWorkload>> {
+    let gen = ChessGen::standard(scale);
+    (0..9)
+        .map(|i| Named::new(format!("alberta.{i}"), gen.generate(0x5E_A0 + i)))
+        .collect()
+}
+
+/// Canonical training workload: three mid-game positions, shallow.
+pub fn train(scale: Scale) -> Named<ChessWorkload> {
+    let mut gen = ChessGen::standard(scale);
+    gen.positions_per_workload = 3;
+    gen.max_depth = gen.min_depth;
+    Named::new("train", gen.generate(0x7241))
+}
+
+/// Canonical reference workload: eight positions at full depth.
+pub fn refrate(scale: Scale) -> Named<ChessWorkload> {
+    let gen = ChessGen::standard(scale);
+    Named::new("refrate", gen.generate(0x43F))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depths_respect_configured_range() {
+        let gen = ChessGen::standard(Scale::Train);
+        let w = gen.generate(1);
+        assert_eq!(w.positions.len(), 8);
+        for p in &w.positions {
+            assert!(p.depth >= gen.min_depth && p.depth <= gen.max_depth);
+            assert!(p.random_moves >= gen.min_random_moves);
+            assert!(p.random_moves <= gen.max_random_moves);
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic_and_distinct() {
+        let gen = ChessGen::standard(Scale::Test);
+        assert_eq!(gen.generate(9), gen.generate(9));
+        assert_ne!(gen.generate(9), gen.generate(10));
+    }
+
+    #[test]
+    fn alberta_set_matches_paper_count() {
+        let set = alberta_set(Scale::Test);
+        assert_eq!(set.len(), 9, "paper ships nine deepsjeng workloads");
+        assert!(set.iter().all(|w| w.workload.positions.len() == 8));
+    }
+
+    #[test]
+    fn scale_raises_depth() {
+        let t = ChessGen::standard(Scale::Test);
+        let r = ChessGen::standard(Scale::Ref);
+        assert!(r.min_depth > t.min_depth);
+    }
+
+    #[test]
+    fn train_is_cheaper_than_refrate() {
+        let t = train(Scale::Test);
+        let r = refrate(Scale::Test);
+        assert!(t.workload.positions.len() < r.workload.positions.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted depth range")]
+    fn inverted_range_panics() {
+        let gen = ChessGen {
+            positions_per_workload: 1,
+            min_depth: 9,
+            max_depth: 3,
+            min_random_moves: 0,
+            max_random_moves: 1,
+        };
+        let _ = gen.generate(0);
+    }
+}

@@ -1,0 +1,439 @@
+//! Workload generator for `502.gcc_r` — single-compilation-unit mini-C
+//! programs.
+//!
+//! The real gcc benchmark consumes one preprocessed C file; the paper's
+//! workloads combine publicly available single-file programs with
+//! multi-file code bases merged by the `OneFile` tool. This generator
+//! plays the role of the "publicly available programs": it emits random
+//! but *well-defined, terminating* programs in the mini-C subset compiled
+//! by the `minigcc` benchmark. [`MultiFileGen`] additionally produces
+//! multi-file programs (with deliberately colliding `static` identifiers)
+//! as input for the `alberta-onefile` merger.
+//!
+//! ## The mini-C subset
+//!
+//! ```c
+//! int g = 3;            // scalar globals (optionally static)
+//! int buf[64];          // global arrays
+//! static int helper(int a, int b) { ... }
+//! int main() { return helper(1, 2); }
+//! ```
+//!
+//! Statements: declarations, assignments, array stores, `if`/`else`,
+//! bounded `while` loops, `return`. Expressions: integer arithmetic,
+//! comparisons, logical ops, calls, array loads. Every generated loop has
+//! a structurally guaranteed constant trip count, so all programs halt.
+
+use crate::{Named, Scale, SeededRng};
+
+/// A single-compilation-unit gcc workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CSource {
+    /// The program text.
+    pub source: String,
+}
+
+/// One file of a multi-file program (OneFile input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CFile {
+    /// File name, e.g. `util.c`.
+    pub name: String,
+    /// File contents.
+    pub source: String,
+}
+
+/// A multi-file program: compile order is the vector order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiFileProgram {
+    /// The files; exactly one defines `main`.
+    pub files: Vec<CFile>,
+}
+
+/// Parameters of the single-file program generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CSourceGen {
+    /// Number of functions besides `main`.
+    pub functions: usize,
+    /// Statements per function body (before nesting).
+    pub statements_per_fn: usize,
+    /// Maximum loop trip count.
+    pub max_trip_count: u32,
+    /// Maximum expression depth.
+    pub max_expr_depth: usize,
+    /// Number of global scalars.
+    pub globals: usize,
+    /// Global array length (0 disables arrays).
+    pub array_len: usize,
+}
+
+impl CSourceGen {
+    /// Standard configuration scaled by `scale`.
+    pub fn standard(scale: Scale) -> Self {
+        CSourceGen {
+            functions: 4 + 2 * scale.factor(),
+            statements_per_fn: 6,
+            max_trip_count: scale.apply(40) as u32,
+            max_expr_depth: 3,
+            globals: 4,
+            array_len: 64,
+        }
+    }
+
+    /// Generates a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `functions` is zero.
+    pub fn generate(&self, seed: u64) -> CSource {
+        assert!(self.functions > 0, "need at least one function");
+        let mut rng = SeededRng::new(seed);
+        let mut e = Emitter {
+            gen: *self,
+            out: String::new(),
+            loop_var: 0,
+            calls_left: 0,
+            in_loop: false,
+        };
+        for g in 0..self.globals {
+            e.out
+                .push_str(&format!("int g{g} = {};\n", rng.range(-9, 9)));
+        }
+        if self.array_len > 0 {
+            e.out.push_str(&format!("int buf[{}];\n", self.array_len));
+        }
+        // Acyclic call graph: function i may call any function j > i, so
+        // the leaf is emitted last and recursion is impossible.
+        for i in 0..self.functions {
+            e.emit_function(i, &mut rng);
+        }
+        // main calls every function and folds results so nothing is dead.
+        e.out.push_str("int main() {\n  int acc = 0;\n");
+        for i in 0..self.functions {
+            let a = rng.range(1, 7);
+            let b = rng.range(1, 7);
+            e.out
+                .push_str(&format!("  acc = acc + f{i}({a}, {b});\n"));
+        }
+        e.out.push_str("  return acc;\n}\n");
+        CSource { source: e.out }
+    }
+}
+
+struct Emitter {
+    gen: CSourceGen,
+    out: String,
+    loop_var: usize,
+    /// Call sites left for the current function. Each function may call
+    /// only its successor and only once, outside loops: this keeps the
+    /// dynamic call count quadratic in program size instead of
+    /// exponential (a chain of call-in-loop sites would otherwise
+    /// multiply trip counts).
+    calls_left: u32,
+    in_loop: bool,
+}
+
+impl Emitter {
+    fn emit_function(&mut self, index: usize, rng: &mut SeededRng) {
+        let stat = if rng.chance(0.3) { "static " } else { "" };
+        self.calls_left = 1;
+        self.in_loop = false;
+        self.out
+            .push_str(&format!("{stat}int f{index}(int a, int b) {{\n"));
+        self.out.push_str("  int x = a;\n  int y = b;\n");
+        for _ in 0..self.gen.statements_per_fn {
+            self.emit_statement(index, rng, 1);
+        }
+        let ret = self.expr(index, rng, self.gen.max_expr_depth);
+        self.out.push_str(&format!("  return {ret};\n}}\n"));
+    }
+
+    fn emit_statement(&mut self, fn_index: usize, rng: &mut SeededRng, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match rng.below(5) {
+            0 => {
+                // Bounded loop with a fresh induction variable. Loop
+                // bodies never contain calls (see `calls_left`).
+                let v = self.loop_var;
+                self.loop_var += 1;
+                let trips = 1 + rng.below(self.gen.max_trip_count.max(1) as u64);
+                self.in_loop = true;
+                let body = self.expr(fn_index, rng, 2);
+                self.in_loop = false;
+                self.out.push_str(&format!(
+                    "{pad}int i{v} = 0;\n{pad}while (i{v} < {trips}) {{\n{pad}  x = x + ({body});\n{pad}  i{v} = i{v} + 1;\n{pad}}}\n"
+                ));
+            }
+            1 => {
+                let cond = self.cond(fn_index, rng);
+                let t = self.expr(fn_index, rng, 2);
+                let f = self.expr(fn_index, rng, 2);
+                self.out.push_str(&format!(
+                    "{pad}if ({cond}) {{\n{pad}  y = {t};\n{pad}}} else {{\n{pad}  y = {f};\n{pad}}}\n"
+                ));
+            }
+            2 if self.gen.array_len > 0 => {
+                let idx_base = rng.below(self.gen.array_len as u64);
+                let val = self.expr(fn_index, rng, 2);
+                self.out.push_str(&format!(
+                    "{pad}buf[({idx_base} + x) % {}] = {val};\n",
+                    self.gen.array_len
+                ));
+                self.out.push_str(&format!(
+                    "{pad}y = y + buf[({} + y) % {}];\n",
+                    rng.below(self.gen.array_len as u64),
+                    self.gen.array_len
+                ));
+            }
+            3 if self.gen.globals > 0 => {
+                let g = rng.below(self.gen.globals as u64);
+                let val = self.expr(fn_index, rng, 2);
+                self.out.push_str(&format!("{pad}g{g} = ({val}) % 1000;\n"));
+            }
+            _ => {
+                let val = self.expr(fn_index, rng, self.gen.max_expr_depth);
+                self.out.push_str(&format!("{pad}x = {val};\n"));
+            }
+        }
+    }
+
+    fn cond(&mut self, fn_index: usize, rng: &mut SeededRng) -> String {
+        let lhs = self.expr(fn_index, rng, 1);
+        let op = *rng.pick(&["<", ">", "<=", ">=", "==", "!="]);
+        let rhs = rng.range(-20, 20);
+        format!("({lhs}) {op} {rhs}")
+    }
+
+    fn expr(&mut self, fn_index: usize, rng: &mut SeededRng, depth: usize) -> String {
+        if depth == 0 {
+            return match rng.below(4) {
+                0 => "x".to_owned(),
+                1 => "y".to_owned(),
+                2 if self.gen.globals > 0 => format!("g{}", rng.below(self.gen.globals as u64)),
+                _ => rng.range(-50, 50).to_string(),
+            };
+        }
+        match rng.below(6) {
+            0 | 1 => {
+                let lhs = self.expr(fn_index, rng, depth - 1);
+                let rhs = self.expr(fn_index, rng, depth - 1);
+                let op = *rng.pick(&["+", "-", "*"]);
+                format!("({lhs} {op} {rhs})")
+            }
+            2 => {
+                // Division/modulo guarded against zero and overflow by the
+                // mini-C semantics (div by 0 yields 0 in minigcc), but we
+                // still prefer non-zero constant divisors.
+                let lhs = self.expr(fn_index, rng, depth - 1);
+                let d = rng.range(2, 9);
+                let op = *rng.pick(&["/", "%"]);
+                format!("({lhs} {op} {d})")
+            }
+            3 if fn_index + 1 < self.gen.functions && self.calls_left > 0 && !self.in_loop => {
+                // Forward call to the immediate successor only: acyclic
+                // and at most one dynamic call per caller execution.
+                self.calls_left -= 1;
+                let callee = fn_index + 1;
+                let a = self.expr(fn_index, rng, depth.saturating_sub(2));
+                format!("f{callee}({a}, y)")
+            }
+            4 if self.gen.array_len > 0 => {
+                format!(
+                    "buf[({} + x) % {}]",
+                    rng.below(self.gen.array_len as u64),
+                    self.gen.array_len
+                )
+            }
+            _ => self.expr(fn_index, rng, 0),
+        }
+    }
+}
+
+/// Parameters of the multi-file generator (OneFile input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiFileGen {
+    /// Number of files besides the `main` file.
+    pub files: usize,
+    /// Functions per file.
+    pub functions_per_file: usize,
+    /// Whether files deliberately reuse the same `static` identifier
+    /// names (the collision case OneFile must mangle).
+    pub colliding_statics: bool,
+}
+
+impl MultiFileGen {
+    /// Standard configuration.
+    pub fn standard() -> Self {
+        MultiFileGen {
+            files: 3,
+            functions_per_file: 3,
+            colliding_statics: true,
+        }
+    }
+
+    /// Generates a multi-file program. Each non-main file defines
+    /// `static int helper(...)` (same name in every file when
+    /// `colliding_statics`) plus public functions `<file>_f<i>`. The main
+    /// file calls every public function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `files` or `functions_per_file` is zero.
+    pub fn generate(&self, seed: u64) -> MultiFileProgram {
+        assert!(self.files > 0 && self.functions_per_file > 0);
+        let mut rng = SeededRng::new(seed);
+        let mut files = Vec::with_capacity(self.files + 1);
+        let mut public_fns = Vec::new();
+        for f in 0..self.files {
+            let mut src = String::new();
+            let (helper_name, counter_name) = if self.colliding_statics {
+                ("helper".to_owned(), "counter".to_owned())
+            } else {
+                (format!("helper_u{f}"), format!("counter_u{f}"))
+            };
+            let k = rng.range(1, 9);
+            src.push_str(&format!(
+                "static int {counter_name} = {};\nstatic int {helper_name}(int v) {{\n  return v * {k} + {counter_name};\n}}\n",
+                rng.range(0, 5)
+            ));
+            for i in 0..self.functions_per_file {
+                let name = format!("unit{f}_f{i}");
+                let c = rng.range(1, 6);
+                src.push_str(&format!(
+                    "int {name}(int a) {{\n  {counter_name} = {counter_name} + 1;\n  return {helper_name}(a) + {c};\n}}\n"
+                ));
+                public_fns.push(name);
+            }
+            files.push(CFile {
+                name: format!("unit{f}.c"),
+                source: src,
+            });
+        }
+        let mut main_src = String::new();
+        for name in &public_fns {
+            main_src.push_str(&format!("extern int {name}(int a);\n"));
+        }
+        main_src.push_str("int main() {\n  int acc = 0;\n");
+        for (i, name) in public_fns.iter().enumerate() {
+            main_src.push_str(&format!("  acc = acc + {name}({});\n", i as i64 + 1));
+        }
+        main_src.push_str("  return acc;\n}\n");
+        files.push(CFile {
+            name: "main.c".to_owned(),
+            source: main_src,
+        });
+        MultiFileProgram { files }
+    }
+}
+
+/// The 19 gcc workloads of Table II: generated programs spanning an order
+/// of magnitude in size and structure.
+pub fn alberta_set(scale: Scale) -> Vec<Named<CSource>> {
+    let base = CSourceGen::standard(scale);
+    (0..19)
+        .map(|i| {
+            let gen = CSourceGen {
+                functions: base.functions + i % 7,
+                statements_per_fn: 3 + (i * 2) % 9,
+                max_trip_count: base.max_trip_count * (1 + (i as u32 % 3)),
+                max_expr_depth: 2 + i % 3,
+                globals: 2 + i % 5,
+                array_len: if i % 3 == 0 { 0 } else { 32 << (i % 3) },
+            };
+            Named::new(format!("alberta.{i}"), gen.generate(0x6CC + i as u64))
+        })
+        .collect()
+}
+
+/// Canonical training workload: a small program.
+pub fn train(scale: Scale) -> Named<CSource> {
+    let mut gen = CSourceGen::standard(scale);
+    gen.functions = (gen.functions / 2).max(1);
+    gen.statements_per_fn = 3;
+    Named::new("train", gen.generate(0x7241))
+}
+
+/// Canonical reference workload: a large program.
+pub fn refrate(scale: Scale) -> Named<CSource> {
+    let mut gen = CSourceGen::standard(scale);
+    gen.functions *= 2;
+    gen.statements_per_fn = 9;
+    Named::new("refrate", gen.generate(0x43F))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_has_expected_shape() {
+        let gen = CSourceGen::standard(Scale::Test);
+        let src = gen.generate(1).source;
+        assert!(src.contains("int main()"));
+        for i in 0..gen.functions {
+            assert!(src.contains(&format!("int f{i}(int a, int b)")), "missing f{i}");
+        }
+        // Braces balance.
+        assert_eq!(src.matches('{').count(), src.matches('}').count());
+    }
+
+    #[test]
+    fn loops_are_bounded_by_construction() {
+        let gen = CSourceGen::standard(Scale::Test);
+        let src = gen.generate(2).source;
+        // Every while header compares a fresh induction variable against a
+        // literal and the body increments it; spot-check the pattern.
+        for line in src.lines() {
+            if let Some(rest) = line.trim().strip_prefix("while (") {
+                assert!(
+                    rest.starts_with('i'),
+                    "loop must use an induction variable: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_and_distinctness() {
+        let gen = CSourceGen::standard(Scale::Test);
+        assert_eq!(gen.generate(3), gen.generate(3));
+        assert_ne!(gen.generate(3), gen.generate(4));
+    }
+
+    #[test]
+    fn alberta_set_spans_sizes() {
+        let set = alberta_set(Scale::Test);
+        assert_eq!(set.len(), 19, "Table II lists 19 gcc workloads");
+        let sizes: Vec<usize> = set.iter().map(|w| w.workload.source.len()).collect();
+        assert!(sizes.iter().max().unwrap() > &(sizes.iter().min().unwrap() * 2));
+    }
+
+    #[test]
+    fn multifile_program_has_collisions_and_one_main() {
+        let prog = MultiFileGen::standard().generate(5);
+        assert_eq!(prog.files.len(), 4);
+        let mains = prog
+            .files
+            .iter()
+            .filter(|f| f.source.contains("int main()"))
+            .count();
+        assert_eq!(mains, 1);
+        let helper_defs = prog
+            .files
+            .iter()
+            .filter(|f| f.source.contains("static int helper(int v)"))
+            .count();
+        assert_eq!(helper_defs, 3, "every unit redefines static helper");
+    }
+
+    #[test]
+    fn multifile_without_collisions_uses_unique_names() {
+        let gen = MultiFileGen {
+            colliding_statics: false,
+            ..MultiFileGen::standard()
+        };
+        let prog = gen.generate(6);
+        for (f, file) in prog.files.iter().enumerate().take(gen.files) {
+            assert!(file.source.contains(&format!("helper_u{f}")));
+        }
+    }
+}

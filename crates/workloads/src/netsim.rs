@@ -1,0 +1,295 @@
+//! Workload generator for `520.omnetpp_r` — network topologies for the
+//! discrete-event simulator.
+//!
+//! The paper contributes seven omnetpp workloads that — unlike the SPEC
+//! train/ref pair, which only vary simulated time — change the *network
+//! topology*: line, ring, star, tree, and three random topologies with 9,
+//! 18, and 27 edges. This generator produces exactly those shapes plus the
+//! traffic configuration the simulator needs.
+
+use crate::{Named, Scale, SeededRng};
+
+/// The topology families the paper enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Nodes in a chain.
+    Line,
+    /// Nodes in a cycle.
+    Ring,
+    /// One hub connected to all others.
+    Star,
+    /// Balanced binary tree.
+    Tree,
+    /// Connected random graph with the given extra edge count.
+    Random {
+        /// Total number of edges (must be ≥ nodes − 1 for connectivity).
+        edges: usize,
+    },
+}
+
+/// An omnetpp workload: a network description plus simulation parameters —
+/// the analogue of a `.ned` file and its `omnetpp.ini`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetWorkload {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Undirected links as `(a, b)` node-index pairs, `a < b`.
+    pub links: Vec<(u32, u32)>,
+    /// Messages injected per node over the run.
+    pub messages_per_node: u32,
+    /// Mean per-hop transmission delay in simulated microseconds.
+    pub mean_link_delay_us: f64,
+    /// Seed for traffic generation inside the simulator.
+    pub traffic_seed: u64,
+}
+
+impl NetWorkload {
+    /// Checks the graph is connected (a disconnected network would stall
+    /// the simulation the way the paper's early mcf inputs crashed mcf).
+    pub fn is_connected(&self) -> bool {
+        if self.nodes == 0 {
+            return false;
+        }
+        let mut adj = vec![Vec::new(); self.nodes];
+        for &(a, b) in &self.links {
+            adj[a as usize].push(b as usize);
+            adj[b as usize].push(a as usize);
+        }
+        let mut seen = vec![false; self.nodes];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for &m in &adj[n] {
+                if !seen[m] {
+                    seen[m] = true;
+                    count += 1;
+                    stack.push(m);
+                }
+            }
+        }
+        count == self.nodes
+    }
+}
+
+/// Parameters of the network workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetGen {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Topology family.
+    pub topology: Topology,
+    /// Messages per node.
+    pub messages_per_node: u32,
+    /// Mean link delay (µs).
+    pub mean_link_delay_us: f64,
+}
+
+impl NetGen {
+    /// Standard node count / traffic for a scale.
+    pub fn standard(scale: Scale, topology: Topology) -> Self {
+        NetGen {
+            nodes: 10,
+            topology,
+            messages_per_node: scale.apply(40) as u32,
+            mean_link_delay_us: 50.0,
+        }
+    }
+
+    /// Generates the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`, or a random topology requests fewer edges
+    /// than `nodes − 1` or more than the complete graph holds.
+    pub fn generate(&self, seed: u64) -> NetWorkload {
+        assert!(self.nodes >= 2, "need at least two nodes");
+        let mut rng = SeededRng::new(seed);
+        let n = self.nodes as u32;
+        let mut links: Vec<(u32, u32)> = match self.topology {
+            Topology::Line => (0..n - 1).map(|i| (i, i + 1)).collect(),
+            Topology::Ring => {
+                let mut v: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+                v.push((0, n - 1));
+                v
+            }
+            Topology::Star => (1..n).map(|i| (0, i)).collect(),
+            Topology::Tree => (1..n).map(|i| ((i - 1) / 2, i)).collect(),
+            Topology::Random { edges } => {
+                let max_edges = self.nodes * (self.nodes - 1) / 2;
+                assert!(
+                    edges >= self.nodes - 1 && edges <= max_edges,
+                    "random topology needs between n-1 and n(n-1)/2 edges"
+                );
+                // Random spanning tree first (guarantees connectivity) …
+                let mut order: Vec<u32> = (0..n).collect();
+                rng.shuffle(&mut order);
+                let mut v: Vec<(u32, u32)> = Vec::with_capacity(edges);
+                for i in 1..self.nodes {
+                    let parent = order[rng.below(i as u64) as usize];
+                    let child = order[i];
+                    v.push((parent.min(child), parent.max(child)));
+                }
+                // … then extra random edges until the target count.
+                while v.len() < edges {
+                    let a = rng.below(n as u64) as u32;
+                    let b = rng.below(n as u64) as u32;
+                    if a == b {
+                        continue;
+                    }
+                    let e = (a.min(b), a.max(b));
+                    if !v.contains(&e) {
+                        v.push(e);
+                    }
+                }
+                v
+            }
+        };
+        links.sort_unstable();
+        NetWorkload {
+            nodes: self.nodes,
+            links,
+            messages_per_node: self.messages_per_node,
+            mean_link_delay_us: self.mean_link_delay_us,
+            traffic_seed: rng.next_u64(),
+        }
+    }
+}
+
+/// The seven paper topologies: line, ring, star, tree, random-9,
+/// random-18, random-27. Table II lists 10 omnetpp workloads (these seven
+/// plus SPEC's); we add three denser-traffic variants to reach 10.
+pub fn alberta_set(scale: Scale) -> Vec<Named<NetWorkload>> {
+    let mut out = Vec::new();
+    let shapes: [(&str, Topology); 7] = [
+        ("line", Topology::Line),
+        ("ring", Topology::Ring),
+        ("star", Topology::Star),
+        ("tree", Topology::Tree),
+        ("random9", Topology::Random { edges: 9 }),
+        ("random18", Topology::Random { edges: 18 }),
+        ("random27", Topology::Random { edges: 27 }),
+    ];
+    for (i, (name, topo)) in shapes.iter().enumerate() {
+        let gen = NetGen::standard(scale, *topo);
+        out.push(Named::new(
+            format!("alberta.{name}"),
+            gen.generate(0x0E7 + i as u64),
+        ));
+    }
+    for (j, mult) in [2u32, 4, 8].iter().enumerate() {
+        let mut gen = NetGen::standard(scale, Topology::Random { edges: 18 });
+        gen.messages_per_node *= mult;
+        out.push(Named::new(
+            format!("alberta.dense{mult}x"),
+            gen.generate(0x1F0 + j as u64),
+        ));
+    }
+    out
+}
+
+/// Canonical training workload: short run on the tree topology.
+pub fn train(scale: Scale) -> Named<NetWorkload> {
+    let mut gen = NetGen::standard(scale, Topology::Tree);
+    gen.messages_per_node /= 2;
+    Named::new("train", gen.generate(0x7241))
+}
+
+/// Canonical reference workload: long run on a random topology.
+pub fn refrate(scale: Scale) -> Named<NetWorkload> {
+    let mut gen = NetGen::standard(scale, Topology::Random { edges: 18 });
+    gen.messages_per_node *= 2;
+    Named::new("refrate", gen.generate(0x43F))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(topology: Topology) -> NetWorkload {
+        NetGen::standard(Scale::Test, topology).generate(5)
+    }
+
+    #[test]
+    fn line_has_n_minus_one_links() {
+        let w = gen(Topology::Line);
+        assert_eq!(w.links.len(), w.nodes - 1);
+        assert!(w.is_connected());
+    }
+
+    #[test]
+    fn ring_has_n_links() {
+        let w = gen(Topology::Ring);
+        assert_eq!(w.links.len(), w.nodes);
+        assert!(w.is_connected());
+    }
+
+    #[test]
+    fn star_hub_touches_every_link() {
+        let w = gen(Topology::Star);
+        assert!(w.links.iter().all(|&(a, _)| a == 0));
+        assert!(w.is_connected());
+    }
+
+    #[test]
+    fn tree_is_acyclic_and_connected() {
+        let w = gen(Topology::Tree);
+        assert_eq!(w.links.len(), w.nodes - 1);
+        assert!(w.is_connected());
+    }
+
+    #[test]
+    fn random_topologies_hit_exact_edge_counts() {
+        for edges in [9usize, 18, 27] {
+            let w = gen(Topology::Random { edges });
+            assert_eq!(w.links.len(), edges);
+            assert!(w.is_connected(), "random-{edges} must be connected");
+            // No duplicate or self edges.
+            for &(a, b) in &w.links {
+                assert!(a < b);
+            }
+            let mut dedup = w.links.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), w.links.len());
+        }
+    }
+
+    #[test]
+    fn alberta_set_matches_paper_topologies() {
+        let set = alberta_set(Scale::Test);
+        assert_eq!(set.len(), 10, "Table II lists 10 omnetpp workloads");
+        let names: Vec<&str> = set.iter().map(|w| w.name.as_str()).collect();
+        for expected in ["line", "ring", "star", "tree", "random9", "random18", "random27"] {
+            assert!(
+                names.iter().any(|n| n.contains(expected)),
+                "missing {expected}"
+            );
+        }
+        assert!(set.iter().all(|w| w.workload.is_connected()));
+    }
+
+    #[test]
+    fn determinism() {
+        let g = NetGen::standard(Scale::Test, Topology::Random { edges: 18 });
+        assert_eq!(g.generate(1), g.generate(1));
+        assert_ne!(g.generate(1), g.generate(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "between n-1")]
+    fn too_few_random_edges_panics() {
+        let _ = gen(Topology::Random { edges: 3 });
+    }
+
+    #[test]
+    fn disconnected_detector_works() {
+        let w = NetWorkload {
+            nodes: 4,
+            links: vec![(0, 1), (2, 3)],
+            messages_per_node: 1,
+            mean_link_delay_us: 1.0,
+            traffic_seed: 0,
+        };
+        assert!(!w.is_connected());
+    }
+}

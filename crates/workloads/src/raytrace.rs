@@ -1,0 +1,371 @@
+//! Workload generator for `511.povray_r` — ray-tracing scenes.
+//!
+//! The paper organizes its seven povray workloads into three categories:
+//! *collection* (moderately complex geometry of simple primitives),
+//! *lumpy* (a single object over a checkered plane lit by two spotlights,
+//! stressing the FPU), and *primitive* (built-in primitives emphasizing
+//! reflection, refraction and aperture). This generator produces scenes in
+//! each category for the mini-povray ray tracer.
+
+use crate::{Named, Scale, SeededRng};
+
+/// Surface material of a scene object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Base color (r, g, b) in `[0, 1]`.
+    pub color: (f64, f64, f64),
+    /// Specular reflectivity in `[0, 1]`.
+    pub reflectivity: f64,
+    /// Transparency in `[0, 1]`; transparent surfaces refract.
+    pub transparency: f64,
+    /// Refractive index (used when `transparency > 0`).
+    pub ior: f64,
+    /// Checker texture toggle (povray's classic plane texture).
+    pub checker: bool,
+}
+
+impl Material {
+    /// Matte gray default.
+    pub fn matte() -> Self {
+        Material {
+            color: (0.7, 0.7, 0.7),
+            reflectivity: 0.0,
+            transparency: 0.0,
+            ior: 1.0,
+            checker: false,
+        }
+    }
+}
+
+/// Scene geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// Sphere: center and radius.
+    Sphere {
+        /// Center.
+        center: (f64, f64, f64),
+        /// Radius.
+        radius: f64,
+    },
+    /// Infinite horizontal plane at height `y`.
+    Plane {
+        /// Height.
+        y: f64,
+    },
+    /// Axis-aligned box.
+    Box {
+        /// Minimum corner.
+        min: (f64, f64, f64),
+        /// Maximum corner.
+        max: (f64, f64, f64),
+    },
+}
+
+/// One object: shape plus material.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneObject {
+    /// Geometry.
+    pub shape: Shape,
+    /// Surface.
+    pub material: Material,
+}
+
+/// A point/spot light.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Light {
+    /// Position.
+    pub position: (f64, f64, f64),
+    /// Intensity in `[0, ∞)`.
+    pub intensity: f64,
+}
+
+/// A povray workload: scene plus render settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RayScene {
+    /// The objects.
+    pub objects: Vec<SceneObject>,
+    /// The lights.
+    pub lights: Vec<Light>,
+    /// Output width in pixels.
+    pub width: usize,
+    /// Output height in pixels.
+    pub height: usize,
+    /// Maximum recursion depth for reflection/refraction rays.
+    pub max_bounces: u32,
+    /// Paper category this scene belongs to.
+    pub category: SceneCategory,
+}
+
+/// The paper's three workload categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SceneCategory {
+    /// Real-world-ish collections of simple primitives.
+    Collection,
+    /// Single object over a checkered plane with two spotlights.
+    Lumpy,
+    /// Primitives stressing reflection/refraction.
+    Primitive,
+}
+
+/// Parameters of the scene generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RayGen {
+    /// Render width.
+    pub width: usize,
+    /// Render height.
+    pub height: usize,
+    /// Objects in collection scenes.
+    pub collection_objects: usize,
+    /// Maximum ray bounces.
+    pub max_bounces: u32,
+}
+
+impl RayGen {
+    /// Standard configuration scaled by `scale` (resolution scales).
+    pub fn standard(scale: Scale) -> Self {
+        let f = (scale.factor() as f64).sqrt();
+        RayGen {
+            width: (48.0 * f) as usize,
+            height: (32.0 * f) as usize,
+            collection_objects: 12,
+            max_bounces: 4,
+        }
+    }
+
+    /// Generates a scene of the requested category.
+    pub fn generate(&self, category: SceneCategory, seed: u64) -> RayScene {
+        let mut rng = SeededRng::new(seed);
+        let mut objects = Vec::new();
+        let mut lights = Vec::new();
+        match category {
+            SceneCategory::Collection => {
+                objects.push(SceneObject {
+                    shape: Shape::Plane { y: 0.0 },
+                    material: Material::matte(),
+                });
+                for _ in 0..self.collection_objects {
+                    let mat = Material {
+                        color: (rng.unit(), rng.unit(), rng.unit()),
+                        reflectivity: if rng.chance(0.3) { rng.float(0.1, 0.5) } else { 0.0 },
+                        transparency: 0.0,
+                        ior: 1.0,
+                        checker: false,
+                    };
+                    let c = (rng.float(-6.0, 6.0), rng.float(0.4, 3.0), rng.float(4.0, 14.0));
+                    if rng.chance(0.5) {
+                        objects.push(SceneObject {
+                            shape: Shape::Sphere {
+                                center: c,
+                                radius: rng.float(0.3, 1.2),
+                            },
+                            material: mat,
+                        });
+                    } else {
+                        let s = rng.float(0.3, 1.0);
+                        objects.push(SceneObject {
+                            shape: Shape::Box {
+                                min: (c.0 - s, c.1 - s, c.2 - s),
+                                max: (c.0 + s, c.1 + s, c.2 + s),
+                            },
+                            material: mat,
+                        });
+                    }
+                }
+                lights.push(Light {
+                    position: (0.0, 12.0, 0.0),
+                    intensity: 1.0,
+                });
+            }
+            SceneCategory::Lumpy => {
+                // Single blobby object (cluster of spheres) over a
+                // checkered plane, two spotlights — the paper's recipe.
+                objects.push(SceneObject {
+                    shape: Shape::Plane { y: 0.0 },
+                    material: Material {
+                        checker: true,
+                        ..Material::matte()
+                    },
+                });
+                let lumps = 5 + rng.below(6) as usize;
+                for _ in 0..lumps {
+                    objects.push(SceneObject {
+                        shape: Shape::Sphere {
+                            center: (
+                                rng.float(-1.0, 1.0),
+                                rng.float(1.0, 2.4),
+                                rng.float(7.0, 9.0),
+                            ),
+                            radius: rng.float(0.5, 1.1),
+                        },
+                        material: Material {
+                            color: (0.8, 0.6, 0.3),
+                            reflectivity: 0.15,
+                            ..Material::matte()
+                        },
+                    });
+                }
+                lights.push(Light {
+                    position: (-6.0, 10.0, 2.0),
+                    intensity: 0.8,
+                });
+                lights.push(Light {
+                    position: (6.0, 10.0, 2.0),
+                    intensity: 0.8,
+                });
+            }
+            SceneCategory::Primitive => {
+                objects.push(SceneObject {
+                    shape: Shape::Plane { y: 0.0 },
+                    material: Material {
+                        checker: true,
+                        reflectivity: 0.2,
+                        ..Material::matte()
+                    },
+                });
+                // A mirrored sphere and a glass sphere: reflection +
+                // refraction stress.
+                objects.push(SceneObject {
+                    shape: Shape::Sphere {
+                        center: (-1.6, 1.5, 8.0),
+                        radius: 1.5,
+                    },
+                    material: Material {
+                        color: (0.9, 0.9, 0.9),
+                        reflectivity: 0.9,
+                        ..Material::matte()
+                    },
+                });
+                objects.push(SceneObject {
+                    shape: Shape::Sphere {
+                        center: (1.6, 1.5, 7.0),
+                        radius: 1.5,
+                    },
+                    material: Material {
+                        color: (0.95, 0.95, 1.0),
+                        reflectivity: 0.1,
+                        transparency: 0.85,
+                        ior: rng.float(1.3, 1.7),
+                        checker: false,
+                    },
+                });
+                lights.push(Light {
+                    position: (0.0, 9.0, 0.0),
+                    intensity: 1.2,
+                });
+            }
+        }
+        RayScene {
+            objects,
+            lights,
+            width: self.width,
+            height: self.height,
+            max_bounces: self.max_bounces,
+            category,
+        }
+    }
+}
+
+/// The paper's seven povray workloads (Table II lists 10 including SPEC's;
+/// we ship 10: four collection, three lumpy, three primitive).
+pub fn alberta_set(scale: Scale) -> Vec<Named<RayScene>> {
+    let gen = RayGen::standard(scale);
+    let mut out = Vec::new();
+    for i in 0..4u64 {
+        out.push(Named::new(
+            format!("alberta.collection.{i}"),
+            gen.generate(SceneCategory::Collection, 0xC0_11 + i),
+        ));
+    }
+    for i in 0..3u64 {
+        out.push(Named::new(
+            format!("alberta.lumpy.{i}"),
+            gen.generate(SceneCategory::Lumpy, 0x10_3B + i),
+        ));
+    }
+    for i in 0..3u64 {
+        out.push(Named::new(
+            format!("alberta.primitive.{i}"),
+            gen.generate(SceneCategory::Primitive, 0x9414 + i),
+        ));
+    }
+    out
+}
+
+/// Canonical training workload: small collection scene.
+pub fn train(scale: Scale) -> Named<RayScene> {
+    let mut gen = RayGen::standard(scale);
+    gen.collection_objects = 4;
+    Named::new("train", gen.generate(SceneCategory::Collection, 0x7241))
+}
+
+/// Canonical reference workload: primitive scene at full bounce depth.
+pub fn refrate(scale: Scale) -> Named<RayScene> {
+    let gen = RayGen::standard(scale);
+    Named::new("refrate", gen.generate(SceneCategory::Primitive, 0x43F))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lumpy_matches_paper_recipe() {
+        let gen = RayGen::standard(Scale::Test);
+        let s = gen.generate(SceneCategory::Lumpy, 1);
+        assert_eq!(s.lights.len(), 2, "two spotlights");
+        let planes = s
+            .objects
+            .iter()
+            .filter(|o| matches!(o.shape, Shape::Plane { .. }))
+            .count();
+        assert_eq!(planes, 1);
+        assert!(s.objects[0].material.checker, "checkered plane");
+    }
+
+    #[test]
+    fn primitive_scene_has_reflective_and_refractive_objects() {
+        let gen = RayGen::standard(Scale::Test);
+        let s = gen.generate(SceneCategory::Primitive, 2);
+        assert!(s.objects.iter().any(|o| o.material.reflectivity > 0.5));
+        assert!(s.objects.iter().any(|o| o.material.transparency > 0.5));
+    }
+
+    #[test]
+    fn collection_object_count_matches_config() {
+        let gen = RayGen {
+            collection_objects: 7,
+            ..RayGen::standard(Scale::Test)
+        };
+        let s = gen.generate(SceneCategory::Collection, 3);
+        assert_eq!(s.objects.len(), 8, "7 primitives + ground plane");
+    }
+
+    #[test]
+    fn alberta_set_covers_all_categories() {
+        let set = alberta_set(Scale::Test);
+        assert_eq!(set.len(), 10, "Table II lists 10 povray workloads");
+        for cat in [
+            SceneCategory::Collection,
+            SceneCategory::Lumpy,
+            SceneCategory::Primitive,
+        ] {
+            assert!(set.iter().any(|w| w.workload.category == cat));
+        }
+    }
+
+    #[test]
+    fn resolution_scales() {
+        let t = RayGen::standard(Scale::Test);
+        let r = RayGen::standard(Scale::Ref);
+        assert!(r.width > t.width);
+    }
+
+    #[test]
+    fn determinism() {
+        let gen = RayGen::standard(Scale::Test);
+        assert_eq!(
+            gen.generate(SceneCategory::Collection, 9),
+            gen.generate(SceneCategory::Collection, 9)
+        );
+    }
+}

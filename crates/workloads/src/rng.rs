@@ -1,0 +1,176 @@
+//! Seeded random-number helper shared by every generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG wrapper with the handful of draw shapes the
+/// generators need. All Alberta generators derive their entire output from
+/// one `u64` seed through this type, which is what makes workload
+/// generation reproducible across machines.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: SmallRng,
+}
+
+impl SeededRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives a child RNG for an independent sub-stream. Children with
+    /// different labels never correlate, so adding a draw to one part of a
+    /// generator does not perturb another part's output.
+    pub fn child(&self, label: u64) -> Self {
+        let mut probe = self.clone();
+        let base: u64 = probe.inner.gen();
+        SeededRng::new(base ^ label.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn float(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty float range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        let i = self.below(items.len() as u64) as usize;
+        &items[i]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Raw u64 draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(7);
+        let mut b = SeededRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SeededRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = SeededRng::new(4);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.range(-2, 2);
+            assert!((-2..=2).contains(&v));
+            seen_lo |= v == -2;
+            seen_hi |= v == 2;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn children_are_independent_of_sibling_draw_counts() {
+        let parent = SeededRng::new(11);
+        let mut c1a = parent.child(1);
+        let mut c1b = parent.child(1);
+        let _ = parent.child(2); // unrelated sibling
+        assert_eq!(c1a.next_u64(), c1b.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SeededRng::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn pick_covers_all_elements_eventually() {
+        let mut r = SeededRng::new(6);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*r.pick(&items) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_bound_panics() {
+        SeededRng::new(0).below(0);
+    }
+}

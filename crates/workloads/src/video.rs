@@ -1,0 +1,317 @@
+//! Workload generator for `525.x264_r` — synthetic video sequences.
+//!
+//! The paper's x264 workloads are public-domain HD videos plus a script
+//! that sets the encoding window (start frame, frame count, dump
+//! interval). We have no video corpus, so frames are synthesized: moving
+//! gradient backgrounds with moving rectangular objects, optional sensor
+//! noise, and hard scene cuts. Those knobs control exactly what drives an
+//! encoder's behaviour — motion-estimation success, residual energy, and
+//! intra/inter decisions — so varying them moves the benchmark the way
+//! different real videos would.
+
+use crate::{Named, Scale, SeededRng};
+
+/// One luma frame, row-major `width × height` bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Width in pixels (multiple of 8).
+    pub width: usize,
+    /// Height in pixels (multiple of 8).
+    pub height: usize,
+    /// Luma samples.
+    pub pixels: Vec<u8>,
+}
+
+impl Frame {
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+}
+
+/// An x264 workload: the frame sequence plus encoder parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VideoWorkload {
+    /// The frames.
+    pub frames: Vec<Frame>,
+    /// Quantization step (higher = coarser).
+    pub quantizer: u8,
+    /// Motion-search radius in pixels.
+    pub search_radius: u8,
+    /// Insert an intra (key) frame every `keyframe_interval` frames.
+    pub keyframe_interval: u32,
+}
+
+/// Parameters of the video generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoGen {
+    /// Frame width (multiple of 8).
+    pub width: usize,
+    /// Frame height (multiple of 8).
+    pub height: usize,
+    /// Number of frames.
+    pub frames: usize,
+    /// Number of moving objects.
+    pub objects: usize,
+    /// Global motion speed in pixels/frame.
+    pub motion: f64,
+    /// Additive noise amplitude (0 = clean).
+    pub noise: u8,
+    /// Scene cuts: frame indices where content resets.
+    pub cuts: usize,
+}
+
+impl VideoGen {
+    /// Standard configuration scaled by `scale`.
+    pub fn standard(scale: Scale) -> Self {
+        VideoGen {
+            width: 48,
+            height: 32,
+            frames: scale.apply(6),
+            objects: 3,
+            motion: 1.5,
+            noise: 4,
+            cuts: 1,
+        }
+    }
+
+    /// Generates the frame sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are not positive multiples of 8 or `frames`
+    /// is zero.
+    pub fn generate(&self, seed: u64) -> VideoWorkload {
+        assert!(
+            self.width % 8 == 0 && self.height % 8 == 0 && self.width > 0 && self.height > 0,
+            "dimensions must be positive multiples of 8"
+        );
+        assert!(self.frames > 0, "need at least one frame");
+        let mut rng = SeededRng::new(seed);
+        let mut frames = Vec::with_capacity(self.frames);
+        let cut_every = if self.cuts > 0 {
+            (self.frames / (self.cuts + 1)).max(1)
+        } else {
+            usize::MAX
+        };
+        let mut scene_seed = rng.next_u64();
+        let mut objects = spawn_objects(self, scene_seed);
+        for f in 0..self.frames {
+            if f > 0 && f % cut_every == 0 {
+                scene_seed = rng.next_u64();
+                objects = spawn_objects(self, scene_seed);
+            }
+            let t = (f % cut_every) as f64;
+            let mut pixels = vec![0u8; self.width * self.height];
+            let mut bg_rng = SeededRng::new(scene_seed ^ 0xB6);
+            let phase = bg_rng.float(0.0, 6.28);
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    // Drifting diagonal gradient background.
+                    let v = ((x as f64 + y as f64 + t * self.motion) * 0.15 + phase).sin();
+                    pixels[y * self.width + x] = (128.0 + 80.0 * v) as u8;
+                }
+            }
+            for obj in &objects {
+                let ox = (obj.x + t * obj.vx).rem_euclid(self.width as f64) as usize;
+                let oy = (obj.y + t * obj.vy).rem_euclid(self.height as f64) as usize;
+                for dy in 0..obj.size {
+                    for dx in 0..obj.size {
+                        let px = (ox + dx) % self.width;
+                        let py = (oy + dy) % self.height;
+                        pixels[py * self.width + px] = obj.shade;
+                    }
+                }
+            }
+            if self.noise > 0 {
+                let mut noise_rng = SeededRng::new(seed ^ (f as u64) << 8);
+                for p in pixels.iter_mut() {
+                    let n = noise_rng.range(-(self.noise as i64), self.noise as i64);
+                    *p = (*p as i64 + n).clamp(0, 255) as u8;
+                }
+            }
+            frames.push(Frame {
+                width: self.width,
+                height: self.height,
+                pixels,
+            });
+        }
+        VideoWorkload {
+            frames,
+            quantizer: 8,
+            search_radius: 4,
+            keyframe_interval: 8,
+        }
+    }
+}
+
+struct MovingObject {
+    x: f64,
+    y: f64,
+    vx: f64,
+    vy: f64,
+    size: usize,
+    shade: u8,
+}
+
+fn spawn_objects(gen: &VideoGen, seed: u64) -> Vec<MovingObject> {
+    let mut rng = SeededRng::new(seed);
+    (0..gen.objects)
+        .map(|_| MovingObject {
+            x: rng.float(0.0, gen.width as f64),
+            y: rng.float(0.0, gen.height as f64),
+            vx: rng.float(-gen.motion, gen.motion.max(0.1)),
+            vy: rng.float(-gen.motion, gen.motion.max(0.1)),
+            size: 4 + rng.below(6) as usize,
+            shade: 30 + rng.below(200) as u8,
+        })
+        .collect()
+}
+
+/// The Alberta x264 set: Table II has no x264 row (it was excluded from
+/// the characterization tables) but the paper describes the workload
+/// recipe; we ship six videos spanning still/high-motion, clean/noisy,
+/// and cut-free/cut-heavy content.
+pub fn alberta_set(scale: Scale) -> Vec<Named<VideoWorkload>> {
+    let base = VideoGen::standard(scale);
+    let variants: [(&str, f64, u8, usize); 6] = [
+        ("still.clean", 0.0, 0, 0),
+        ("still.noisy", 0.0, 12, 0),
+        ("pan.clean", 1.0, 0, 0),
+        ("pan.noisy", 1.5, 8, 1),
+        ("action.clean", 4.0, 0, 2),
+        ("action.noisy", 4.0, 12, 3),
+    ];
+    variants
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, motion, noise, cuts))| {
+            let gen = VideoGen {
+                motion,
+                noise,
+                cuts,
+                ..base
+            };
+            Named::new(format!("alberta.{name}"), gen.generate(0x264 + i as u64))
+        })
+        .collect()
+}
+
+/// Canonical training workload: a short, low-motion clip.
+pub fn train(scale: Scale) -> Named<VideoWorkload> {
+    let mut gen = VideoGen::standard(scale);
+    gen.frames = (gen.frames / 2).max(2);
+    gen.motion = 0.5;
+    Named::new("train", gen.generate(0x7241))
+}
+
+/// Canonical reference workload: a longer mixed clip.
+pub fn refrate(scale: Scale) -> Named<VideoWorkload> {
+    let mut gen = VideoGen::standard(scale);
+    gen.frames *= 2;
+    Named::new("refrate", gen.generate(0x43F))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_have_requested_geometry() {
+        let gen = VideoGen::standard(Scale::Test);
+        let w = gen.generate(1);
+        assert_eq!(w.frames.len(), gen.frames);
+        for f in &w.frames {
+            assert_eq!(f.pixels.len(), gen.width * gen.height);
+            let _ = f.at(0, 0);
+            let _ = f.at(gen.width - 1, gen.height - 1);
+        }
+    }
+
+    #[test]
+    fn still_video_has_nearly_identical_consecutive_frames() {
+        let gen = VideoGen {
+            motion: 0.0,
+            noise: 0,
+            cuts: 0,
+            ..VideoGen::standard(Scale::Test)
+        };
+        let w = gen.generate(2);
+        let diff = frame_diff(&w.frames[0], &w.frames[1]);
+        assert!(diff < 0.5, "still clean video should barely change: {diff}");
+    }
+
+    #[test]
+    fn motion_increases_frame_difference() {
+        let still = VideoGen {
+            motion: 0.0,
+            noise: 0,
+            cuts: 0,
+            ..VideoGen::standard(Scale::Test)
+        }
+        .generate(3);
+        let action = VideoGen {
+            motion: 4.0,
+            noise: 0,
+            cuts: 0,
+            ..VideoGen::standard(Scale::Test)
+        }
+        .generate(3);
+        assert!(
+            frame_diff(&action.frames[0], &action.frames[1])
+                > frame_diff(&still.frames[0], &still.frames[1]) + 1.0
+        );
+    }
+
+    #[test]
+    fn scene_cut_causes_large_difference_spike() {
+        let gen = VideoGen {
+            frames: 8,
+            motion: 0.2,
+            noise: 0,
+            cuts: 1,
+            ..VideoGen::standard(Scale::Test)
+        };
+        let w = gen.generate(4);
+        let cut_at = 8 / 2;
+        let at_cut = frame_diff(&w.frames[cut_at - 1], &w.frames[cut_at]);
+        let steady = frame_diff(&w.frames[0], &w.frames[1]);
+        assert!(at_cut > steady * 3.0, "cut {at_cut} vs steady {steady}");
+    }
+
+    #[test]
+    fn alberta_set_has_six_videos() {
+        let set = alberta_set(Scale::Test);
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn determinism() {
+        let gen = VideoGen::standard(Scale::Test);
+        assert_eq!(gen.generate(7), gen.generate(7));
+        assert_ne!(gen.generate(7), gen.generate(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 8")]
+    fn ragged_dimensions_panic() {
+        let mut gen = VideoGen::standard(Scale::Test);
+        gen.width = 50;
+        let _ = gen.generate(0);
+    }
+
+    fn frame_diff(a: &Frame, b: &Frame) -> f64 {
+        let n = a.pixels.len() as f64;
+        a.pixels
+            .iter()
+            .zip(&b.pixels)
+            .map(|(&x, &y)| (x as f64 - y as f64).abs())
+            .sum::<f64>()
+            / n
+    }
+}

@@ -1,0 +1,263 @@
+//! Workload generator for `521.wrf_r` — weather-simulation inputs.
+//!
+//! The paper's twelve wrf workloads pair two storm datasets (hurricane
+//! Katrina, typhoon Rusa) with command-line physics options (microphysics,
+//! long-wave radiation, land-surface temperature, boundary-layer scheme).
+//! Our mini-wrf advects a synthetic storm across a 2-D grid, so a workload
+//! is a storm shape (the "dataset") plus the same four physics toggles
+//! (the "namelist").
+
+use crate::{Named, Scale, SeededRng};
+
+/// The synthetic storm initial condition — stands in for a WRF input
+/// dataset captured during a major weather event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Storm {
+    /// Vortex center as grid fractions.
+    pub center: (f64, f64),
+    /// Vortex radius as a grid fraction.
+    pub radius: f64,
+    /// Peak wind intensity.
+    pub intensity: f64,
+    /// Ambient steering-wind vector.
+    pub steering: (f64, f64),
+    /// Moisture content scale in `[0, 1]`.
+    pub moisture: f64,
+}
+
+impl Storm {
+    /// A Katrina-flavoured storm: large, intense, moist, drifting NW.
+    pub fn katrina() -> Self {
+        Storm {
+            center: (0.7, 0.3),
+            radius: 0.18,
+            intensity: 1.0,
+            steering: (-0.4, 0.5),
+            moisture: 0.9,
+        }
+    }
+
+    /// A Rusa-flavoured storm: compact, fast-moving, moderately moist.
+    pub fn rusa() -> Self {
+        Storm {
+            center: (0.25, 0.65),
+            radius: 0.1,
+            intensity: 0.8,
+            steering: (0.7, -0.2),
+            moisture: 0.7,
+        }
+    }
+}
+
+/// The physics options the paper's script toggles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysicsOptions {
+    /// Cloud microphysics (condensation/precipitation source terms).
+    pub microphysics: bool,
+    /// Long-wave radiative cooling.
+    pub longwave_radiation: bool,
+    /// Land-surface temperature coupling.
+    pub land_surface: bool,
+    /// Boundary-layer mixing scheme (0 = off, 1 = simple, 2 = strong).
+    pub boundary_layer: u8,
+}
+
+impl PhysicsOptions {
+    /// All physics enabled at the stronger settings.
+    pub fn full() -> Self {
+        PhysicsOptions {
+            microphysics: true,
+            longwave_radiation: true,
+            land_surface: true,
+            boundary_layer: 2,
+        }
+    }
+
+    /// Dynamics-only run.
+    pub fn dynamics_only() -> Self {
+        PhysicsOptions {
+            microphysics: false,
+            longwave_radiation: false,
+            land_surface: false,
+            boundary_layer: 0,
+        }
+    }
+}
+
+/// A wrf workload: dataset + namelist + run length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeatherWorkload {
+    /// Grid points per side.
+    pub grid: usize,
+    /// Time steps.
+    pub steps: usize,
+    /// The storm initial condition.
+    pub storm: Storm,
+    /// Physics options.
+    pub physics: PhysicsOptions,
+    /// Seed for terrain generation.
+    pub terrain_seed: u64,
+}
+
+/// Parameters of the weather workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeatherGen {
+    /// Grid points per side.
+    pub grid: usize,
+    /// Time steps.
+    pub steps: usize,
+}
+
+impl WeatherGen {
+    /// Standard configuration scaled by `scale`.
+    pub fn standard(scale: Scale) -> Self {
+        WeatherGen {
+            grid: 24 + 4 * scale.factor(),
+            steps: scale.apply(8),
+        }
+    }
+
+    /// Generates one workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid < 8` or `steps == 0`.
+    pub fn generate(&self, storm: Storm, physics: PhysicsOptions, seed: u64) -> WeatherWorkload {
+        assert!(self.grid >= 8, "grid too coarse");
+        assert!(self.steps > 0, "need at least one step");
+        let mut rng = SeededRng::new(seed);
+        WeatherWorkload {
+            grid: self.grid,
+            steps: self.steps,
+            storm,
+            physics,
+            terrain_seed: rng.next_u64(),
+        }
+    }
+}
+
+/// The paper's twelve workloads = 2 storms × 6 physics combinations;
+/// Table II lists 16 wrf workloads, so we use 2 storms × 8 combinations.
+pub fn alberta_set(scale: Scale) -> Vec<Named<WeatherWorkload>> {
+    let gen = WeatherGen::standard(scale);
+    let combos: [(&str, PhysicsOptions); 8] = [
+        ("full", PhysicsOptions::full()),
+        ("dyn", PhysicsOptions::dynamics_only()),
+        (
+            "micro",
+            PhysicsOptions {
+                microphysics: true,
+                ..PhysicsOptions::dynamics_only()
+            },
+        ),
+        (
+            "rad",
+            PhysicsOptions {
+                longwave_radiation: true,
+                ..PhysicsOptions::dynamics_only()
+            },
+        ),
+        (
+            "land",
+            PhysicsOptions {
+                land_surface: true,
+                ..PhysicsOptions::dynamics_only()
+            },
+        ),
+        (
+            "pbl1",
+            PhysicsOptions {
+                boundary_layer: 1,
+                ..PhysicsOptions::dynamics_only()
+            },
+        ),
+        (
+            "pbl2",
+            PhysicsOptions {
+                boundary_layer: 2,
+                ..PhysicsOptions::dynamics_only()
+            },
+        ),
+        (
+            "norad",
+            PhysicsOptions {
+                longwave_radiation: false,
+                ..PhysicsOptions::full()
+            },
+        ),
+    ];
+    let mut out = Vec::new();
+    for (sname, storm) in [("katrina", Storm::katrina()), ("rusa", Storm::rusa())] {
+        for (i, (pname, physics)) in combos.iter().enumerate() {
+            out.push(Named::new(
+                format!("alberta.{sname}.{pname}"),
+                gen.generate(storm, *physics, 0x34F + i as u64),
+            ));
+        }
+    }
+    out
+}
+
+/// Canonical training workload: short Rusa run, simple physics.
+pub fn train(scale: Scale) -> Named<WeatherWorkload> {
+    let mut gen = WeatherGen::standard(scale);
+    gen.steps = (gen.steps / 2).max(1);
+    Named::new(
+        "train",
+        gen.generate(Storm::rusa(), PhysicsOptions::dynamics_only(), 0x7241),
+    )
+}
+
+/// Canonical reference workload: long Katrina run, full physics.
+pub fn refrate(scale: Scale) -> Named<WeatherWorkload> {
+    let mut gen = WeatherGen::standard(scale);
+    gen.steps *= 2;
+    Named::new(
+        "refrate",
+        gen.generate(Storm::katrina(), PhysicsOptions::full(), 0x43F),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alberta_set_is_two_storms_by_eight_options() {
+        let set = alberta_set(Scale::Test);
+        assert_eq!(set.len(), 16, "Table II lists 16 wrf workloads");
+        let katrina = set.iter().filter(|w| w.name.contains("katrina")).count();
+        assert_eq!(katrina, 8);
+    }
+
+    #[test]
+    fn storms_differ_in_shape() {
+        let k = Storm::katrina();
+        let r = Storm::rusa();
+        assert!(k.radius > r.radius);
+        assert!(k.moisture > r.moisture);
+        assert_ne!(k.steering, r.steering);
+    }
+
+    #[test]
+    fn physics_presets() {
+        assert!(PhysicsOptions::full().microphysics);
+        assert!(!PhysicsOptions::dynamics_only().land_surface);
+        assert_eq!(PhysicsOptions::dynamics_only().boundary_layer, 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let gen = WeatherGen::standard(Scale::Test);
+        let a = gen.generate(Storm::katrina(), PhysicsOptions::full(), 1);
+        let b = gen.generate(Storm::katrina(), PhysicsOptions::full(), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too coarse")]
+    fn tiny_grid_panics() {
+        let gen = WeatherGen { grid: 4, steps: 1 };
+        let _ = gen.generate(Storm::rusa(), PhysicsOptions::full(), 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Workload generator for `523.xalancbmk_r` — XML documents plus an
+//! XSLT-subset stylesheet.
+//!
+//! The paper's xalanc workloads came from XSLTMark and XMark: the team
+//! wrote "a script to produce new random XML files with different sizes
+//! but with the same format so that they could be processed with the same
+//! .xls file", and combined eighteen XMark queries into one stylesheet.
+//! This generator mirrors both halves: [`XmlGen`] emits random documents
+//! over a fixed auction-like schema (sites/people/items, like XMark), and
+//! [`standard_stylesheet`] provides the matching multi-template
+//! transformation program consumed by the mini-xalan engine.
+
+use crate::{Named, Scale, SeededRng};
+
+/// A xalancbmk workload: document text plus stylesheet text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlWorkload {
+    /// The XML document.
+    pub document: String,
+    /// The stylesheet program (mini-XSLT source, see `alberta-benchmarks`
+    /// `minixalan` for the grammar).
+    pub stylesheet: String,
+}
+
+/// Parameters of the XML document generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XmlGen {
+    /// Number of `<item>` records.
+    pub items: usize,
+    /// Number of `<person>` records.
+    pub people: usize,
+    /// Maximum nesting depth of `<category>` wrappers around items.
+    pub max_depth: usize,
+    /// Average length of text payloads in characters.
+    pub text_len: usize,
+}
+
+impl XmlGen {
+    /// Standard configuration scaled by `scale`.
+    pub fn standard(scale: Scale) -> Self {
+        XmlGen {
+            items: scale.apply(120),
+            people: scale.apply(40),
+            max_depth: 4,
+            text_len: 40,
+        }
+    }
+
+    /// Generates a document over the fixed auction schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` and `people` are both zero.
+    pub fn generate(&self, seed: u64) -> String {
+        assert!(
+            self.items + self.people > 0,
+            "document must contain at least one record"
+        );
+        let mut rng = SeededRng::new(seed);
+        let mut out = String::with_capacity((self.items + self.people) * 160);
+        out.push_str("<auction>\n");
+        out.push_str(" <people>\n");
+        for i in 0..self.people {
+            let name = random_word(&mut rng);
+            let city = random_word(&mut rng);
+            out.push_str(&format!(
+                "  <person id=\"p{i}\"><name>{name}</name><city>{city}</city><rating>{}</rating></person>\n",
+                rng.below(10)
+            ));
+        }
+        out.push_str(" </people>\n <items>\n");
+        for i in 0..self.items {
+            let depth = 1 + rng.below(self.max_depth.max(1) as u64) as usize;
+            for d in 0..depth {
+                out.push_str(&format!("{}<category name=\"c{}\">\n", "  ".repeat(d + 1), rng.below(8)));
+            }
+            let seller = if self.people > 0 {
+                rng.below(self.people as u64)
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "{}<item id=\"i{i}\" seller=\"p{seller}\"><price>{}</price><desc>{}</desc></item>\n",
+                "  ".repeat(depth + 1),
+                rng.below(100_000),
+                random_text(&mut rng, self.text_len),
+            ));
+            for d in (0..depth).rev() {
+                out.push_str(&format!("{}</category>\n", "  ".repeat(d + 1)));
+            }
+        }
+        out.push_str(" </items>\n</auction>\n");
+        out
+    }
+}
+
+fn random_word(rng: &mut SeededRng) -> String {
+    const WORDS: [&str; 16] = [
+        "aster", "birch", "cedar", "delta", "ember", "fjord", "grove", "heath", "islet", "jetty",
+        "knoll", "larch", "mesa", "nadir", "oasis", "pines",
+    ];
+    (*rng.pick(&WORDS)).to_owned()
+}
+
+fn random_text(rng: &mut SeededRng, len: usize) -> String {
+    let mut s = String::with_capacity(len + 8);
+    while s.len() < len {
+        s.push_str(&random_word(rng));
+        s.push(' ');
+    }
+    s.truncate(len);
+    s
+}
+
+/// The fixed stylesheet shared by every workload (like XSLTMark's single
+/// `.xls` applied to documents of different sizes). The grammar is the
+/// mini-XSLT accepted by `minixalan`: one `template <pattern> { ... }`
+/// rule per line-group with `value-of`, `for-each`, `if`, and literal
+/// output actions.
+pub fn standard_stylesheet() -> String {
+    "\
+template auction {\n\
+  emit <report>\n\
+  apply people\n\
+  apply items\n\
+  emit </report>\n\
+}\n\
+template people {\n\
+  emit <sellers>\n\
+  for-each person {\n\
+    if @rating > 5 {\n\
+      emit <seller>\n\
+      value-of name\n\
+      value-of city\n\
+      emit </seller>\n\
+    }\n\
+  }\n\
+  emit </sellers>\n\
+}\n\
+template items {\n\
+  emit <listing>\n\
+  for-each item {\n\
+    if @price > 50000 {\n\
+      emit <expensive>\n\
+      value-of price\n\
+      emit </expensive>\n\
+    }\n\
+    value-of desc\n\
+  }\n\
+  emit </listing>\n\
+}\n\
+template category {\n\
+  apply *\n\
+}\n"
+    .to_owned()
+}
+
+/// The Alberta workload set: the paper's Table II row for xalancbmk lists
+/// 8 workloads — five from XSLT benchmarks plus size variants. We generate
+/// 8 documents of widely varying size and shape against the one shared
+/// stylesheet.
+pub fn alberta_set(scale: Scale) -> Vec<Named<XmlWorkload>> {
+    let base = XmlGen::standard(scale);
+    // Sizes deliberately span two orders of magnitude, like the paper's
+    // mix of short XSLTMark inputs and the combined XMark workload: the
+    // smallest documents are cache-resident, the largest are not.
+    let variants: [(usize, usize, usize); 8] = [
+        (base.items / 8 + 1, base.people / 8 + 1, 2),
+        (base.items / 2, base.people, 3),
+        (base.items, base.people / 2, 4),
+        (base.items, base.people, 4),
+        (base.items * 4, base.people / 4, 1),
+        (base.items / 4 + 1, base.people * 2, 6),
+        (base.items * 8, base.people, 5),
+        (base.items * 16, base.people * 4, 3),
+    ];
+    variants
+        .iter()
+        .enumerate()
+        .map(|(i, &(items, people, max_depth))| {
+            let gen = XmlGen {
+                items,
+                people,
+                max_depth,
+                text_len: base.text_len,
+            };
+            Named::new(
+                format!("alberta.{i}"),
+                XmlWorkload {
+                    document: gen.generate(0x3A1 + i as u64),
+                    stylesheet: standard_stylesheet(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Canonical training workload: a small document.
+pub fn train(scale: Scale) -> Named<XmlWorkload> {
+    let mut gen = XmlGen::standard(scale);
+    gen.items /= 4;
+    gen.people /= 4;
+    Named::new(
+        "train",
+        XmlWorkload {
+            document: gen.generate(0x7241),
+            stylesheet: standard_stylesheet(),
+        },
+    )
+}
+
+/// Canonical reference workload: a large document.
+pub fn refrate(scale: Scale) -> Named<XmlWorkload> {
+    let mut gen = XmlGen::standard(scale);
+    gen.items *= 2;
+    Named::new(
+        "refrate",
+        XmlWorkload {
+            document: gen.generate(0x43F),
+            stylesheet: standard_stylesheet(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_is_well_formed_enough() {
+        let gen = XmlGen::standard(Scale::Test);
+        let doc = gen.generate(1);
+        assert!(doc.starts_with("<auction>"));
+        assert!(doc.trim_end().ends_with("</auction>"));
+        // Tag balance: opens equal closes for every element name we emit.
+        // Open patterns include the following delimiter so that `<item `
+        // does not also count `<items>`.
+        for (open, close) in [
+            ("<person ", "</person>"),
+            ("<item ", "</item>"),
+            ("<category ", "</category>"),
+            ("<people>", "</people>"),
+            ("<items>", "</items>"),
+        ] {
+            assert_eq!(
+                doc.matches(open).count(),
+                doc.matches(close).count(),
+                "unbalanced {open}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_counts_match_parameters() {
+        let gen = XmlGen {
+            items: 17,
+            people: 5,
+            max_depth: 3,
+            text_len: 20,
+        };
+        let doc = gen.generate(2);
+        assert_eq!(doc.matches("<item ").count(), 17);
+        assert_eq!(doc.matches("<person ").count(), 5);
+    }
+
+    #[test]
+    fn nesting_depth_bounded() {
+        let gen = XmlGen {
+            items: 50,
+            people: 1,
+            max_depth: 2,
+            text_len: 10,
+        };
+        let doc = gen.generate(3);
+        let mut depth = 0usize;
+        let mut max_depth = 0usize;
+        for line in doc.lines() {
+            let t = line.trim();
+            if t.starts_with("<category") {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            } else if t.starts_with("</category") {
+                depth -= 1;
+            }
+        }
+        assert!(max_depth <= 2);
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn alberta_set_varies_size() {
+        let set = alberta_set(Scale::Test);
+        assert_eq!(set.len(), 8, "Table II lists 8 xalancbmk workloads");
+        let sizes: Vec<usize> = set.iter().map(|w| w.workload.document.len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max > &(min * 3), "sizes should span a wide range: {sizes:?}");
+    }
+
+    #[test]
+    fn stylesheet_is_shared_and_nonempty() {
+        let set = alberta_set(Scale::Test);
+        for w in &set {
+            assert_eq!(w.workload.stylesheet, standard_stylesheet());
+        }
+        assert!(standard_stylesheet().contains("template auction"));
+    }
+
+    #[test]
+    fn determinism() {
+        let gen = XmlGen::standard(Scale::Test);
+        assert_eq!(gen.generate(9), gen.generate(9));
+        assert_ne!(gen.generate(9), gen.generate(10));
+    }
+}

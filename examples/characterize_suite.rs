@@ -1,0 +1,23 @@
+//! Full Table II regeneration through the library API (the binary
+//! `table2` in `alberta-bench` wraps the same calls).
+//!
+//! ```text
+//! cargo run --release --example characterize_suite [test|train|ref]
+//! ```
+
+use alberta::core::tables;
+use alberta::core::Suite;
+use alberta::workloads::Scale;
+
+fn main() -> Result<(), alberta::core::CoreError> {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("train") => Scale::Train,
+        Some("ref") => Scale::Ref,
+        _ => Scale::Test,
+    };
+    let suite = Suite::new(scale);
+    let table = tables::table2(&suite)?;
+    println!("{}", table.render());
+    println!("{}", table.render_comparison());
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: characterize one benchmark across its workloads and print
+//! the paper's summary statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use alberta::core::figures::fig1_series;
+use alberta::core::Suite;
+use alberta::workloads::Scale;
+
+fn main() -> Result<(), alberta::core::CoreError> {
+    // Build the fifteen-benchmark suite at the fast test scale.
+    let suite = Suite::new(Scale::Test);
+
+    // Characterize 557.xz_r: run train, refrate, and every Alberta
+    // workload under the instrumented profiler and the Top-Down model.
+    let c = suite.characterize("xz")?;
+    println!(
+        "{} characterized over {} workloads",
+        c.spec_id,
+        c.workload_count()
+    );
+
+    // The Table II row quantities (Section V of the paper).
+    println!("\nTop-Down geometric summary (Eq. 1-4):");
+    for (name, cat) in [
+        ("front-end", &c.topdown.front_end),
+        ("back-end", &c.topdown.back_end),
+        ("bad-spec", &c.topdown.bad_speculation),
+        ("retiring", &c.topdown.retiring),
+    ] {
+        println!(
+            "  {name:>9}: μg = {:5.1}%  σg = {:.2}  V = {:6.2}",
+            cat.geo_mean * 100.0,
+            cat.geo_std,
+            cat.variation
+        );
+    }
+    println!("  μg(V) = {:.2}   (single-number behaviour-variation proxy)", c.topdown.mu_g_v);
+    println!("  μg(M) = {:.2}   (method-coverage variation, Eq. 5)", c.coverage.mu_g_m);
+
+    // Per-workload stacks (Figure 1 for this benchmark).
+    println!("\n{}", fig1_series(&c).render());
+    Ok(())
+}

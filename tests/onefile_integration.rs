@@ -1,0 +1,76 @@
+//! Integration of the OneFile merger with the minigcc compiler: merged
+//! programs must compile, run, and preserve per-unit static semantics.
+
+use alberta::benchmarks::minigcc::{lex, parse, MiniGcc, OptOptions};
+use alberta::onefile::{emit, merge};
+use alberta::profile::Profiler;
+use alberta::workloads::csrc::MultiFileGen;
+
+fn run_source(src: &str) -> i64 {
+    let mut p = Profiler::default();
+    let (r, _) = MiniGcc::compile_and_run(src, &OptOptions::default(), &mut p)
+        .expect("merged source compiles and runs");
+    let _ = p.finish();
+    r
+}
+
+#[test]
+fn merged_programs_compile_and_run_across_many_seeds() {
+    for seed in 0..10 {
+        let program = MultiFileGen::standard().generate(seed);
+        let merged = merge(&program.files).expect("merge succeeds");
+        let result = run_source(&merged.source);
+        // Same program with unique names concatenated gives the oracle.
+        let unique = MultiFileGen {
+            colliding_statics: false,
+            ..MultiFileGen::standard()
+        }
+        .generate(seed);
+        let reference: String = unique
+            .files
+            .iter()
+            .map(|f| f.source.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(result, run_source(&reference), "seed {seed}");
+    }
+}
+
+#[test]
+fn merge_scales_with_file_count() {
+    let gen = MultiFileGen {
+        files: 8,
+        functions_per_file: 4,
+        colliding_statics: true,
+    };
+    let program = gen.generate(3);
+    let merged = merge(&program.files).expect("merge succeeds");
+    // 8 units × (1 static counter + 1 static helper) mangled.
+    assert_eq!(merged.mangled, 16);
+    assert!(run_source(&merged.source) != 0);
+}
+
+#[test]
+fn emitted_merge_round_trips_through_the_parser() {
+    let program = MultiFileGen::standard().generate(7);
+    let merged = merge(&program.files).expect("merge succeeds");
+    let reparsed = parse(&lex(&merged.source).expect("lexes")).expect("parses");
+    let emitted_again = emit(&reparsed);
+    let reparsed_again = parse(&lex(&emitted_again).expect("lexes")).expect("parses");
+    assert_eq!(reparsed, reparsed_again, "emit/parse must be a fixpoint");
+}
+
+#[test]
+fn optimization_levels_agree_on_merged_programs() {
+    for seed in 0..5 {
+        let program = MultiFileGen::standard().generate(100 + seed);
+        let merged = merge(&program.files).expect("merge succeeds");
+        let mut p0 = Profiler::default();
+        let mut p2 = Profiler::default();
+        let (r0, _) =
+            MiniGcc::compile_and_run(&merged.source, &OptOptions::none(), &mut p0).expect("O0");
+        let (r2, _) = MiniGcc::compile_and_run(&merged.source, &OptOptions::default(), &mut p2)
+            .expect("O2");
+        assert_eq!(r0, r2, "seed {seed}: optimizer changed merged semantics");
+    }
+}
