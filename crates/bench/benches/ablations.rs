@@ -31,8 +31,8 @@ fn bench_predictor_ablation(c: &mut Criterion) {
         ("gshare", PredictorKind::Gshare { bits: 14 }),
         ("tournament", PredictorKind::Tournament { bits: 14 }),
     ] {
-        let suite = Suite::new(Scale::Test)
-            .with_model(TopDownModel::new(MachineConfig::default(), kind));
+        let suite =
+            Suite::new(Scale::Test).with_model(TopDownModel::new(MachineConfig::default(), kind));
         group.bench_function(name, |b| {
             b.iter(|| {
                 let c = suite.characterize("xz").expect("characterization");
@@ -78,14 +78,18 @@ fn bench_dictionary_sweep(c: &mut Criterion) {
         }
         .generate(7)
         .data;
-        group.bench_with_input(BenchmarkId::new("file_over_dict", mult), &data, |b, data| {
-            b.iter(|| {
-                let mut p = Profiler::new(SampleConfig::sparse());
-                let packed = minixz::compress(data, dict, &mut p);
-                let _ = p.finish();
-                black_box(packed.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("file_over_dict", mult),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut p = Profiler::new(SampleConfig::sparse());
+                    let packed = minixz::compress(data, dict, &mut p);
+                    let _ = p.finish();
+                    black_box(packed.len())
+                })
+            },
+        );
     }
     group.finish();
 }

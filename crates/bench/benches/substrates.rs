@@ -4,7 +4,7 @@
 use alberta_profile::{Profiler, SampleConfig};
 use alberta_stats::variation::TopDownRatios;
 use alberta_stats::TopDownSummary;
-use alberta_uarch::{BranchPredictor, Cache, CacheConfig, MemoryHierarchy, PredictorKind};
+use alberta_uarch::{Cache, CacheConfig, MemoryHierarchy, PredictorKind};
 use alberta_workloads::{chess, compress, csrc, flow, sudoku, xmlgen, Scale};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::time::Duration;

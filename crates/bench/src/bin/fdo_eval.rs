@@ -29,8 +29,8 @@ fn main() {
     let train = named("train", Distribution::SkewLow, 1);
     let reference = named("refrate", Distribution::SkewLow, 2);
     let audit = alberta_inputs(128, 7);
-    let classic = classic_train_ref(&pipeline, &train, &reference, &audit)
-        .expect("experiment runs");
+    let classic =
+        classic_train_ref(&pipeline, &train, &reference, &audit).expect("experiment runs");
     println!(
         "reported speedup (train→ref): {:.4}",
         classic.reported_speedup
@@ -50,7 +50,10 @@ fn main() {
     println!("\n== Leave-one-out cross-validation (combined profiles) ==");
     let cv = cross_validate(&pipeline, &audit).expect("experiment runs");
     for fold in &cv.folds {
-        println!("  held out {:>24}  speedup {:.4}", fold.eval_name, fold.speedup);
+        println!(
+            "  held out {:>24}  speedup {:.4}",
+            fold.eval_name, fold.speedup
+        );
     }
     println!(
         "cross-validated: mean {:.4} ± {:.4}",

@@ -4,22 +4,32 @@
 //! ```text
 //! cargo run --release -p alberta-bench --bin fig1 [test|train|ref]
 //! ```
+//!
+//! Runs through the resilient pipeline: a failing workload costs one bar,
+//! not the figure. Lost runs are reported on stderr and the plot title is
+//! annotated `(n of m workloads)`.
 
 use alberta_bench::scale_from_args;
-use alberta_core::figures::fig1_series;
+use alberta_core::figures::fig1_series_resilient;
 use alberta_core::Suite;
 
 fn main() {
     let scale = scale_from_args();
     let suite = Suite::new(scale);
     for name in ["xalancbmk", "xz"] {
-        let c = suite.characterize(name).expect("characterization");
-        let series = fig1_series(&c);
-        println!("{}", series.render());
-        println!("{}", series.render_numeric());
-        println!(
-            "visual variation score: {:.4}\n",
-            series.visual_variation()
-        );
+        let r = suite
+            .characterize_resilient(name)
+            .expect("benchmark exists");
+        for incident in r.incidents() {
+            eprintln!("fig1: {name}/{}: {:?}", incident.workload, incident.status);
+        }
+        match fig1_series_resilient(&r) {
+            Some(series) => {
+                println!("{}", series.render());
+                println!("{}", series.render_numeric());
+                println!("visual variation score: {:.4}\n", series.visual_variation());
+            }
+            None => eprintln!("fig1: {name}: no surviving runs, figure omitted"),
+        }
     }
 }

@@ -4,22 +4,39 @@
 //! ```text
 //! cargo run --release -p alberta-bench --bin fig2 [test|train|ref]
 //! ```
+//!
+//! Runs through the resilient pipeline: a failing workload costs one row,
+//! not the figure. Lost runs are reported on stderr and the plot title is
+//! annotated `(n of m workloads)`.
 
 use alberta_bench::scale_from_args;
-use alberta_core::figures::fig2_series;
+use alberta_core::figures::fig2_series_resilient;
 use alberta_core::Suite;
 
 fn main() {
     let scale = scale_from_args();
     let suite = Suite::new(scale);
     for name in ["deepsjeng", "xz"] {
-        let c = suite.characterize(name).expect("characterization");
-        let series = fig2_series(&c);
-        println!("{}", series.render());
-        println!("per-method range (max − min %):");
-        for (method, range) in series.method_ranges() {
-            println!("  {method:>28}  {range:6.2}");
+        let r = suite
+            .characterize_resilient(name)
+            .expect("benchmark exists");
+        for incident in r.incidents() {
+            eprintln!("fig2: {name}/{}: {:?}", incident.workload, incident.status);
         }
-        println!("μg(M) = {:.2}\n", c.coverage.mu_g_m);
+        match fig2_series_resilient(&r) {
+            Some(series) => {
+                println!("{}", series.render());
+                println!("per-method range (max − min %):");
+                for (method, range) in series.method_ranges() {
+                    println!("  {method:>28}  {range:6.2}");
+                }
+                let c = r
+                    .characterization
+                    .as_ref()
+                    .expect("series implies survivors");
+                println!("μg(M) = {:.2}\n", c.coverage.mu_g_m);
+            }
+            None => eprintln!("fig2: {name}: no surviving runs, figure omitted"),
+        }
     }
 }

@@ -1,17 +1,39 @@
 //! Regenerates Table II: the per-benchmark behaviour-variation summary.
 //!
 //! ```text
-//! cargo run --release -p alberta-bench --bin table2 [test|train|ref]
+//! cargo run --release -p alberta-bench --bin table2 [test|train|ref] [--keep-going]
 //! ```
+//!
+//! By default the first failing benchmark aborts the regeneration. With
+//! `--keep-going` the resilient pipeline runs instead: per-run failures
+//! are reported on stderr, and the table is emitted over the surviving
+//! runs with `n of m` workload annotations.
 
-use alberta_bench::scale_from_args;
+use alberta_bench::{flag_from_args, scale_from_args};
 use alberta_core::tables;
 use alberta_core::Suite;
 
 fn main() {
     let scale = scale_from_args();
     let suite = Suite::new(scale);
-    let table = tables::table2(&suite).expect("suite characterization");
+    let table = if flag_from_args("--keep-going") {
+        let results = suite.characterize_all_resilient();
+        for r in &results {
+            for incident in r.incidents() {
+                eprintln!(
+                    "table2: {}/{}: {:?}",
+                    r.short_name, incident.workload, incident.status
+                );
+            }
+            if r.characterization.is_none() {
+                eprintln!("table2: {}: no surviving runs, row omitted", r.short_name);
+            }
+        }
+        tables::table2_resilient(&results)
+    } else {
+        tables::table2(&suite)
+            .expect("suite characterization (rerun with --keep-going to tolerate failures)")
+    };
     println!("Reproduced Table II ({scale:?} scale)\n");
     println!("{}", table.render());
     println!("\nMeasured vs paper (headline columns)\n");

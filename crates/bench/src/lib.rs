@@ -2,12 +2,22 @@
 
 use alberta_workloads::Scale;
 
-/// Parses the first CLI argument as a scale (`test`, `train`, `ref`);
-/// defaults to `Scale::Test` so every binary completes in seconds.
+/// Parses the first non-flag CLI argument as a scale (`test`, `train`,
+/// `ref`); defaults to `Scale::Test` so every binary completes in
+/// seconds.
 pub fn scale_from_args() -> Scale {
-    match std::env::args().nth(1).as_deref() {
+    match std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .as_deref()
+    {
         Some("train") => Scale::Train,
         Some("ref") => Scale::Ref,
         _ => Scale::Test,
     }
+}
+
+/// True when the named `--flag` appears anywhere on the command line.
+pub fn flag_from_args(flag: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == flag)
 }

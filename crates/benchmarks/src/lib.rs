@@ -31,13 +31,13 @@
 //! # }
 //! ```
 
+pub mod miniblender;
 pub mod minicactu;
 pub mod minideepsjeng;
 pub mod miniexchange;
 pub mod minigcc;
 pub mod minilbm;
 pub mod minileela;
-pub mod miniblender;
 pub mod minimcf;
 pub mod mininab;
 pub mod miniomnetpp;
@@ -47,12 +47,27 @@ pub mod miniwrf;
 pub mod minixalan;
 pub mod minixz;
 
-use alberta_profile::Profiler;
+use alberta_profile::{InvariantViolation, Profiler};
 use alberta_workloads::Scale;
+use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
 
 /// Error returned when a benchmark run cannot proceed.
+///
+/// The taxonomy covers every way a run is known to go wrong, so the
+/// harness never has to crash: name-resolution failures
+/// ([`UnknownWorkload`](BenchError::UnknownWorkload)), rejected inputs
+/// ([`InvalidInput`](BenchError::InvalidInput)), panics captured at the
+/// trait boundary ([`Panicked`](BenchError::Panicked)), deterministic
+/// watchdog aborts ([`BudgetExceeded`](BenchError::BudgetExceeded)), and
+/// post-run profile-consistency failures
+/// ([`InvalidProfile`](BenchError::InvalidProfile)).
+///
+/// The type is `Clone` so resilient harnesses can carry it inside
+/// per-run status reports.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum BenchError {
@@ -70,6 +85,39 @@ pub enum BenchError {
         /// Why.
         reason: String,
     },
+    /// The benchmark panicked mid-run; [`run_guarded`] caught the unwind
+    /// at the trait boundary.
+    Panicked {
+        /// The benchmark that panicked.
+        benchmark: &'static str,
+        /// The workload it was running.
+        workload: String,
+        /// The panic payload, rendered to text.
+        message: String,
+    },
+    /// The run retired more ops than its configured work budget
+    /// (`alberta_profile::SampleConfig::work_budget`).
+    BudgetExceeded {
+        /// The benchmark that overran.
+        benchmark: &'static str,
+        /// The workload it was running.
+        workload: String,
+        /// The configured budget.
+        budget: u64,
+        /// Retired ops at the abort — deterministic per (run, budget).
+        retired_ops: u64,
+    },
+    /// The run completed but its profile violates an internal-consistency
+    /// invariant, so its numbers cannot enter any summary.
+    InvalidProfile {
+        /// The benchmark whose profile failed validation.
+        benchmark: &'static str,
+        /// The workload it was running.
+        workload: String,
+        /// The violated invariant (also reachable via
+        /// [`Error::source`]).
+        violation: InvariantViolation,
+    },
 }
 
 impl fmt::Display for BenchError {
@@ -82,11 +130,163 @@ impl fmt::Display for BenchError {
             BenchError::InvalidInput { benchmark, reason } => {
                 write!(f, "benchmark {benchmark} rejected its input: {reason}")
             }
+            BenchError::Panicked {
+                benchmark,
+                workload,
+                message,
+            } => write!(
+                f,
+                "benchmark {benchmark} panicked while running {workload:?}: {message}"
+            ),
+            BenchError::BudgetExceeded {
+                benchmark,
+                workload,
+                budget,
+                retired_ops,
+            } => write!(
+                f,
+                "benchmark {benchmark} exceeded its work budget on {workload:?}: \
+                 {retired_ops} retired ops > budget {budget}"
+            ),
+            BenchError::InvalidProfile {
+                benchmark,
+                workload,
+                violation,
+            } => write!(
+                f,
+                "benchmark {benchmark} produced an inconsistent profile on {workload:?}: {violation}"
+            ),
         }
     }
 }
 
-impl Error for BenchError {}
+impl Error for BenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BenchError::InvalidProfile { violation, .. } => Some(violation),
+            BenchError::UnknownWorkload { .. }
+            | BenchError::InvalidInput { .. }
+            | BenchError::Panicked { .. }
+            | BenchError::BudgetExceeded { .. } => None,
+        }
+    }
+}
+
+impl BenchError {
+    /// The benchmark the error belongs to.
+    pub fn benchmark(&self) -> &'static str {
+        match self {
+            BenchError::UnknownWorkload { benchmark, .. }
+            | BenchError::InvalidInput { benchmark, .. }
+            | BenchError::Panicked { benchmark, .. }
+            | BenchError::BudgetExceeded { benchmark, .. }
+            | BenchError::InvalidProfile { benchmark, .. } => benchmark,
+        }
+    }
+
+    /// True for errors a retry at reduced scale may clear (resource
+    /// overruns), false for errors deterministic in the input itself.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            BenchError::BudgetExceeded { .. } | BenchError::Panicked { .. }
+        )
+    }
+}
+
+/// Renders a panic payload the way `std` would: `&str` and `String`
+/// payloads verbatim, anything else by type-erased placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+thread_local! {
+    /// True while this thread is inside [`run_guarded`]'s boundary.
+    static IN_GUARDED_RUN: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for
+/// panics unwinding toward [`run_guarded`]'s boundary — they are typed
+/// control flow there, not crashes — and delegates every other panic to
+/// the previously installed hook. The flag is thread-local, so panics on
+/// unrelated threads keep their normal reporting.
+fn install_guarded_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_GUARDED_RUN.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Clears the in-guarded-run flag on drop, so an unwind cannot leave it
+/// stuck and silence a later genuine panic.
+struct GuardFlag;
+
+impl GuardFlag {
+    fn set() -> Self {
+        IN_GUARDED_RUN.with(|g| g.set(true));
+        GuardFlag
+    }
+}
+
+impl Drop for GuardFlag {
+    fn drop(&mut self) {
+        IN_GUARDED_RUN.with(|g| g.set(false));
+    }
+}
+
+/// Runs a workload with the panic boundary installed: any unwind out of
+/// [`Benchmark::run`] is converted into a typed [`BenchError`] instead of
+/// propagating into (and killing) the harness.
+///
+/// A [`alberta_profile::BudgetExceeded`] payload becomes
+/// [`BenchError::BudgetExceeded`]; every other payload becomes
+/// [`BenchError::Panicked`]. The profiler is left in whatever state the
+/// run reached — callers must discard it after an error.
+///
+/// # Errors
+///
+/// Everything [`Benchmark::run`] returns, plus the converted unwinds.
+pub fn run_guarded(
+    benchmark: &dyn Benchmark,
+    workload: &str,
+    profiler: &mut Profiler,
+) -> Result<RunOutput, BenchError> {
+    install_guarded_panic_hook();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _flag = GuardFlag::set();
+        benchmark.run(workload, profiler)
+    }));
+    match result {
+        Ok(result) => result,
+        Err(payload) => {
+            if let Some(b) = payload.downcast_ref::<alberta_profile::BudgetExceeded>() {
+                Err(BenchError::BudgetExceeded {
+                    benchmark: benchmark.name(),
+                    workload: workload.to_owned(),
+                    budget: b.budget,
+                    retired_ops: b.retired_ops,
+                })
+            } else {
+                Err(BenchError::Panicked {
+                    benchmark: benchmark.name(),
+                    workload: workload.to_owned(),
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+}
 
 /// The result of one benchmark run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +321,19 @@ pub trait Benchmark {
     /// [`Benchmark::workload_names`], or [`BenchError::InvalidInput`] if
     /// the workload data is rejected.
     fn run(&self, workload: &str, profiler: &mut Profiler) -> Result<RunOutput, BenchError>;
+
+    /// Fault-injection hook: deterministically corrupts the named stored
+    /// workload (seeded by `seed`) so a later [`Benchmark::run`] rejects
+    /// it with [`BenchError::InvalidInput`] instead of succeeding.
+    ///
+    /// Returns `true` when the corruption was applied; the default
+    /// implementation supports no corruption and returns `false`.
+    /// Benchmarks with naturally malformable inputs (mcf's flow networks,
+    /// deepsjeng's position specs, xalancbmk's XML documents) override it.
+    fn inject_malformed(&mut self, workload: &str, seed: u64) -> bool {
+        let _ = (workload, seed);
+        false
+    }
 }
 
 /// Builds the full fifteen-benchmark Table II suite at the given scale.
@@ -221,7 +434,11 @@ mod tests {
     fn every_benchmark_has_train_refrate_and_alberta_workloads() {
         for b in suite(Scale::Test) {
             let names = b.workload_names();
-            assert!(names.iter().any(|n| n == "train"), "{} lacks train", b.name());
+            assert!(
+                names.iter().any(|n| n == "train"),
+                "{} lacks train",
+                b.name()
+            );
             assert!(
                 names.iter().any(|n| n == "refrate"),
                 "{} lacks refrate",
@@ -250,5 +467,121 @@ mod tests {
         assert_eq!(fnv1a([1, 2, 3]), fnv1a([1, 2, 3]));
         assert_ne!(fnv1a([1, 2, 3]), fnv1a([1, 2, 4]));
         assert_ne!(fnv1a([0]), fnv1a([]));
+    }
+
+    #[test]
+    fn run_guarded_converts_forced_panic_to_typed_error() {
+        use alberta_profile::{ProfilerFault, SampleConfig};
+        let s = suite(Scale::Test);
+        let mut p =
+            Profiler::new(SampleConfig::default().with_fault(ProfilerFault::PanicAtEvent(100)));
+        let err = run_guarded(s[1].as_ref(), "train", &mut p).unwrap_err();
+        match err {
+            BenchError::Panicked {
+                benchmark,
+                workload,
+                message,
+            } => {
+                assert_eq!(benchmark, "505.mcf_r");
+                assert_eq!(workload, "train");
+                assert!(message.contains("injected fault"), "message: {message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_guarded_converts_budget_overrun_to_typed_error() {
+        use alberta_profile::SampleConfig;
+        let s = suite(Scale::Test);
+        let mut p = Profiler::new(SampleConfig::default().with_work_budget(500));
+        let err = run_guarded(s[1].as_ref(), "train", &mut p).unwrap_err();
+        match &err {
+            BenchError::BudgetExceeded {
+                benchmark,
+                budget,
+                retired_ops,
+                ..
+            } => {
+                assert_eq!(*benchmark, "505.mcf_r");
+                assert_eq!(*budget, 500);
+                assert!(*retired_ops > 500);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        assert!(err.is_retryable());
+        // Determinism: same benchmark, workload and budget abort at the
+        // same retired-op count every time.
+        let mut p2 = Profiler::new(SampleConfig::default().with_work_budget(500));
+        let err2 = run_guarded(s[1].as_ref(), "train", &mut p2).unwrap_err();
+        assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn run_guarded_passes_ordinary_results_through() {
+        let s = suite(Scale::Test);
+        let mut p = Profiler::default();
+        let direct = s[1].run("train", &mut Profiler::default()).unwrap();
+        let guarded = run_guarded(s[1].as_ref(), "train", &mut p).unwrap();
+        assert_eq!(direct, guarded);
+    }
+
+    #[test]
+    fn injected_malformed_workloads_are_rejected_not_searched() {
+        // The three benchmarks with corruption hooks: mcf (disconnected
+        // flow network), deepsjeng (zero-depth position), xalancbmk
+        // (truncated document). Each must reject the corrupted workload
+        // with InvalidInput rather than succeed or panic.
+        for idx in [1usize, 8, 10] {
+            let mut s = suite(Scale::Test);
+            let name = s[idx].name();
+            assert!(
+                s[idx].inject_malformed("train", 7),
+                "{name} should support malformed injection"
+            );
+            let mut p = Profiler::default();
+            let err = run_guarded(s[idx].as_ref(), "train", &mut p).unwrap_err();
+            assert!(
+                matches!(err, BenchError::InvalidInput { .. }),
+                "{name}: expected InvalidInput, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inject_malformed_defaults_to_unsupported() {
+        let mut s = suite(Scale::Test);
+        // gcc has no corruption hook: the default implementation refuses.
+        assert!(!s[0].inject_malformed("train", 7));
+        // Unknown workload names are refused by the overriding impls too.
+        assert!(!s[1].inject_malformed("no-such-workload", 7));
+    }
+
+    #[test]
+    fn error_source_chains_only_for_invalid_profile() {
+        use std::error::Error as _;
+        let e = BenchError::InvalidInput {
+            benchmark: "505.mcf_r",
+            reason: "x".into(),
+        };
+        assert!(e.source().is_none());
+        let mut p = Profiler::default();
+        let s = suite(Scale::Test);
+        s[1].run("train", &mut p).unwrap();
+        let violation = {
+            use alberta_profile::{ProfilerFault, SampleConfig};
+            let mut corrupted = Profiler::new(
+                SampleConfig::default().with_fault(ProfilerFault::CorruptEvents { at: 10 }),
+            );
+            s[1].run("train", &mut corrupted).unwrap();
+            corrupted.finish().validate().unwrap_err()
+        };
+        let e = BenchError::InvalidProfile {
+            benchmark: "505.mcf_r",
+            workload: "train".into(),
+            violation,
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("inconsistent profile"));
     }
 }

@@ -8,7 +8,7 @@
 //! and the frame window are the workload knobs — exactly what the
 //! paper's thirteen `.blend` workloads vary.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::mesh::{self, MeshScene};
 use alberta_workloads::{Named, Scale};
@@ -153,7 +153,7 @@ pub fn render_scene(scene: &MeshScene, profiler: &mut Profiler) -> (u64, u64, u6
     let mut fragments = 0;
     for f in scene.start_frame..scene.start_frame + scene.frames {
         let frame = render_frame(scene, f, profiler, &fns);
-        hash ^= fnv1a(frame.pixels.iter().map(|&b| b as u64)).rotate_left((f % 61) as u32);
+        hash ^= fnv1a(frame.pixels.iter().map(|&b| b as u64)).rotate_left(f % 61);
         triangles += frame.triangles_drawn;
         fragments += frame.fragments;
     }

@@ -10,7 +10,7 @@
 //! computational pattern — wide 3-D stencils over several coupled fields
 //! — is what makes cactuBSSN behave as it does.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::pde::{self, InitialData, PdeWorkload};
 use alberta_workloads::{Named, Scale};
@@ -112,7 +112,11 @@ impl BssnState {
     fn lap(&self, field: &[f64], x: usize, y: usize, z: usize) -> f64 {
         let n = self.n;
         let i = (z * n + y) * n + x;
-        field[i - 1] + field[i + 1] + field[i - n] + field[i + n] + field[i - n * n]
+        field[i - 1]
+            + field[i + 1]
+            + field[i - n]
+            + field[i + n]
+            + field[i - n * n]
             + field[i + n * n]
             - 6.0 * field[i]
     }
@@ -331,8 +335,10 @@ mod tests {
 
     #[test]
     fn finer_grids_do_more_work() {
-        let coarse = PdeGen { grid: 10, steps: 2 }.generate(InitialData::GaussianPulse { width: 0.2 }, 1);
-        let fine = PdeGen { grid: 20, steps: 2 }.generate(InitialData::GaussianPulse { width: 0.2 }, 1);
+        let coarse =
+            PdeGen { grid: 10, steps: 2 }.generate(InitialData::GaussianPulse { width: 0.2 }, 1);
+        let fine =
+            PdeGen { grid: 20, steps: 2 }.generate(InitialData::GaussianPulse { width: 0.2 }, 1);
         let (_, w1) = run(&coarse);
         let (_, w2) = run(&fine);
         assert!(w2 > w1 * 4);

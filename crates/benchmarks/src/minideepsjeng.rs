@@ -12,7 +12,7 @@
 //! moves from the initial position, so they are legal by construction —
 //! the role the Arasan test-suite positions play in the paper.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::chess::{self, ChessWorkload, PositionSpec};
 use alberta_workloads::{Named, Scale};
@@ -137,8 +137,8 @@ impl Board {
     }
 
     fn mk(&self, from: u8, to: u8) -> Move {
-        let promotion = self.squares[from as usize].abs() == piece::PAWN
-            && matches!(to >> 4, 0 | 7);
+        let promotion =
+            self.squares[from as usize].abs() == piece::PAWN && matches!(to >> 4, 0 | 7);
         Move {
             from,
             to,
@@ -557,15 +557,31 @@ impl Benchmark for MiniDeepsjeng {
         let w = find_workload(&self.workloads, self.name(), workload)?;
         let mut scores = Vec::new();
         let mut nodes = 0;
-        for spec in &w.positions {
+        for (i, spec) in w.positions.iter().enumerate() {
+            // A zero-ply search task is as meaningless as an illegal FEN:
+            // reject it up front instead of "searching" it.
+            if spec.depth == 0 {
+                return Err(BenchError::InvalidInput {
+                    benchmark: "531.deepsjeng_r",
+                    reason: format!("position {i} has illegal search depth 0"),
+                });
+            }
             let (score, n) = analyze(spec, profiler);
-            scores.push(score as u64 as u64);
+            scores.push(score as u64);
             nodes += n;
         }
         Ok(RunOutput {
             checksum: fnv1a(scores),
             work: nodes,
         })
+    }
+
+    fn inject_malformed(&mut self, workload: &str, seed: u64) -> bool {
+        self.workloads
+            .iter_mut()
+            .find(|n| n.name == workload)
+            .map(|n| n.workload.corrupt(seed))
+            .unwrap_or(false)
     }
 }
 
@@ -626,7 +642,10 @@ mod tests {
         };
         // Statically, white is down a full queen...
         let static_eval = engine.evaluate();
-        assert!(static_eval < -700, "static eval should show the deficit: {static_eval}");
+        assert!(
+            static_eval < -700,
+            "static eval should show the deficit: {static_eval}"
+        );
         // ...but the search finds Nxa3 and restores material equality.
         let score = engine.search(spec.depth, -MATE * 2, MATE * 2);
         assert!(
@@ -660,11 +679,19 @@ mod tests {
         let mut p1 = Profiler::default();
         let mut p2 = Profiler::default();
         let shallow = analyze(
-            &PositionSpec { seed: 5, random_moves: 10, depth: 2 },
+            &PositionSpec {
+                seed: 5,
+                random_moves: 10,
+                depth: 2,
+            },
             &mut p1,
         );
         let deep = analyze(
-            &PositionSpec { seed: 5, random_moves: 10, depth: 4 },
+            &PositionSpec {
+                seed: 5,
+                random_moves: 10,
+                depth: 4,
+            },
             &mut p2,
         );
         assert!(deep.1 > shallow.1 * 3, "{} vs {}", deep.1, shallow.1);

@@ -10,7 +10,7 @@
 //! up to two. The backtracking solver dominates the run, exactly like the
 //! Fortran original.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::sudoku::{self, Puzzle, SudokuWorkload};
 use alberta_workloads::{Named, Scale};
@@ -232,7 +232,12 @@ fn solve_rec(
 }
 
 /// Counts solutions up to `limit` by exhaustive backtracking.
-pub(crate) fn count_solutions(puzzle: &Puzzle, limit: u32, profiler: &mut Profiler, fns: &Fns) -> u32 {
+pub(crate) fn count_solutions(
+    puzzle: &Puzzle,
+    limit: u32,
+    profiler: &mut Profiler,
+    fns: &Fns,
+) -> u32 {
     let mut grid = *puzzle;
     let mut masks = match Masks::of(puzzle) {
         Some(m) => m,
@@ -362,6 +367,9 @@ mod tests {
         let b = MiniExchange::new(Scale::Test);
         let mut p1 = Profiler::default();
         let mut p2 = Profiler::default();
-        assert_eq!(b.run("train", &mut p1).unwrap(), b.run("train", &mut p2).unwrap());
+        assert_eq!(
+            b.run("train", &mut p1).unwrap(),
+            b.run("train", &mut p2).unwrap()
+        );
     }
 }

@@ -154,7 +154,11 @@ mod tests {
                     Stmt::Decl("x".into(), Expr::Num(1)),
                     Stmt::While(
                         Expr::Num(0),
-                        vec![Stmt::If(Expr::Num(1), vec![Stmt::Return(Expr::Num(2))], vec![])],
+                        vec![Stmt::If(
+                            Expr::Num(1),
+                            vec![Stmt::Return(Expr::Num(2))],
+                            vec![],
+                        )],
                     ),
                 ],
             }],

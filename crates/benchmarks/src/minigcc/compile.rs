@@ -288,11 +288,7 @@ pub fn compile(
         .filter(|g| g.array_len.is_some())
         .map(|g| g.name.clone())
         .collect();
-    let array_lens: Vec<usize> = program
-        .globals
-        .iter()
-        .filter_map(|g| g.array_len)
-        .collect();
+    let array_lens: Vec<usize> = program.globals.iter().filter_map(|g| g.array_len).collect();
     let fn_names: Vec<String> = program.functions.iter().map(|f| f.name.clone()).collect();
 
     let mut funcs = Vec::with_capacity(program.functions.len());

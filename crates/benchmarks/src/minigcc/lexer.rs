@@ -45,8 +45,8 @@ impl fmt::Display for Token {
 }
 
 const PUNCTS: [&str; 24] = [
-    "<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")",
-    "{", "}", "[", "]", ";", ",", "#",
+    "<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{",
+    "}", "[", "]", ";", ",", "#",
 ];
 
 /// Tokenizes mini-C source. `//` line comments are skipped.

@@ -29,7 +29,7 @@ pub use opt::optimize;
 pub use parser::parse;
 pub use vm::{run, run_with_inputs, run_with_limit, EdgeProfile, VmError};
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::Profiler;
 use alberta_workloads::csrc::{self, CSource};
 use alberta_workloads::{Named, Scale};
@@ -83,8 +83,7 @@ impl MiniGcc {
         let module = compile(&program, options, profiler).map_err(invalid)?;
         profiler.exit();
 
-        let (result, edges) =
-            run(&module, profiler).map_err(|e| invalid(e.to_string()))?;
+        let (result, edges) = run(&module, profiler).map_err(|e| invalid(e.to_string()))?;
         Ok((result, edges))
     }
 }
@@ -119,8 +118,7 @@ mod tests {
 
     fn eval(source: &str) -> i64 {
         let mut p = Profiler::default();
-        let (r, _) =
-            MiniGcc::compile_and_run(source, &OptOptions::default(), &mut p).unwrap();
+        let (r, _) = MiniGcc::compile_and_run(source, &OptOptions::default(), &mut p).unwrap();
         let _ = p.finish();
         r
     }
@@ -172,7 +170,7 @@ int main() {\n\
   }\n\
   return acc;\n\
 }\n";
-        assert_eq!(eval(src), 0 + 2 + 4 + 6 + 8 - 5);
+        assert_eq!(eval(src), 2 + 4 + 6 + 8 - 5);
     }
 
     #[test]
@@ -256,12 +254,8 @@ int main() { return fib(12); }\n";
     #[test]
     fn missing_main_is_an_error() {
         let mut p = Profiler::default();
-        let err = MiniGcc::compile_and_run(
-            "int f() { return 1; }",
-            &OptOptions::default(),
-            &mut p,
-        )
-        .unwrap_err();
+        let err = MiniGcc::compile_and_run("int f() { return 1; }", &OptOptions::default(), &mut p)
+            .unwrap_err();
         assert!(err.to_string().contains("main"));
     }
 }

@@ -199,9 +199,7 @@ fn inlinable(f: &Function, budget: usize) -> bool {
                 in_expr(e, name)
             }
             Stmt::Store(_, i, v) => in_expr(i, name) || in_expr(v, name),
-            Stmt::If(c, t, e) => {
-                in_expr(c, name) || calls_self(t, name) || calls_self(e, name)
-            }
+            Stmt::If(c, t, e) => in_expr(c, name) || calls_self(t, name) || calls_self(e, name),
             Stmt::While(c, b) => in_expr(c, name) || calls_self(b, name),
         })
     }
@@ -473,7 +471,12 @@ mod tests {
                 ..OptOptions::none()
             },
         );
-        assert_eq!(program.functions[0].body.len(), 2, "{:?}", program.functions[0].body);
+        assert_eq!(
+            program.functions[0].body.len(),
+            2,
+            "{:?}",
+            program.functions[0].body
+        );
     }
 
     #[test]
@@ -499,7 +502,9 @@ mod tests {
                 }
             }
             stmts.iter().any(|s| match s {
-                Stmt::Decl(_, e) | Stmt::Assign(_, e) | Stmt::Return(e) | Stmt::Expr(e) => in_expr(e),
+                Stmt::Decl(_, e) | Stmt::Assign(_, e) | Stmt::Return(e) | Stmt::Expr(e) => {
+                    in_expr(e)
+                }
                 Stmt::Store(_, i, v) => in_expr(i) || in_expr(v),
                 Stmt::If(c, t, e2) => in_expr(c) || any_call(t) || any_call(e2),
                 Stmt::While(c, b) => in_expr(c) || any_call(b),
@@ -521,7 +526,9 @@ mod tests {
         );
         // fib has two returns and self-calls; main must keep its call.
         let main = program.function("main").unwrap();
-        let Stmt::Return(e) = &main.body[0] else { panic!() };
+        let Stmt::Return(e) = &main.body[0] else {
+            panic!()
+        };
         assert!(matches!(e, Expr::Call(_, _)));
     }
 

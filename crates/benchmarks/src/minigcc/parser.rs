@@ -222,24 +222,21 @@ impl<'a> Parser<'a> {
 
     fn binary(&mut self, min_prec: u8) -> PResult<Expr> {
         let mut lhs = self.unary()?;
-        loop {
-            let (op, prec) = match self.peek() {
-                Some(Token::Punct(p)) => match *p {
-                    "||" => (BinOp::Or, 1),
-                    "&&" => (BinOp::And, 2),
-                    "==" => (BinOp::Eq, 3),
-                    "!=" => (BinOp::Ne, 3),
-                    "<" => (BinOp::Lt, 4),
-                    ">" => (BinOp::Gt, 4),
-                    "<=" => (BinOp::Le, 4),
-                    ">=" => (BinOp::Ge, 4),
-                    "+" => (BinOp::Add, 5),
-                    "-" => (BinOp::Sub, 5),
-                    "*" => (BinOp::Mul, 6),
-                    "/" => (BinOp::Div, 6),
-                    "%" => (BinOp::Mod, 6),
-                    _ => break,
-                },
+        while let Some(Token::Punct(p)) = self.peek() {
+            let (op, prec) = match *p {
+                "||" => (BinOp::Or, 1),
+                "&&" => (BinOp::And, 2),
+                "==" => (BinOp::Eq, 3),
+                "!=" => (BinOp::Ne, 3),
+                "<" => (BinOp::Lt, 4),
+                ">" => (BinOp::Gt, 4),
+                "<=" => (BinOp::Le, 4),
+                ">=" => (BinOp::Ge, 4),
+                "+" => (BinOp::Add, 5),
+                "-" => (BinOp::Sub, 5),
+                "*" => (BinOp::Mul, 6),
+                "/" => (BinOp::Div, 6),
+                "%" => (BinOp::Mod, 6),
                 _ => break,
             };
             if prec < min_prec {

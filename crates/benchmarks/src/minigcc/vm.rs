@@ -229,9 +229,12 @@ pub fn run_with_inputs(
             detail: "no active frame".to_owned(),
         })?;
         let func = &module.funcs[frame.func as usize];
-        let op = *func.code.get(frame.pc as usize).ok_or_else(|| VmError::Corrupt {
-            detail: format!("pc {} out of range in {}", frame.pc, func.name),
-        })?;
+        let op = *func
+            .code
+            .get(frame.pc as usize)
+            .ok_or_else(|| VmError::Corrupt {
+                detail: format!("pc {} out of range in {}", frame.pc, func.name),
+            })?;
         steps += 1;
         if steps > step_limit {
             // Unwind profiler scopes so callers can still finish it.
@@ -399,8 +402,8 @@ mod tests {
 
     #[test]
     fn stack_overflow_detected() {
-        let err = run_src("int f(int n) { return f(n + 1); }\nint main() { return f(0); }")
-            .unwrap_err();
+        let err =
+            run_src("int f(int n) { return f(n + 1); }\nint main() { return f(0); }").unwrap_err();
         assert!(matches!(err, VmError::StackOverflow { .. }));
     }
 
@@ -445,8 +448,8 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let (_, a) = run_src("int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }")
-            .unwrap();
+        let (_, a) =
+            run_src("int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }").unwrap();
         let mut merged = a.clone();
         merged.merge(&a);
         assert_eq!(merged.total_branches(), 2 * a.total_branches());
@@ -456,6 +459,8 @@ mod tests {
     #[test]
     fn error_messages_render() {
         assert!(VmError::StepLimit { limit: 5 }.to_string().contains('5'));
-        assert!(VmError::StackOverflow { depth: 9 }.to_string().contains('9'));
+        assert!(VmError::StackOverflow { depth: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

@@ -7,7 +7,7 @@
 //! distribution arrays with data-dependent branching only at obstacle
 //! cells.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::fluid::{self, FluidWorkload};
 use alberta_workloads::{Named, Scale};
@@ -63,7 +63,9 @@ pub const WEIGHTS: [f64; 19] = [
 
 /// Index of the velocity opposite to `q` (for bounce-back).
 pub fn opposite(q: usize) -> usize {
-    const OPP: [usize; 19] = [0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17];
+    const OPP: [usize; 19] = [
+        0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17,
+    ];
     OPP[q]
 }
 
@@ -167,12 +169,12 @@ impl Lattice {
         let mut ux = 0.0;
         let mut uy = 0.0;
         let mut uz = 0.0;
-        for q in 0..19 {
+        for (q, v) in VELOCITIES.iter().enumerate() {
             let fi = self.f[cell * 19 + q];
             rho += fi;
-            ux += fi * VELOCITIES[q].0 as f64;
-            uy += fi * VELOCITIES[q].1 as f64;
-            uz += fi * VELOCITIES[q].2 as f64;
+            ux += fi * v.0 as f64;
+            uy += fi * v.1 as f64;
+            uz += fi * v.2 as f64;
         }
         (rho, ux / rho, uy / rho, uz / rho)
     }
@@ -220,8 +222,7 @@ impl Lattice {
                     if self.kind[c] == CellKind::Solid {
                         continue;
                     }
-                    for q in 0..19 {
-                        let (dx, dy, dz) = VELOCITIES[q];
+                    for (q, &(dx, dy, dz)) in VELOCITIES.iter().enumerate() {
                         let sx = x as i32 - dx;
                         let sy = y as i32 - dy;
                         let sz = z as i32 - dz;
@@ -231,8 +232,7 @@ impl Lattice {
                             || sy >= self.ny as i32
                             || sz < 0
                             || sz >= self.nz as i32
-                            || self.kind[self.idx(sx, sy as usize, sz as usize)]
-                                == CellKind::Solid;
+                            || self.kind[self.idx(sx, sy as usize, sz as usize)] == CellKind::Solid;
                         if from_solid {
                             // Bounce back: reflect this cell's own opposite.
                             self.f_next[c * 19 + q] = self.f[c * 19 + opposite(q)];
@@ -257,8 +257,7 @@ impl Lattice {
                 let c = self.idx(0, y, z);
                 if self.kind[c] == CellKind::Inflow {
                     for q in 0..19 {
-                        self.f[c * 19 + q] =
-                            Lattice::equilibrium(1.0, (self.inflow, 0.0, 0.0), q);
+                        self.f[c * 19 + q] = Lattice::equilibrium(1.0, (self.inflow, 0.0, 0.0), q);
                     }
                     profiler.store(F_REGION + (c as u64 * 19) * 8 % (1 << 28));
                     profiler.retire(25);
@@ -379,9 +378,9 @@ mod tests {
 
     #[test]
     fn equilibrium_at_rest_recovers_weights() {
-        for q in 0..19 {
+        for (q, &w) in WEIGHTS.iter().enumerate() {
             let feq = Lattice::equilibrium(1.0, (0.0, 0.0, 0.0), q);
-            assert!((feq - WEIGHTS[q]).abs() < 1e-12);
+            assert!((feq - w).abs() < 1e-12);
         }
     }
 
@@ -425,7 +424,10 @@ mod tests {
         let _ = p.finish();
         assert!(stats.mass.is_finite());
         assert!(stats.mean_velocity.is_finite());
-        assert!(stats.mean_velocity.abs() < 1.0, "lattice units stay subsonic");
+        assert!(
+            stats.mean_velocity.abs() < 1.0,
+            "lattice units stay subsonic"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! tracked; playouts are bounded in length instead, which is how fast
 //! playout engines avoid cycles in practice.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::go::{self, GameSpec, GoWorkload};
 use alberta_workloads::{Named, Scale};
@@ -236,7 +236,10 @@ impl GoBoard {
                 continue;
             }
             let mut probe = self.clone();
-            if probe.play(idx % self.size, idx / self.size, color).is_some() {
+            if probe
+                .play(idx % self.size, idx / self.size, color)
+                .is_some()
+            {
                 out.push(idx);
             }
         }
@@ -438,7 +441,9 @@ pub(crate) fn engine_move(
         profiler.store(TREE_REGION + pick as u64 * 16);
     }
     // Most-visited move wins, the standard MCTS final selection.
-    let best = (0..moves.len()).max_by_key(|&i| visits[i]).expect("non-empty");
+    let best = (0..moves.len())
+        .max_by_key(|&i| visits[i])
+        .expect("non-empty");
     Some(moves[best])
 }
 

@@ -9,7 +9,7 @@
 //! flow is optimal iff the residual network has no negative-cost cycle,
 //! which the tests verify with Bellman–Ford.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::flow::{self, FlowInstance};
 use alberta_workloads::{Named, Scale};
@@ -49,16 +49,23 @@ impl Benchmark for MiniMcf {
 
     fn run(&self, workload: &str, profiler: &mut Profiler) -> Result<RunOutput, BenchError> {
         let instance = find_workload(&self.workloads, self.name(), workload)?;
-        let solution = solve_min_cost_flow(instance, profiler).map_err(|reason| {
-            BenchError::InvalidInput {
+        let solution =
+            solve_min_cost_flow(instance, profiler).map_err(|reason| BenchError::InvalidInput {
                 benchmark: "505.mcf_r",
                 reason,
-            }
-        })?;
+            })?;
         Ok(RunOutput {
             checksum: fnv1a([solution.cost as u64, solution.flows.len() as u64]),
             work: solution.augmentations,
         })
+    }
+
+    fn inject_malformed(&mut self, workload: &str, seed: u64) -> bool {
+        self.workloads
+            .iter_mut()
+            .find(|n| n.name == workload)
+            .map(|n| n.workload.disconnect(seed))
+            .unwrap_or(false)
     }
 }
 
@@ -268,10 +275,30 @@ mod tests {
             node_count: 4,
             supplies: vec![2, 0, 0, -2],
             arcs: vec![
-                Arc { from: 0, to: 1, capacity: 1, cost: 1 },
-                Arc { from: 0, to: 2, capacity: 2, cost: 3 },
-                Arc { from: 1, to: 3, capacity: 2, cost: 1 },
-                Arc { from: 2, to: 3, capacity: 2, cost: 1 },
+                Arc {
+                    from: 0,
+                    to: 1,
+                    capacity: 1,
+                    cost: 1,
+                },
+                Arc {
+                    from: 0,
+                    to: 2,
+                    capacity: 2,
+                    cost: 3,
+                },
+                Arc {
+                    from: 1,
+                    to: 3,
+                    capacity: 2,
+                    cost: 1,
+                },
+                Arc {
+                    from: 2,
+                    to: 3,
+                    capacity: 2,
+                    cost: 1,
+                },
             ],
         }
     }
@@ -370,7 +397,10 @@ mod tests {
         assert!(profile.totals.retired_ops > 0);
         assert!(profile.totals.branches > 0);
         let cov = profile.coverage_percent();
-        assert!(cov["mcf::shortest_path"] > 10.0, "dijkstra must dominate: {cov:?}");
+        assert!(
+            cov["mcf::shortest_path"] > 10.0,
+            "dijkstra must dominate: {cov:?}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! list), integrated with velocity Verlet. Force symmetry (Newton's third
 //! law) is the correctness oracle.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::molecule::{self, Molecule};
 use alberta_workloads::{Named, Scale};
@@ -111,8 +111,14 @@ pub(crate) fn evaluate_forces(
         energy += 0.5 * a.k * diff * diff;
         // dE/dcos = k * diff; gradient of cos wrt each position.
         let g = a.k * diff;
-        let gi = scale(sub(scale(r2, 1.0 / (n1 * n2)), scale(r1, cos_t / (n1 * n1))), g);
-        let gk = scale(sub(scale(r1, 1.0 / (n1 * n2)), scale(r2, cos_t / (n2 * n2))), g);
+        let gi = scale(
+            sub(scale(r2, 1.0 / (n1 * n2)), scale(r1, cos_t / (n1 * n1))),
+            g,
+        );
+        let gk = scale(
+            sub(scale(r1, 1.0 / (n1 * n2)), scale(r2, cos_t / (n2 * n2))),
+            g,
+        );
         forces[i] = sub(forces[i], gi);
         forces[k] = sub(forces[k], gk);
         forces[j] = add(forces[j], add(gi, gk));
@@ -225,8 +231,8 @@ pub fn simulate(mol: &Molecule, profiler: &mut Profiler) -> (Vec<V3>, u64, f64) 
         profiler.exit();
         field = evaluate_forces(mol, &positions, profiler, &fns);
         profiler.enter(fns.integrate);
-        for i in 0..positions.len() {
-            velocities[i] = add(velocities[i], scale(field.forces[i], 0.5 * dt));
+        for (v, f) in velocities.iter_mut().zip(&field.forces) {
+            *v = add(*v, scale(*f, 0.5 * dt));
         }
         profiler.exit();
         total_pairs += field.pairs;
@@ -316,10 +322,7 @@ mod tests {
             .forces
             .iter()
             .fold((0.0, 0.0, 0.0), |acc, &fi| add(acc, fi));
-        assert!(
-            norm(total) < 1e-6,
-            "net force must vanish, got {total:?}"
-        );
+        assert!(norm(total) < 1e-6, "net force must vanish, got {total:?}");
     }
 
     #[test]

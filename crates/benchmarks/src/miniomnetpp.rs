@@ -8,7 +8,7 @@
 //! queueing behaviour and hop counts, which is exactly the variation the
 //! Alberta workloads introduce.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::netsim::{self, NetWorkload};
 use alberta_workloads::{Named, Scale};
@@ -151,7 +151,14 @@ pub fn simulate(w: &NetWorkload, profiler: &mut Profiler) -> SimStats {
                 born_us: t,
                 hops: 0,
             });
-            push(&mut fes, profiler, &fns, t, &mut seq, EventKind::Arrival { msg: id, node: src });
+            push(
+                &mut fes,
+                profiler,
+                &fns,
+                t,
+                &mut seq,
+                EventKind::Arrival { msg: id, node: src },
+            );
         }
     }
 
@@ -183,7 +190,14 @@ pub fn simulate(w: &NetWorkload, profiler: &mut Profiler) -> SimStats {
                     profiler.branch(1, idle);
                     if idle {
                         busy[node as usize] = true;
-                        push(&mut fes, profiler, &fns, now, &mut seq, EventKind::TxDone { node });
+                        push(
+                            &mut fes,
+                            profiler,
+                            &fns,
+                            now,
+                            &mut seq,
+                            EventKind::TxDone { node },
+                        );
                     }
                 }
             }
@@ -197,13 +211,19 @@ pub fn simulate(w: &NetWorkload, profiler: &mut Profiler) -> SimStats {
                         m.hops += 1;
                         profiler.enter(fns.route);
                         let hop = next_hop[node as usize][dst as usize];
-                        profiler
-                            .load(ROUTE_REGION + (node as u64 * n as u64 + dst as u64) * 4);
+                        profiler.load(ROUTE_REGION + (node as u64 * n as u64 + dst as u64) * 4);
                         profiler.retire(3);
                         profiler.exit();
                         let jitter = splitmix(&mut rng) % (w.mean_link_delay_us as u64 / 2 + 1);
                         let arrive = now + w.mean_link_delay_us as u64 + jitter;
-                        push(&mut fes, profiler, &fns, arrive, &mut seq, EventKind::Arrival { msg, node: hop });
+                        push(
+                            &mut fes,
+                            profiler,
+                            &fns,
+                            arrive,
+                            &mut seq,
+                            EventKind::Arrival { msg, node: hop },
+                        );
                         // The transmitter frees after the send time.
                         push(
                             &mut fes,

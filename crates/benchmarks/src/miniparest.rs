@@ -10,7 +10,7 @@
 //! the block coefficients. CG inner iterations dominate, as in the
 //! original.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::fem::{self, FemWorkload};
 use alberta_workloads::{Named, Scale};
@@ -53,7 +53,12 @@ pub struct ForwardProblem {
 
 impl ForwardProblem {
     /// Builds the problem for the given block coefficients.
-    pub(crate) fn new(w: &FemWorkload, block_coeffs: &[f64], profiler: &mut Profiler, fns: &Fns) -> Self {
+    pub(crate) fn new(
+        w: &FemWorkload,
+        block_coeffs: &[f64],
+        profiler: &mut Profiler,
+        fns: &Fns,
+    ) -> Self {
         profiler.enter(fns.assemble);
         let n = w.mesh;
         let mut coeff = vec![0.0; n * n];
@@ -76,11 +81,7 @@ impl ForwardProblem {
             }
         }
         profiler.exit();
-        ForwardProblem {
-            n,
-            coeff,
-            rhs,
-        }
+        ForwardProblem { n, coeff, rhs }
     }
 
     /// Applies the operator `v ↦ -∇·(a ∇v)` with zero Dirichlet walls.
@@ -255,11 +256,17 @@ pub fn estimate(w: &FemWorkload, profiler: &mut Profiler) -> InverseResult {
 }
 
 /// In-place Gaussian elimination with partial pivoting (k ≤ 16).
+#[allow(clippy::needless_range_loop)] // `c` walks two rows of the same matrix
 fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
     let k = b.len();
     for col in 0..k {
         let pivot = (col..k)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         a.swap(col, pivot);
         b.swap(col, pivot);

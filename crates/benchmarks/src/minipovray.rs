@@ -6,7 +6,7 @@
 //! refraction. Floating-point-heavy straight-line math with recursion —
 //! the behaviour profile of the original.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::raytrace::{self, Material, RayScene, Shape};
 use alberta_workloads::{Named, Scale};
@@ -252,7 +252,9 @@ fn trace(
         let diffuse = normal.dot(ldir).max(0.0);
         let half = (ldir - dir).unit();
         let spec = normal.dot(half).max(0.0).powi(32);
-        color = color + base.scale(diffuse * light.intensity) + Vec3::new(1.0, 1.0, 1.0).scale(0.4 * spec * light.intensity);
+        color = color
+            + base.scale(diffuse * light.intensity)
+            + Vec3::new(1.0, 1.0, 1.0).scale(0.4 * spec * light.intensity);
         profiler.retire(20);
     }
     profiler.exit();
@@ -260,7 +262,14 @@ fn trace(
     if depth < scene.max_bounces {
         if mat.reflectivity > 0.0 {
             let r = dir - normal * (2.0 * dir.dot(normal));
-            let reflected = trace(scene, hit + normal * 1e-6, r.unit(), depth + 1, profiler, fns);
+            let reflected = trace(
+                scene,
+                hit + normal * 1e-6,
+                r.unit(),
+                depth + 1,
+                profiler,
+                fns,
+            );
             color = color.scale(1.0 - mat.reflectivity) + reflected.scale(mat.reflectivity);
         }
         if mat.transparency > 0.0 {

@@ -7,7 +7,7 @@
 //! precipitation), long-wave radiative cooling, land-surface coupling
 //! over generated terrain, and a boundary-layer mixing scheme.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::weather::{self, WeatherWorkload};
 use alberta_workloads::{Named, Scale};
@@ -257,7 +257,12 @@ impl MiniWrf {
     /// Builds the benchmark with its standard workload set.
     pub fn new(scale: Scale) -> Self {
         MiniWrf {
-            workloads: standard_set(scale, weather::train, weather::refrate, weather::alberta_set),
+            workloads: standard_set(
+                scale,
+                weather::train,
+                weather::refrate,
+                weather::alberta_set,
+            ),
         }
     }
 }

@@ -9,7 +9,7 @@
 //! name, `apply` recursion, `for-each` iteration, `value-of` extraction,
 //! and attribute-predicate `if`s.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::xmlgen::{self, XmlWorkload};
 use alberta_workloads::{Named, Scale};
@@ -286,12 +286,7 @@ pub fn register(profiler: &mut Profiler) -> Fns {
 }
 
 /// Applies the stylesheet to a document, returning the output text.
-pub fn transform(
-    doc: &XmlDoc,
-    sheet: &Stylesheet,
-    profiler: &mut Profiler,
-    fns: &Fns,
-) -> String {
+pub fn transform(doc: &XmlDoc, sheet: &Stylesheet, profiler: &mut Profiler, fns: &Fns) -> String {
     let mut out = String::new();
     apply_to(doc, 0, sheet, &mut out, profiler, fns, 0);
     out
@@ -458,6 +453,14 @@ impl Benchmark for MiniXalan {
             work: out.len() as u64,
         })
     }
+
+    fn inject_malformed(&mut self, workload: &str, seed: u64) -> bool {
+        self.workloads
+            .iter_mut()
+            .find(|n| n.name == workload)
+            .map(|n| n.workload.truncate_document(seed))
+            .unwrap_or(false)
+    }
 }
 
 #[cfg(test)]
@@ -474,10 +477,9 @@ mod tests {
 
     #[test]
     fn parses_nested_document() {
-        let doc = with_fns(|p, fns| {
-            parse_xml("<a x=\"1\"><b>hi</b><c><b>deep</b></c></a>", p, fns)
-        })
-        .unwrap();
+        let doc =
+            with_fns(|p, fns| parse_xml("<a x=\"1\"><b>hi</b><c><b>deep</b></c></a>", p, fns))
+                .unwrap();
         assert_eq!(doc.nodes[0].name, "a");
         assert_eq!(doc.nodes[0].attrs, vec![("x".to_owned(), "1".to_owned())]);
         assert_eq!(doc.nodes[0].children.len(), 2);
@@ -486,7 +488,12 @@ mod tests {
 
     #[test]
     fn rejects_malformed_documents() {
-        for bad in ["<a><b></a></b>", "<a>", "<a></a><b></b>", "no tags at all <"] {
+        for bad in [
+            "<a><b></a></b>",
+            "<a>",
+            "<a></a><b></b>",
+            "no tags at all <",
+        ] {
             assert!(
                 with_fns(|p, fns| parse_xml(bad, p, fns)).is_err(),
                 "{bad:?} should fail"
@@ -522,10 +529,7 @@ mod tests {
     #[test]
     fn default_rule_recurses_through_unmatched_elements() {
         let xml = "<root><wrapper><person rating=\"8\"><name>eve</name></person></wrapper></root>";
-        let sheet = parse_stylesheet(
-            "template person {\n  value-of name\n}\n",
-        )
-        .unwrap();
+        let sheet = parse_stylesheet("template person {\n  value-of name\n}\n").unwrap();
         let out = with_fns(|p, fns| {
             let doc = parse_xml(xml, p, fns).unwrap();
             transform(&doc, &sheet, p, fns)

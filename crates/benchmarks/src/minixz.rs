@@ -12,7 +12,7 @@
 //! The benchmark run mirrors SPEC's: decompress → compress → decompress,
 //! validating both round trips.
 
-use crate::{find_workload, fnv1a, standard_set, Benchmark, BenchError, RunOutput};
+use crate::{find_workload, fnv1a, standard_set, BenchError, Benchmark, RunOutput};
 use alberta_profile::{FnId, Profiler};
 use alberta_workloads::compress::{self, CompressWorkload};
 use alberta_workloads::{Named, Scale};
@@ -58,12 +58,8 @@ fn hash3(data: &[u8], i: usize) -> usize {
 }
 
 /// LZ77 tokenization with hash chains over a bounded dictionary.
-fn tokenize(
-    data: &[u8],
-    dict_bytes: usize,
-    profiler: &mut Profiler,
-    fns: &Fns,
-) -> Vec<Token> {
+#[allow(clippy::needless_range_loop)] // `k` is a position fed to hash3, not just an index
+fn tokenize(data: &[u8], dict_bytes: usize, profiler: &mut Profiler, fns: &Fns) -> Vec<Token> {
     let mut head = vec![usize::MAX; 1 << HASH_BITS];
     let mut chain = vec![usize::MAX; data.len()];
     let mut tokens = Vec::new();
@@ -424,10 +420,11 @@ impl Benchmark for MiniXz {
             });
         }
         let repacked = compress(&unpacked, w.dict_bytes, profiler);
-        let final_data = decompress(&repacked, profiler).map_err(|reason| BenchError::InvalidInput {
-            benchmark: "557.xz_r",
-            reason,
-        })?;
+        let final_data =
+            decompress(&repacked, profiler).map_err(|reason| BenchError::InvalidInput {
+                benchmark: "557.xz_r",
+                reason,
+            })?;
         if final_data != w.data {
             return Err(BenchError::InvalidInput {
                 benchmark: "557.xz_r",
@@ -464,7 +461,9 @@ mod tests {
             DataKind::Repetitive { phrase_len: 17 },
             DataKind::Text,
             DataKind::Noise,
-            DataKind::Mixed { noise_fraction: 0.5 },
+            DataKind::Mixed {
+                noise_fraction: 0.5,
+            },
         ] {
             let data = CompressGen {
                 size: 4096,

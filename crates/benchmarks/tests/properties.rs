@@ -4,7 +4,7 @@
 use alberta_benchmarks::minigcc::{MiniGcc, OptOptions};
 use alberta_benchmarks::minileela::{Color, GoBoard};
 use alberta_benchmarks::minimcf::solve_min_cost_flow;
-use alberta_benchmarks::{miniexchange, minixz};
+use alberta_benchmarks::{miniexchange, minixz, suite, BenchError};
 use alberta_profile::Profiler;
 use alberta_workloads::csrc::CSourceGen;
 use alberta_workloads::flow::FlowGen;
@@ -80,6 +80,42 @@ proptest! {
         for (b, s) in balance.iter().zip(&instance.supplies) {
             prop_assert_eq!(*b, -*s);
         }
+    }
+
+    /// Every benchmark answers a bogus workload name with a typed
+    /// [`BenchError::UnknownWorkload`] — never a panic, never a run.
+    #[test]
+    fn bogus_workload_names_yield_unknown_workload(
+        chars in prop::collection::vec(any::<char>(), 0..24),
+    ) {
+        // The prefix guarantees the name collides with no real workload
+        // (all real names are train/refrate/alberta.*).
+        let name: String = format!("bogus-{}", chars.into_iter().collect::<String>());
+        for b in suite(Scale::Test) {
+            let mut p = Profiler::default();
+            match b.run(&name, &mut p) {
+                Err(BenchError::UnknownWorkload { benchmark, workload }) => {
+                    prop_assert_eq!(benchmark, b.name());
+                    prop_assert_eq!(workload, name.clone());
+                }
+                other => prop_assert!(false, "{}: expected UnknownWorkload, got {:?}", b.name(), other),
+            }
+        }
+    }
+
+    /// Run output (checksum and work) is bit-identical across repeated
+    /// runs of the same workload — for every benchmark and any workload
+    /// in its set.
+    #[test]
+    fn checksums_are_reproducible(pick in any::<u64>()) {
+        let benchmarks = suite(Scale::Test);
+        let b = &benchmarks[(pick % benchmarks.len() as u64) as usize];
+        let names = b.workload_names();
+        let workload = &names[((pick >> 8) % names.len() as u64) as usize];
+        let first = b.run(workload, &mut Profiler::default()).expect("workload runs");
+        let second = b.run(workload, &mut Profiler::default()).expect("workload runs");
+        prop_assert_eq!(first.checksum, second.checksum, "{}/{}", b.name(), workload);
+        prop_assert_eq!(first.work, second.work);
     }
 
     /// Go: playing any sequence of random proposals never corrupts the

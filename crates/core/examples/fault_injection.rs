@@ -1,0 +1,53 @@
+//! Demonstrates the fault-injection harness and the resilient
+//! characterization pipeline.
+//!
+//! ```text
+//! cargo run --release -p alberta-core --example fault_injection
+//! ```
+//!
+//! Scatters a handful of deterministic faults over the suite — a forced
+//! panic, a work-budget exhaustion, corrupted profiler counters, a
+//! malformed workload — then characterizes everything resiliently and
+//! prints each sabotaged run's fate next to the Table II assembled from
+//! the surviving runs.
+
+use alberta_core::tables::table2_resilient;
+use alberta_core::{RunStatus, Scale, Suite};
+
+fn main() {
+    let suite = Suite::new(Scale::Test);
+    // Deterministic: the same seed always sabotages the same runs the
+    // same way. Swap in your own FaultPlan::new(..).inject(..) chain to
+    // target specific (benchmark, workload) pairs.
+    let plan = suite.scattered_faults(0xA1BE27A, 5);
+    println!("Injecting {} faults:", plan.len());
+    for fault in plan.faults() {
+        println!(
+            "  {}/{} <- {:?}",
+            fault.benchmark, fault.workload, fault.kind
+        );
+    }
+
+    let suite = suite.with_faults(plan);
+    let results = suite.characterize_all_resilient();
+
+    println!("\nRun incidents:");
+    for r in &results {
+        for incident in r.incidents() {
+            let fate = match &incident.status {
+                RunStatus::Degraded { error, retried_at } => {
+                    format!("DEGRADED (retried at {retried_at:?}) — {error}")
+                }
+                RunStatus::Failed { error } => format!("FAILED — {error}"),
+                RunStatus::Ok => unreachable!("incidents are non-Ok"),
+            };
+            println!("  {}/{}: {fate}", r.short_name, incident.workload);
+        }
+        if let Some(note) = r.annotation() {
+            println!("  {} summarized over {note}", r.short_name);
+        }
+    }
+
+    println!("\nTable II over the surviving runs:\n");
+    println!("{}", table2_resilient(&results).render());
+}

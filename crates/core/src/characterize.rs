@@ -6,11 +6,12 @@
 //! statistics into the Table II quantities `μg`, `σg`, `μg(V)`, `μg(M)`.
 
 use crate::suite::CoreError;
-use alberta_benchmarks::Benchmark;
+use alberta_benchmarks::{run_guarded, BenchError, Benchmark};
 use alberta_profile::{Profiler, SampleConfig};
 use alberta_stats::variation::TopDownRatios;
 use alberta_stats::{CoverageMatrix, CoverageSummary, TopDownSummary};
 use alberta_uarch::{TopDownModel, TopDownReport};
+use alberta_workloads::Scale;
 use std::collections::BTreeMap;
 
 /// One workload's measured behaviour.
@@ -59,51 +60,193 @@ impl Characterization {
     }
 }
 
-/// Runs the full pipeline for one benchmark.
+/// The fate of one workload run under the resilient pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The run completed and its profile validated.
+    Ok,
+    /// The original run failed, but a retry on a fresh benchmark at
+    /// `retried_at` scale succeeded; the retry's numbers entered the
+    /// summaries. The original error is preserved.
+    Degraded {
+        /// Why the original run failed.
+        error: BenchError,
+        /// The scale the successful retry ran at.
+        retried_at: Scale,
+    },
+    /// The run failed and was not (or could not be) salvaged; it
+    /// contributes nothing to the summaries.
+    Failed {
+        /// Why.
+        error: BenchError,
+    },
+}
+
+impl RunStatus {
+    /// True only for [`RunStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunStatus::Ok)
+    }
+
+    /// True for runs whose data entered the summaries (`Ok` or
+    /// `Degraded`).
+    pub fn survived(&self) -> bool {
+        !matches!(self, RunStatus::Failed { .. })
+    }
+
+    /// The error carried by a non-`Ok` status.
+    pub fn error(&self) -> Option<&BenchError> {
+        match self {
+            RunStatus::Ok => None,
+            RunStatus::Degraded { error, .. } | RunStatus::Failed { error } => Some(error),
+        }
+    }
+}
+
+/// One workload's fate in a resilient characterization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// What happened.
+    pub status: RunStatus,
+}
+
+/// A benchmark characterized with per-run fault tolerance: every workload
+/// gets a [`RunReport`], and the summary statistics are computed over the
+/// surviving runs only.
+#[derive(Debug, Clone)]
+pub struct ResilientCharacterization {
+    /// SPEC-style id, e.g. `505.mcf_r`.
+    pub spec_id: String,
+    /// Short name, e.g. `mcf`.
+    pub short_name: String,
+    /// One report per attempted workload, in workload order.
+    pub statuses: Vec<RunReport>,
+    /// The summary over surviving runs; `None` when every run failed.
+    pub characterization: Option<Characterization>,
+}
+
+impl ResilientCharacterization {
+    /// Workloads attempted (`m` in "(n of m workloads)").
+    pub fn attempted(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// Workloads whose data entered the summaries (`n`).
+    pub fn survived(&self) -> usize {
+        self.statuses.iter().filter(|r| r.status.survived()).count()
+    }
+
+    /// True when every attempted run survived intact.
+    pub fn is_complete(&self) -> bool {
+        self.statuses.iter().all(|r| r.status.is_ok())
+    }
+
+    /// The degradation annotation for reports: `Some("(9 of 12
+    /// workloads)")` when runs were lost, `None` when all survived.
+    pub fn annotation(&self) -> Option<String> {
+        let (n, m) = (self.survived(), self.attempted());
+        (n < m).then(|| format!("({n} of {m} workloads)"))
+    }
+
+    /// The reports for runs that did not come back `Ok`.
+    pub fn incidents(&self) -> impl Iterator<Item = &RunReport> {
+        self.statuses.iter().filter(|r| !r.status.is_ok())
+    }
+}
+
+/// Runs one workload under the panic guard and validates the resulting
+/// profile — the single-run unit both the strict and the resilient
+/// pipelines are built from.
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::Run`] if any workload fails.
+/// Everything [`run_guarded`] returns, plus
+/// [`BenchError::InvalidProfile`] when the finished profile fails
+/// [`alberta_profile::Profile::validate`].
+pub fn run_workload(
+    benchmark: &dyn Benchmark,
+    workload: &str,
+    model: &TopDownModel,
+    sampling: SampleConfig,
+) -> Result<WorkloadRun, BenchError> {
+    let mut profiler = Profiler::new(sampling);
+    let output = run_guarded(benchmark, workload, &mut profiler)?;
+    let profile = profiler.finish();
+    profile
+        .validate()
+        .map_err(|violation| BenchError::InvalidProfile {
+            benchmark: benchmark.name(),
+            workload: workload.to_owned(),
+            violation,
+        })?;
+    let report = model.analyze(&profile);
+    let coverage = profile.coverage_percent();
+    Ok(WorkloadRun {
+        workload: workload.to_owned(),
+        report,
+        coverage,
+        work: output.work,
+        checksum: output.checksum,
+    })
+}
+
+/// Summarizes a set of (surviving) runs into a [`Characterization`].
+/// Returns `None` when `runs` is empty — there is nothing to summarize.
+pub(crate) fn summarize(
+    spec_id: &str,
+    short_name: &str,
+    runs: Vec<WorkloadRun>,
+) -> Option<Characterization> {
+    if runs.is_empty() {
+        return None;
+    }
+    let mut matrix = CoverageMatrix::new();
+    let mut ratios: Vec<TopDownRatios> = Vec::new();
+    let mut refrate_cycles = 0.0;
+    for run in &runs {
+        matrix
+            .push_workload(
+                &run.workload,
+                run.coverage.iter().map(|(k, v)| (k.clone(), *v)),
+            )
+            .expect("coverage percentages are finite");
+        ratios.push(run.report.ratios);
+        if run.workload == "refrate" {
+            refrate_cycles = run.report.cycles;
+        }
+    }
+    let topdown = TopDownSummary::from_runs(&ratios).expect("at least one run");
+    let coverage = CoverageSummary::from_matrix(&matrix).expect("at least one run");
+    Some(Characterization {
+        spec_id: spec_id.to_owned(),
+        short_name: short_name.to_owned(),
+        runs,
+        topdown,
+        coverage,
+        refrate_cycles,
+    })
+}
+
+/// Runs the full pipeline for one benchmark, stopping at the first
+/// failure.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Run`] if any workload fails — including panics
+/// caught at the trait boundary and profiles that fail validation.
 pub fn characterize_benchmark(
     benchmark: &dyn Benchmark,
     model: &TopDownModel,
     sampling: SampleConfig,
 ) -> Result<Characterization, CoreError> {
     let mut runs = Vec::new();
-    let mut matrix = CoverageMatrix::new();
-    let mut ratios: Vec<TopDownRatios> = Vec::new();
-    let mut refrate_cycles = 0.0;
     for workload in benchmark.workload_names() {
-        let mut profiler = Profiler::new(sampling);
-        let output = benchmark.run(&workload, &mut profiler)?;
-        let profile = profiler.finish();
-        let report = model.analyze(&profile);
-        let coverage = profile.coverage_percent();
-        matrix
-            .push_workload(&workload, coverage.iter().map(|(k, v)| (k.clone(), *v)))
-            .expect("coverage percentages are finite");
-        ratios.push(report.ratios);
-        if workload == "refrate" {
-            refrate_cycles = report.cycles;
-        }
-        runs.push(WorkloadRun {
-            workload,
-            report,
-            coverage,
-            work: output.work,
-            checksum: output.checksum,
-        });
+        runs.push(run_workload(benchmark, &workload, model, sampling)?);
     }
-    let topdown = TopDownSummary::from_runs(&ratios).expect("at least one workload");
-    let coverage = CoverageSummary::from_matrix(&matrix).expect("at least one workload");
-    Ok(Characterization {
-        spec_id: benchmark.name().to_owned(),
-        short_name: benchmark.short_name().to_owned(),
-        runs,
-        topdown,
-        coverage,
-        refrate_cycles,
-    })
+    Ok(summarize(benchmark.name(), benchmark.short_name(), runs)
+        .expect("benchmarks have at least one workload"))
 }
 
 #[cfg(test)]
@@ -118,8 +261,12 @@ mod tests {
             .iter()
             .find(|b| b.short_name() == short)
             .expect("benchmark exists");
-        characterize_benchmark(b.as_ref(), &TopDownModel::reference(), SampleConfig::default())
-            .unwrap()
+        characterize_benchmark(
+            b.as_ref(),
+            &TopDownModel::reference(),
+            SampleConfig::default(),
+        )
+        .unwrap()
     }
 
     #[test]

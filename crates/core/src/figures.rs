@@ -1,7 +1,7 @@
 //! Regeneration of the paper's figures as data series plus terminal
 //! renderings.
 
-use crate::characterize::Characterization;
+use crate::characterize::{Characterization, ResilientCharacterization};
 use crate::report::{format_table, Align};
 
 /// Figure 1 data: per-workload Top-Down stacks for one benchmark.
@@ -15,6 +15,17 @@ pub struct Fig1Series {
     pub benchmark: String,
     /// `(workload, [f, b, s, r])` per workload.
     pub stacks: Vec<(String, [f64; 4])>,
+}
+
+/// Extracts the Figure 1 series from a resilient characterization's
+/// survivors, with the benchmark label annotated `(n of m workloads)`
+/// when runs were lost. `None` when nothing survived.
+pub fn fig1_series_resilient(r: &ResilientCharacterization) -> Option<Fig1Series> {
+    let mut series = fig1_series(r.characterization.as_ref()?);
+    if let Some(note) = r.annotation() {
+        series.benchmark = format!("{} {note}", series.benchmark);
+    }
+    Some(series)
 }
 
 /// Extracts the Figure 1 series from a characterization.
@@ -33,7 +44,10 @@ impl Fig1Series {
     /// Renders the stacked bars as rows of `F`/`B`/`S`/`R` glyphs, forty
     /// columns per workload — a terminal rendition of the paper's plot.
     pub fn render(&self) -> String {
-        let mut out = format!("Top-Down stacks for {} (F=front end, B=back end, S=bad speculation, R=retiring)\n", self.benchmark);
+        let mut out = format!(
+            "Top-Down stacks for {} (F=front end, B=back end, S=bad speculation, R=retiring)\n",
+            self.benchmark
+        );
         const WIDTH: usize = 40;
         for (workload, stack) in &self.stacks {
             let mut bar = String::with_capacity(WIDTH);
@@ -46,7 +60,7 @@ impl Fig1Series {
                     (fraction * WIDTH as f64).round() as usize
                 };
                 let cells = cells.min(WIDTH - assigned);
-                bar.extend(std::iter::repeat(glyphs[k]).take(cells));
+                bar.extend(std::iter::repeat_n(glyphs[k], cells));
                 assigned += cells;
             }
             out.push_str(&format!("{workload:>24} |{bar}|\n"));
@@ -107,6 +121,16 @@ pub struct Fig2Series {
     pub methods: Vec<String>,
     /// `(workload, per-method percent)` rows, parallel to `methods`.
     pub rows: Vec<(String, Vec<f64>)>,
+}
+
+/// Extracts the Figure 2 series from a resilient characterization's
+/// survivors, annotated like [`fig1_series_resilient`].
+pub fn fig2_series_resilient(r: &ResilientCharacterization) -> Option<Fig2Series> {
+    let mut series = fig2_series(r.characterization.as_ref()?);
+    if let Some(note) = r.annotation() {
+        series.benchmark = format!("{} {note}", series.benchmark);
+    }
+    Some(series)
 }
 
 /// Extracts the Figure 2 series from a characterization.

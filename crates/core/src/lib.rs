@@ -33,17 +33,21 @@
 //! ```
 
 pub mod characterize;
+pub mod faults;
 pub mod figures;
 pub mod report;
 pub mod specdata;
 pub mod suite;
 pub mod tables;
 
-pub use characterize::{Characterization, WorkloadRun};
+pub use characterize::{
+    Characterization, ResilientCharacterization, RunReport, RunStatus, WorkloadRun,
+};
+pub use faults::{Fault, FaultKind, FaultPlan};
 pub use suite::{CoreError, Suite};
 
 // Re-export the layers users need to drive the facade.
-pub use alberta_benchmarks::{suite as benchmark_suite, Benchmark, BenchError, RunOutput};
+pub use alberta_benchmarks::{suite as benchmark_suite, BenchError, Benchmark, RunOutput};
 pub use alberta_profile::{Profiler, SampleConfig};
 pub use alberta_stats::{CoverageSummary, TopDownSummary};
 pub use alberta_uarch::{MachineConfig, PredictorKind, TopDownModel, TopDownReport};

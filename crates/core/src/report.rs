@@ -34,10 +34,10 @@ pub fn format_table(header: &[String], rows: &[Vec<String>], align: Align) -> St
             match align {
                 Align::Left => {
                     line.push_str(cell);
-                    line.extend(std::iter::repeat(' ').take(pad));
+                    line.extend(std::iter::repeat_n(' ', pad));
                 }
                 Align::Right => {
-                    line.extend(std::iter::repeat(' ').take(pad));
+                    line.extend(std::iter::repeat_n(' ', pad));
                     line.push_str(cell);
                 }
             }

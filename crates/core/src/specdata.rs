@@ -20,19 +20,97 @@ pub struct Table1Row {
 
 /// The paper's Table I.
 pub const TABLE1: [Table1Row; 13] = [
-    Table1Row { area: "Perl interpreter", spec2017: "500.perlbench_r", spec2006: "400.perlbench", time2017: Some(542.0), time2006: Some(425.0) },
-    Table1Row { area: "Compiler", spec2017: "502.gcc_r", spec2006: "403.gcc", time2017: Some(518.0), time2006: Some(346.0) },
-    Table1Row { area: "Route planning", spec2017: "505.mcf_r", spec2006: "429.mcf", time2017: Some(633.0), time2006: Some(333.0) },
-    Table1Row { area: "Discrete event simulation", spec2017: "520.omnetpp_r", spec2006: "471.omnetpp", time2017: Some(787.0), time2006: Some(483.0) },
-    Table1Row { area: "SML to HTML conversion", spec2017: "523.xalancbmk_r", spec2006: "483.xalancbmk", time2017: Some(323.0), time2006: Some(221.0) },
-    Table1Row { area: "Video compression", spec2017: "525.x264_r", spec2006: "464.h264ref", time2017: Some(379.0), time2006: Some(575.0) },
-    Table1Row { area: "AI: alpha-beta tree search", spec2017: "531.deepsjeng_r", spec2006: "458.sjeng", time2017: Some(373.0), time2006: Some(562.0) },
-    Table1Row { area: "AI: Sudoku recursive solution", spec2017: "548.exchange2_r", spec2006: "", time2017: Some(498.0), time2006: None },
-    Table1Row { area: "Data compression", spec2017: "557.xz_r", spec2006: "401.bzip2", time2017: Some(532.0), time2006: Some(681.0) },
-    Table1Row { area: "AI: Go game playing", spec2017: "541.leela_r", spec2006: "445.gobmk", time2017: Some(586.0), time2006: Some(506.0) },
-    Table1Row { area: "Search Gene Sequence", spec2017: "", spec2006: "456.hmmer", time2017: None, time2006: Some(202.0) },
-    Table1Row { area: "Physics: Quantum Computing", spec2017: "", spec2006: "462.libquantum", time2017: None, time2006: Some(65.0) },
-    Table1Row { area: "AI: path finding algorithm", spec2017: "", spec2006: "473.astar", time2017: None, time2006: Some(461.0) },
+    Table1Row {
+        area: "Perl interpreter",
+        spec2017: "500.perlbench_r",
+        spec2006: "400.perlbench",
+        time2017: Some(542.0),
+        time2006: Some(425.0),
+    },
+    Table1Row {
+        area: "Compiler",
+        spec2017: "502.gcc_r",
+        spec2006: "403.gcc",
+        time2017: Some(518.0),
+        time2006: Some(346.0),
+    },
+    Table1Row {
+        area: "Route planning",
+        spec2017: "505.mcf_r",
+        spec2006: "429.mcf",
+        time2017: Some(633.0),
+        time2006: Some(333.0),
+    },
+    Table1Row {
+        area: "Discrete event simulation",
+        spec2017: "520.omnetpp_r",
+        spec2006: "471.omnetpp",
+        time2017: Some(787.0),
+        time2006: Some(483.0),
+    },
+    Table1Row {
+        area: "SML to HTML conversion",
+        spec2017: "523.xalancbmk_r",
+        spec2006: "483.xalancbmk",
+        time2017: Some(323.0),
+        time2006: Some(221.0),
+    },
+    Table1Row {
+        area: "Video compression",
+        spec2017: "525.x264_r",
+        spec2006: "464.h264ref",
+        time2017: Some(379.0),
+        time2006: Some(575.0),
+    },
+    Table1Row {
+        area: "AI: alpha-beta tree search",
+        spec2017: "531.deepsjeng_r",
+        spec2006: "458.sjeng",
+        time2017: Some(373.0),
+        time2006: Some(562.0),
+    },
+    Table1Row {
+        area: "AI: Sudoku recursive solution",
+        spec2017: "548.exchange2_r",
+        spec2006: "",
+        time2017: Some(498.0),
+        time2006: None,
+    },
+    Table1Row {
+        area: "Data compression",
+        spec2017: "557.xz_r",
+        spec2006: "401.bzip2",
+        time2017: Some(532.0),
+        time2006: Some(681.0),
+    },
+    Table1Row {
+        area: "AI: Go game playing",
+        spec2017: "541.leela_r",
+        spec2006: "445.gobmk",
+        time2017: Some(586.0),
+        time2006: Some(506.0),
+    },
+    Table1Row {
+        area: "Search Gene Sequence",
+        spec2017: "",
+        spec2006: "456.hmmer",
+        time2017: None,
+        time2006: Some(202.0),
+    },
+    Table1Row {
+        area: "Physics: Quantum Computing",
+        spec2017: "",
+        spec2006: "462.libquantum",
+        time2017: None,
+        time2006: Some(65.0),
+    },
+    Table1Row {
+        area: "AI: path finding algorithm",
+        spec2017: "",
+        spec2006: "473.astar",
+        time2017: None,
+        time2006: Some(461.0),
+    },
 ];
 
 /// One row of the paper's Table II: geometric means/stds (means as
@@ -69,21 +147,231 @@ pub struct Table2Row {
 
 /// The paper's Table II, in print order.
 pub const TABLE2: [Table2Row; 15] = [
-    Table2Row { benchmark: "gcc", workloads: 19, f_mean: 0.234, f_std: 1.2, b_mean: 0.336, b_std: 1.2, s_mean: 0.119, s_std: 1.2, r_mean: 0.295, r_std: 1.1, mu_g_v: 5.1, mu_g_m: 25.0, refrate_seconds: 281.0 },
-    Table2Row { benchmark: "mcf", workloads: 7, f_mean: 0.141, f_std: 1.8, b_mean: 0.449, b_std: 1.3, s_mean: 0.153, s_std: 1.6, r_mean: 0.198, r_std: 1.2, mu_g_v: 6.9, mu_g_m: 1.0, refrate_seconds: 324.0 },
-    Table2Row { benchmark: "cactuBSSN", workloads: 11, f_mean: 0.204, f_std: 1.7, b_mean: 0.428, b_std: 1.4, s_mean: 0.002, s_std: 1.3, r_mean: 0.310, r_std: 1.1, mu_g_v: 17.1, mu_g_m: 1.0, refrate_seconds: 355.0 },
-    Table2Row { benchmark: "parest", workloads: 8, f_mean: 0.124, f_std: 1.1, b_mean: 0.260, b_std: 1.2, s_mean: 0.069, s_std: 1.3, r_mean: 0.537, r_std: 1.1, mu_g_v: 6.2, mu_g_m: 5.0, refrate_seconds: 449.0 },
-    Table2Row { benchmark: "povray", workloads: 10, f_mean: 0.094, f_std: 1.7, b_mean: 0.397, b_std: 1.5, s_mean: 0.088, s_std: 2.2, r_mean: 0.327, r_std: 1.4, mu_g_v: 9.2, mu_g_m: 66.0, refrate_seconds: 535.0 },
-    Table2Row { benchmark: "lbm", workloads: 30, f_mean: 0.019, f_std: 1.8, b_mean: 0.612, b_std: 1.1, s_mean: 0.004, s_std: 3.3, r_mean: 0.341, r_std: 1.3, mu_g_v: 27.4, mu_g_m: 59.0, refrate_seconds: 260.0 },
-    Table2Row { benchmark: "omnetpp", workloads: 10, f_mean: 0.091, f_std: 1.2, b_mean: 0.647, b_std: 1.1, s_mean: 0.081, s_std: 1.1, r_mean: 0.174, r_std: 1.2, mu_g_v: 6.8, mu_g_m: 17.0, refrate_seconds: 577.0 },
-    Table2Row { benchmark: "wrf", workloads: 16, f_mean: 0.071, f_std: 1.4, b_mean: 0.549, b_std: 1.1, s_mean: 0.043, s_std: 1.3, r_mean: 0.322, r_std: 1.0, mu_g_v: 7.8, mu_g_m: 4.0, refrate_seconds: 904.0 },
-    Table2Row { benchmark: "xalancbmk", workloads: 8, f_mean: 0.134, f_std: 1.8, b_mean: 0.427, b_std: 1.4, s_mean: 0.023, s_std: 2.4, r_mean: 0.337, r_std: 1.4, mu_g_v: 11.8, mu_g_m: 108.0, refrate_seconds: 263.0 },
-    Table2Row { benchmark: "blender", workloads: 16, f_mean: 0.171, f_std: 1.6, b_mean: 0.259, b_std: 1.4, s_mean: 0.113, s_std: 1.8, r_mean: 0.411, r_std: 1.1, mu_g_v: 6.7, mu_g_m: 44.0, refrate_seconds: 162.0 },
-    Table2Row { benchmark: "deepsjeng", workloads: 12, f_mean: 0.191, f_std: 1.1, b_mean: 0.274, b_std: 1.2, s_mean: 0.115, s_std: 1.1, r_mean: 0.412, r_std: 1.1, mu_g_v: 5.0, mu_g_m: 1.0, refrate_seconds: 316.0 },
-    Table2Row { benchmark: "leela", workloads: 12, f_mean: 0.169, f_std: 1.1, b_mean: 0.230, b_std: 1.1, s_mean: 0.276, s_std: 1.1, r_mean: 0.322, r_std: 1.0, mu_g_v: 4.3, mu_g_m: 1.0, refrate_seconds: 484.0 },
-    Table2Row { benchmark: "nab", workloads: 11, f_mean: 0.036, f_std: 1.4, b_mean: 0.553, b_std: 1.1, s_mean: 0.075, s_std: 1.3, r_mean: 0.330, r_std: 1.0, mu_g_v: 7.9, mu_g_m: 2.0, refrate_seconds: 476.0 },
-    Table2Row { benchmark: "exchange2", workloads: 13, f_mean: 0.139, f_std: 1.0, b_mean: 0.224, b_std: 1.0, s_mean: 0.051, s_std: 1.1, r_mean: 0.586, r_std: 1.0, mu_g_v: 5.9, mu_g_m: 1.0, refrate_seconds: 920.0 },
-    Table2Row { benchmark: "xz", workloads: 12, f_mean: 0.117, f_std: 1.1, b_mean: 0.428, b_std: 1.2, s_mean: 0.165, s_std: 1.3, r_mean: 0.272, r_std: 1.2, mu_g_v: 5.5, mu_g_m: 23.0, refrate_seconds: 352.0 },
+    Table2Row {
+        benchmark: "gcc",
+        workloads: 19,
+        f_mean: 0.234,
+        f_std: 1.2,
+        b_mean: 0.336,
+        b_std: 1.2,
+        s_mean: 0.119,
+        s_std: 1.2,
+        r_mean: 0.295,
+        r_std: 1.1,
+        mu_g_v: 5.1,
+        mu_g_m: 25.0,
+        refrate_seconds: 281.0,
+    },
+    Table2Row {
+        benchmark: "mcf",
+        workloads: 7,
+        f_mean: 0.141,
+        f_std: 1.8,
+        b_mean: 0.449,
+        b_std: 1.3,
+        s_mean: 0.153,
+        s_std: 1.6,
+        r_mean: 0.198,
+        r_std: 1.2,
+        mu_g_v: 6.9,
+        mu_g_m: 1.0,
+        refrate_seconds: 324.0,
+    },
+    Table2Row {
+        benchmark: "cactuBSSN",
+        workloads: 11,
+        f_mean: 0.204,
+        f_std: 1.7,
+        b_mean: 0.428,
+        b_std: 1.4,
+        s_mean: 0.002,
+        s_std: 1.3,
+        r_mean: 0.310,
+        r_std: 1.1,
+        mu_g_v: 17.1,
+        mu_g_m: 1.0,
+        refrate_seconds: 355.0,
+    },
+    Table2Row {
+        benchmark: "parest",
+        workloads: 8,
+        f_mean: 0.124,
+        f_std: 1.1,
+        b_mean: 0.260,
+        b_std: 1.2,
+        s_mean: 0.069,
+        s_std: 1.3,
+        r_mean: 0.537,
+        r_std: 1.1,
+        mu_g_v: 6.2,
+        mu_g_m: 5.0,
+        refrate_seconds: 449.0,
+    },
+    Table2Row {
+        benchmark: "povray",
+        workloads: 10,
+        f_mean: 0.094,
+        f_std: 1.7,
+        b_mean: 0.397,
+        b_std: 1.5,
+        s_mean: 0.088,
+        s_std: 2.2,
+        r_mean: 0.327,
+        r_std: 1.4,
+        mu_g_v: 9.2,
+        mu_g_m: 66.0,
+        refrate_seconds: 535.0,
+    },
+    Table2Row {
+        benchmark: "lbm",
+        workloads: 30,
+        f_mean: 0.019,
+        f_std: 1.8,
+        b_mean: 0.612,
+        b_std: 1.1,
+        s_mean: 0.004,
+        s_std: 3.3,
+        r_mean: 0.341,
+        r_std: 1.3,
+        mu_g_v: 27.4,
+        mu_g_m: 59.0,
+        refrate_seconds: 260.0,
+    },
+    Table2Row {
+        benchmark: "omnetpp",
+        workloads: 10,
+        f_mean: 0.091,
+        f_std: 1.2,
+        b_mean: 0.647,
+        b_std: 1.1,
+        s_mean: 0.081,
+        s_std: 1.1,
+        r_mean: 0.174,
+        r_std: 1.2,
+        mu_g_v: 6.8,
+        mu_g_m: 17.0,
+        refrate_seconds: 577.0,
+    },
+    Table2Row {
+        benchmark: "wrf",
+        workloads: 16,
+        f_mean: 0.071,
+        f_std: 1.4,
+        b_mean: 0.549,
+        b_std: 1.1,
+        s_mean: 0.043,
+        s_std: 1.3,
+        r_mean: 0.322,
+        r_std: 1.0,
+        mu_g_v: 7.8,
+        mu_g_m: 4.0,
+        refrate_seconds: 904.0,
+    },
+    Table2Row {
+        benchmark: "xalancbmk",
+        workloads: 8,
+        f_mean: 0.134,
+        f_std: 1.8,
+        b_mean: 0.427,
+        b_std: 1.4,
+        s_mean: 0.023,
+        s_std: 2.4,
+        r_mean: 0.337,
+        r_std: 1.4,
+        mu_g_v: 11.8,
+        mu_g_m: 108.0,
+        refrate_seconds: 263.0,
+    },
+    Table2Row {
+        benchmark: "blender",
+        workloads: 16,
+        f_mean: 0.171,
+        f_std: 1.6,
+        b_mean: 0.259,
+        b_std: 1.4,
+        s_mean: 0.113,
+        s_std: 1.8,
+        r_mean: 0.411,
+        r_std: 1.1,
+        mu_g_v: 6.7,
+        mu_g_m: 44.0,
+        refrate_seconds: 162.0,
+    },
+    Table2Row {
+        benchmark: "deepsjeng",
+        workloads: 12,
+        f_mean: 0.191,
+        f_std: 1.1,
+        b_mean: 0.274,
+        b_std: 1.2,
+        s_mean: 0.115,
+        s_std: 1.1,
+        r_mean: 0.412,
+        r_std: 1.1,
+        mu_g_v: 5.0,
+        mu_g_m: 1.0,
+        refrate_seconds: 316.0,
+    },
+    Table2Row {
+        benchmark: "leela",
+        workloads: 12,
+        f_mean: 0.169,
+        f_std: 1.1,
+        b_mean: 0.230,
+        b_std: 1.1,
+        s_mean: 0.276,
+        s_std: 1.1,
+        r_mean: 0.322,
+        r_std: 1.0,
+        mu_g_v: 4.3,
+        mu_g_m: 1.0,
+        refrate_seconds: 484.0,
+    },
+    Table2Row {
+        benchmark: "nab",
+        workloads: 11,
+        f_mean: 0.036,
+        f_std: 1.4,
+        b_mean: 0.553,
+        b_std: 1.1,
+        s_mean: 0.075,
+        s_std: 1.3,
+        r_mean: 0.330,
+        r_std: 1.0,
+        mu_g_v: 7.9,
+        mu_g_m: 2.0,
+        refrate_seconds: 476.0,
+    },
+    Table2Row {
+        benchmark: "exchange2",
+        workloads: 13,
+        f_mean: 0.139,
+        f_std: 1.0,
+        b_mean: 0.224,
+        b_std: 1.0,
+        s_mean: 0.051,
+        s_std: 1.1,
+        r_mean: 0.586,
+        r_std: 1.0,
+        mu_g_v: 5.9,
+        mu_g_m: 1.0,
+        refrate_seconds: 920.0,
+    },
+    Table2Row {
+        benchmark: "xz",
+        workloads: 12,
+        f_mean: 0.117,
+        f_std: 1.1,
+        b_mean: 0.428,
+        b_std: 1.2,
+        s_mean: 0.165,
+        s_std: 1.3,
+        r_mean: 0.272,
+        r_std: 1.2,
+        mu_g_v: 5.5,
+        mu_g_m: 23.0,
+        refrate_seconds: 352.0,
+    },
 ];
 
 /// Looks up the paper's Table II row by short name.

@@ -1,10 +1,14 @@
 //! The [`Suite`] orchestrator.
 
-use crate::characterize::{characterize_benchmark, Characterization};
+use crate::characterize::{
+    characterize_benchmark, run_workload, summarize, Characterization, ResilientCharacterization,
+    RunReport, RunStatus, WorkloadRun,
+};
+use crate::faults::{FaultKind, FaultPlan};
 use alberta_benchmarks::{suite as build_benchmarks, BenchError, Benchmark};
 use alberta_profile::SampleConfig;
 use alberta_uarch::TopDownModel;
-use alberta_workloads::Scale;
+use alberta_workloads::{Scale, SeededRng};
 use std::error::Error;
 use std::fmt;
 
@@ -53,6 +57,7 @@ pub struct Suite {
     model: TopDownModel,
     sampling: SampleConfig,
     scale: Scale,
+    faults: FaultPlan,
 }
 
 impl Suite {
@@ -63,6 +68,7 @@ impl Suite {
             model: TopDownModel::reference(),
             sampling: SampleConfig::default(),
             scale,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -76,6 +82,19 @@ impl Suite {
     pub fn with_sampling(mut self, sampling: SampleConfig) -> Self {
         self.sampling = sampling;
         self
+    }
+
+    /// Installs a fault plan. Faults only apply to the resilient pipeline
+    /// ([`Suite::characterize_all_resilient`] and friends); the strict
+    /// entry points ignore them.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The installed fault plan (empty by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The scale this suite was built at.
@@ -123,6 +142,158 @@ impl Suite {
             .map(|b| characterize_benchmark(b.as_ref(), &self.model, self.sampling))
             .collect()
     }
+
+    /// Characterizes the whole suite with per-run fault tolerance.
+    ///
+    /// Unlike [`Suite::characterize_all`], this never fails and never
+    /// panics: each workload run is guarded, gets a [`RunStatus`], and
+    /// summaries are computed over the surviving runs only. The installed
+    /// [`FaultPlan`] is applied (it is how the degradation paths are
+    /// exercised deterministically). Retry policy: a run failing with a
+    /// [retryable](BenchError::is_retryable) error — a caught panic or a
+    /// work-budget overrun — is retried once on a freshly built benchmark
+    /// at the next scale down (same scale at [`Scale::Test`]) with no
+    /// injected faults; success downgrades the run to
+    /// [`RunStatus::Degraded`] instead of [`RunStatus::Failed`].
+    pub fn characterize_all_resilient(&self) -> Vec<ResilientCharacterization> {
+        let mut benchmarks = build_benchmarks(self.scale);
+        benchmarks
+            .iter_mut()
+            .map(|b| self.characterize_resilient_inner(b.as_mut()))
+            .collect()
+    }
+
+    /// Resilient characterization of a single benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Only [`CoreError::UnknownBenchmark`] — run failures are reported
+    /// in the per-run statuses, never as an error.
+    pub fn characterize_resilient(
+        &self,
+        name: &str,
+    ) -> Result<ResilientCharacterization, CoreError> {
+        let mut benchmark = build_benchmarks(self.scale)
+            .into_iter()
+            .find(|b| b.short_name() == name || b.name() == name)
+            .ok_or_else(|| CoreError::UnknownBenchmark {
+                name: name.to_owned(),
+            })?;
+        Ok(self.characterize_resilient_inner(benchmark.as_mut()))
+    }
+
+    fn characterize_resilient_inner(
+        &self,
+        benchmark: &mut dyn Benchmark,
+    ) -> ResilientCharacterization {
+        let spec_id = benchmark.name();
+        let short_name = benchmark.short_name();
+        // Malformed-workload faults mutate the stored workloads before
+        // any run; the other kinds are per-run profiler configuration.
+        for workload in benchmark.workload_names() {
+            if self.faults.fault_for(spec_id, short_name, &workload)
+                == Some(FaultKind::MalformedWorkload)
+            {
+                benchmark.inject_malformed(&workload, self.faults.seed());
+            }
+        }
+        let mut statuses = Vec::new();
+        let mut survivors = Vec::new();
+        for workload in benchmark.workload_names() {
+            let mut sampling = self.sampling;
+            if let Some(kind) = self.faults.fault_for(spec_id, short_name, &workload) {
+                if let Some(fault) = FaultPlan::profiler_fault(kind) {
+                    sampling = sampling.with_fault(fault);
+                }
+                if let FaultKind::ExhaustBudget { budget } = kind {
+                    sampling = sampling.with_work_budget(budget);
+                }
+            }
+            let status = match run_workload(benchmark, &workload, &self.model, sampling) {
+                Ok(run) => {
+                    survivors.push(run);
+                    RunStatus::Ok
+                }
+                Err(error) if error.is_retryable() => {
+                    let retried_at = self.scale.reduced().unwrap_or(self.scale);
+                    match self.retry_run(spec_id, &workload, retried_at) {
+                        Some(run) => {
+                            survivors.push(run);
+                            RunStatus::Degraded { error, retried_at }
+                        }
+                        None => RunStatus::Failed { error },
+                    }
+                }
+                Err(error) => RunStatus::Failed { error },
+            };
+            statuses.push(RunReport { workload, status });
+        }
+        ResilientCharacterization {
+            spec_id: spec_id.to_owned(),
+            short_name: short_name.to_owned(),
+            statuses,
+            characterization: summarize(spec_id, short_name, survivors),
+        }
+    }
+
+    /// One retry on a freshly built benchmark: regenerated (uncorrupted)
+    /// workloads, no injected profiler faults. The user's own sampling
+    /// configuration is kept — a budget that the full-scale run overran
+    /// may well fit the reduced inputs.
+    fn retry_run(&self, spec_id: &str, workload: &str, scale: Scale) -> Option<WorkloadRun> {
+        let fresh = build_benchmarks(scale);
+        let benchmark = fresh.iter().find(|b| b.name() == spec_id)?;
+        run_workload(benchmark.as_ref(), workload, &self.model, self.sampling).ok()
+    }
+
+    /// Builds a deterministic plan of `count` faults scattered over
+    /// distinct `(benchmark, workload)` runs of this suite, cycling
+    /// through the fault kinds. Useful for exercising the resilient
+    /// pipeline end to end: the same `seed` always sabotages the same
+    /// runs the same way.
+    ///
+    /// Malformed-workload faults are only assigned to benchmarks that
+    /// support corruption (their [`Benchmark::inject_malformed`] hook is
+    /// overridden), so every planned fault produces a non-`Ok` status.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the number of runs in the suite.
+    pub fn scattered_faults(&self, seed: u64, count: usize) -> FaultPlan {
+        const MALFORMABLE: [&str; 3] = ["mcf", "deepsjeng", "xalancbmk"];
+        let mut targets: Vec<(String, String)> = Vec::new();
+        for b in &self.benchmarks {
+            for w in b.workload_names() {
+                targets.push((b.short_name().to_owned(), w));
+            }
+        }
+        assert!(
+            count <= targets.len(),
+            "cannot scatter {count} faults over {} runs",
+            targets.len()
+        );
+        let mut rng = SeededRng::new(seed);
+        rng.shuffle(&mut targets);
+        let mut plan = FaultPlan::new(seed);
+        for (kind_index, (benchmark, workload)) in targets.into_iter().take(count).enumerate() {
+            let kinds = [
+                FaultKind::PanicAtEvent(40 + 7 * kind_index as u64),
+                FaultKind::ExhaustBudget {
+                    budget: 64 + kind_index as u64,
+                },
+                FaultKind::CorruptEvents {
+                    at: 25 + 5 * kind_index as u64,
+                },
+                FaultKind::MalformedWorkload,
+            ];
+            let mut kind = kinds[kind_index % kinds.len()];
+            if kind == FaultKind::MalformedWorkload && !MALFORMABLE.contains(&benchmark.as_str()) {
+                kind = kinds[(kind_index + 1) % kinds.len()];
+            }
+            plan = plan.inject(benchmark, workload, kind);
+        }
+        plan
+    }
 }
 
 impl fmt::Debug for Suite {
@@ -158,6 +329,116 @@ mod tests {
         let s = Suite::new(Scale::Test);
         let err = s.characterize("missing").unwrap_err();
         assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn resilient_without_faults_is_all_ok_and_matches_strict() {
+        let s = Suite::new(Scale::Test);
+        let r = s.characterize_resilient("xz").unwrap();
+        assert!(r.is_complete());
+        assert_eq!(r.survived(), r.attempted());
+        assert!(r.annotation().is_none());
+        assert_eq!(r.incidents().count(), 0);
+        let c = r.characterization.expect("all runs survived");
+        let strict = s.characterize("xz").unwrap();
+        assert_eq!(c.topdown.mu_g_v.to_bits(), strict.topdown.mu_g_v.to_bits());
+        assert_eq!(c.runs.len(), strict.runs.len());
+    }
+
+    #[test]
+    fn malformed_fault_fails_the_run_without_retry() {
+        let plan = FaultPlan::new(11).inject("mcf", "alberta.2", FaultKind::MalformedWorkload);
+        let s = Suite::new(Scale::Test).with_faults(plan);
+        let r = s.characterize_resilient("mcf").unwrap();
+        assert_eq!(r.attempted() - r.survived(), 1);
+        let incident = r.incidents().next().unwrap();
+        assert_eq!(incident.workload, "alberta.2");
+        match &incident.status {
+            RunStatus::Failed { error } => {
+                assert!(
+                    matches!(error, BenchError::InvalidInput { .. }),
+                    "{error:?}"
+                );
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(r.annotation().unwrap(), "(8 of 9 workloads)");
+        let c = r.characterization.expect("eight survivors");
+        assert!(
+            c.run("alberta.2").is_none(),
+            "failed run must not enter summaries"
+        );
+        assert_eq!(c.workload_count(), 8);
+    }
+
+    #[test]
+    fn retryable_faults_degrade_instead_of_failing() {
+        let plan = FaultPlan::new(0)
+            .inject("xz", "train", FaultKind::ExhaustBudget { budget: 64 })
+            .inject("xz", "refrate", FaultKind::PanicAtEvent(30));
+        let s = Suite::new(Scale::Test).with_faults(plan);
+        let r = s.characterize_resilient("xz").unwrap();
+        assert_eq!(r.survived(), r.attempted(), "retries salvage both runs");
+        assert!(!r.is_complete(), "but they are not Ok");
+        let degraded: Vec<_> = r.incidents().collect();
+        assert_eq!(degraded.len(), 2);
+        for incident in degraded {
+            match &incident.status {
+                RunStatus::Degraded { error, retried_at } => {
+                    assert!(error.is_retryable());
+                    assert_eq!(*retried_at, Scale::Test, "Test has no smaller scale");
+                }
+                other => panic!("expected Degraded, got {other:?}"),
+            }
+        }
+        // Survivors include the retried runs, so no annotation is needed.
+        assert!(r.annotation().is_none());
+        assert_eq!(
+            r.characterization.as_ref().unwrap().workload_count(),
+            r.attempted()
+        );
+    }
+
+    #[test]
+    fn corrupt_events_fault_is_caught_by_validation() {
+        let plan = FaultPlan::new(0).inject("leela", "train", FaultKind::CorruptEvents { at: 20 });
+        let s = Suite::new(Scale::Test).with_faults(plan);
+        let r = s.characterize_resilient("leela").unwrap();
+        let incident = r.incidents().next().unwrap();
+        assert!(
+            matches!(
+                incident.status.error(),
+                Some(BenchError::InvalidProfile { .. })
+            ),
+            "{:?}",
+            incident.status
+        );
+    }
+
+    #[test]
+    fn strict_entry_points_ignore_the_fault_plan() {
+        let plan = FaultPlan::new(0).inject("xz", "train", FaultKind::PanicAtEvent(1));
+        let s = Suite::new(Scale::Test).with_faults(plan);
+        assert!(s.characterize("xz").is_ok());
+        assert_eq!(s.faults().len(), 1);
+    }
+
+    #[test]
+    fn scattered_faults_are_deterministic_and_distinct() {
+        let s = Suite::new(Scale::Test);
+        let a = s.scattered_faults(42, 6);
+        let b = s.scattered_faults(42, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        let mut targets: Vec<_> = a
+            .faults()
+            .iter()
+            .map(|f| (f.benchmark.clone(), f.workload.clone()))
+            .collect();
+        targets.sort();
+        targets.dedup();
+        assert_eq!(targets.len(), 6, "targets must be distinct runs");
+        assert_ne!(a, s.scattered_faults(43, 6));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Regeneration of the paper's tables.
 
-use crate::characterize::Characterization;
+use crate::characterize::{Characterization, ResilientCharacterization};
 use crate::report::{format_table, Align};
 use crate::specdata::{self, Table1Row};
 use crate::suite::{CoreError, Suite};
@@ -10,8 +10,12 @@ use crate::suite::{CoreError, Suite};
 pub struct MeasuredRow {
     /// Short benchmark name.
     pub benchmark: String,
-    /// Workloads characterized.
+    /// Workloads whose runs survived and entered the summaries.
     pub workloads: usize,
+    /// Workloads attempted. Equals `workloads` for a clean run; larger
+    /// when the resilient pipeline lost runs, in which case the rendered
+    /// row is annotated `n of m`.
+    pub attempted: usize,
     /// `(μg, σg)` for front-end bound.
     pub f: (f64, f64),
     /// `(μg, σg)` for back-end bound.
@@ -29,11 +33,22 @@ pub struct MeasuredRow {
 }
 
 impl MeasuredRow {
+    /// Builds the row from a resilient characterization's survivors.
+    /// Returns `None` when no run survived — there is no data to put in
+    /// a row.
+    pub fn from_resilient(r: &ResilientCharacterization) -> Option<Self> {
+        let c = r.characterization.as_ref()?;
+        let mut row = Self::from_characterization(c);
+        row.attempted = r.attempted();
+        Some(row)
+    }
+
     /// Builds the row from a characterization.
     pub fn from_characterization(c: &Characterization) -> Self {
         MeasuredRow {
             benchmark: c.short_name.clone(),
             workloads: c.workload_count(),
+            attempted: c.workload_count(),
             f: (c.topdown.front_end.geo_mean, c.topdown.front_end.geo_std),
             b: (c.topdown.back_end.geo_mean, c.topdown.back_end.geo_std),
             s: (
@@ -69,6 +84,19 @@ pub fn table2(suite: &Suite) -> Result<Table2, CoreError> {
     Ok(Table2 { rows })
 }
 
+/// Assembles Table II from resilient characterizations: rows cover the
+/// surviving runs only, annotated `n of m` in the workload column when
+/// runs were lost. Benchmarks where every run failed produce no row —
+/// callers should report them from the per-run statuses.
+pub fn table2_resilient(results: &[ResilientCharacterization]) -> Table2 {
+    Table2 {
+        rows: results
+            .iter()
+            .filter_map(MeasuredRow::from_resilient)
+            .collect(),
+    }
+}
+
 impl Table2 {
     /// Renders the measured table in the paper's layout.
     pub fn render(&self) -> String {
@@ -93,7 +121,11 @@ impl Table2 {
             .map(|r| {
                 vec![
                     r.benchmark.clone(),
-                    r.workloads.to_string(),
+                    if r.workloads < r.attempted {
+                        format!("{} of {}", r.workloads, r.attempted)
+                    } else {
+                        r.workloads.to_string()
+                    },
                     format!("{:.1}", r.f.0 * 100.0),
                     format!("{:.1}", r.f.1),
                     format!("{:.1}", r.b.0 * 100.0),
@@ -134,9 +166,13 @@ impl Table2 {
                         paper.map(|p| p.workloads.to_string()).unwrap_or_default()
                     ),
                     format!("{:.1}", r.mu_g_v),
-                    paper.map(|p| format!("{:.1}", p.mu_g_v)).unwrap_or_default(),
+                    paper
+                        .map(|p| format!("{:.1}", p.mu_g_v))
+                        .unwrap_or_default(),
                     format!("{:.1}", r.mu_g_m),
-                    paper.map(|p| format!("{:.1}", p.mu_g_m)).unwrap_or_default(),
+                    paper
+                        .map(|p| format!("{:.1}", p.mu_g_m))
+                        .unwrap_or_default(),
                 ]
             })
             .collect();

@@ -1,0 +1,133 @@
+//! End-to-end fault injection: K seeded faults through the resilient
+//! characterization pipeline must produce exactly K non-`Ok` run
+//! statuses, never a panic, and a Table II over the survivors.
+
+use alberta_core::tables::table2_resilient;
+use alberta_core::{BenchError, FaultKind, FaultPlan, RunStatus, Scale, Suite};
+
+/// The headline acceptance test: scatter K faults over distinct runs,
+/// characterize everything, count the damage.
+#[test]
+fn k_faults_yield_exactly_k_non_ok_statuses() {
+    const K: usize = 6;
+    let suite = Suite::new(Scale::Test);
+    let plan = suite.scattered_faults(0xFA01, K);
+    assert_eq!(plan.len(), K);
+    let suite = suite.with_faults(plan.clone());
+
+    let results = suite.characterize_all_resilient();
+    assert_eq!(results.len(), 15, "every benchmark reports, none crashes");
+
+    let non_ok: Vec<(String, String, RunStatus)> = results
+        .iter()
+        .flat_map(|r| {
+            r.incidents()
+                .map(|i| (r.short_name.clone(), i.workload.clone(), i.status.clone()))
+        })
+        .collect();
+    assert_eq!(
+        non_ok.len(),
+        K,
+        "exactly the planned faults fail: {non_ok:?}"
+    );
+
+    // Each non-Ok run is one the plan targeted, with the error kind the
+    // fault kind dictates.
+    for (benchmark, workload, status) in &non_ok {
+        let fault = plan
+            .faults()
+            .iter()
+            .find(|f| f.benchmark == *benchmark && f.workload == *workload)
+            .unwrap_or_else(|| panic!("unplanned failure: {benchmark}/{workload}: {status:?}"));
+        let error = status.error().expect("non-Ok status carries its error");
+        match fault.kind {
+            FaultKind::PanicAtEvent(_) => {
+                assert!(matches!(error, BenchError::Panicked { .. }), "{status:?}")
+            }
+            FaultKind::ExhaustBudget { .. } => {
+                assert!(
+                    matches!(error, BenchError::BudgetExceeded { .. }),
+                    "{status:?}"
+                )
+            }
+            FaultKind::CorruptEvents { .. } => {
+                assert!(
+                    matches!(error, BenchError::InvalidProfile { .. }),
+                    "{status:?}"
+                )
+            }
+            FaultKind::MalformedWorkload => {
+                assert!(
+                    matches!(error, BenchError::InvalidInput { .. }),
+                    "{status:?}"
+                )
+            }
+        }
+        // Retryable faults are salvaged by the reduced-scale retry; the
+        // deterministic-input ones are terminal.
+        match fault.kind {
+            FaultKind::PanicAtEvent(_) | FaultKind::ExhaustBudget { .. } => {
+                assert!(matches!(status, RunStatus::Degraded { .. }), "{status:?}")
+            }
+            FaultKind::CorruptEvents { .. } | FaultKind::MalformedWorkload => {
+                assert!(matches!(status, RunStatus::Failed { .. }), "{status:?}")
+            }
+        }
+    }
+
+    // Table II still assembles over the survivors, and the benchmarks
+    // that lost runs outright are annotated `n of m` in the workload
+    // column.
+    let table = table2_resilient(&results);
+    assert_eq!(table.rows.len(), 15, "every benchmark kept enough runs");
+    let rendering = table.render();
+    let failed_benchmarks: Vec<&str> = non_ok
+        .iter()
+        .filter(|(_, _, s)| matches!(s, RunStatus::Failed { .. }))
+        .map(|(b, _, _)| b.as_str())
+        .collect();
+    assert!(
+        !failed_benchmarks.is_empty(),
+        "plan includes terminal faults"
+    );
+    for benchmark in failed_benchmarks {
+        let row = table.row(benchmark).expect("row for partial benchmark");
+        assert!(row.workloads < row.attempted);
+        let line = rendering
+            .lines()
+            .find(|l| l.trim_start().starts_with(benchmark))
+            .expect("rendered row");
+        assert!(line.contains(" of "), "annotation missing: {line}");
+    }
+}
+
+/// The whole degradation pipeline is deterministic: the same plan on the
+/// same suite produces identical per-run statuses — including the
+/// retired-op counts inside `BudgetExceeded` errors.
+#[test]
+fn fault_injection_is_deterministic() {
+    let run = || {
+        let suite = Suite::new(Scale::Test);
+        let plan = suite.scattered_faults(0xDE7, 4);
+        let suite = suite.with_faults(plan);
+        suite
+            .characterize_all_resilient()
+            .into_iter()
+            .flat_map(|r| r.statuses)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+/// A fault aimed at nothing (unknown benchmark/workload) changes nothing:
+/// the resilient pipeline matches a fault-free pass.
+#[test]
+fn misaimed_faults_are_inert() {
+    let plan = FaultPlan::new(1)
+        .inject("no-such-benchmark", "train", FaultKind::PanicAtEvent(1))
+        .inject("mcf", "no-such-workload", FaultKind::MalformedWorkload);
+    let suite = Suite::new(Scale::Test).with_faults(plan);
+    let r = suite.characterize_resilient("mcf").unwrap();
+    assert!(r.is_complete());
+    assert!(r.characterization.is_some());
+}

@@ -1,10 +1,10 @@
 //! The end-to-end static-FDO pipeline and its cycle-model measurements.
 
 use crate::FdoError;
+use alberta_benchmarks::minigcc::vm::DEFAULT_STEP_LIMIT;
 use alberta_benchmarks::minigcc::{
     compile, lex, optimize, parse, run_with_inputs, EdgeProfile, Module, OptOptions,
 };
-use alberta_benchmarks::minigcc::vm::DEFAULT_STEP_LIMIT;
 use alberta_profile::{Profiler, SampleConfig};
 use alberta_stats::variation::TopDownRatios;
 use alberta_uarch::TopDownModel;
@@ -245,7 +245,10 @@ mod tests {
         let order_high = high.hot_function_order();
         assert_ne!(order_low, order_high, "profiles must differ");
         let pos = |order: &[String], name: &str| {
-            order.iter().position(|n| n == name).expect("function known")
+            order
+                .iter()
+                .position(|n| n == name)
+                .expect("function known")
         };
         assert!(pos(&order_low, "bucket0") < pos(&order_high, "bucket0"));
         assert!(pos(&order_high, "bucket3") < pos(&order_low, "bucket3"));
@@ -263,7 +266,10 @@ mod tests {
     #[test]
     fn bad_program_is_rejected_at_construction() {
         assert!(FdoPipeline::new("int main( {").is_err());
-        assert!(FdoPipeline::new("int f() { return 0; }").is_err(), "no main");
+        assert!(
+            FdoPipeline::new("int f() { return 0; }").is_err(),
+            "no main"
+        );
     }
 
     #[test]

@@ -140,7 +140,10 @@ pub fn alberta_inputs(len: usize, count: usize) -> Vec<Named<Vec<i64>>> {
                 len,
                 distribution: dist,
             };
-            Named::new(format!("alberta.{name}.{}", i / shapes.len()), gen.generate(0xFD0 + i as u64))
+            Named::new(
+                format!("alberta.{name}.{}", i / shapes.len()),
+                gen.generate(0xFD0 + i as u64),
+            )
         })
         .collect()
 }
@@ -189,7 +192,7 @@ mod tests {
             distribution: Distribution::Bimodal,
         }
         .generate(3);
-        assert!(v.iter().all(|&x| x < 15 || x >= 85));
+        assert!(v.iter().all(|&x| !(15..85).contains(&x)));
         assert!(v.iter().any(|&x| x < 15));
         assert!(v.iter().any(|&x| x >= 85));
     }

@@ -258,8 +258,7 @@ fn rewrite_expr(e: &mut Expr, statics: &BTreeSet<String>, suffix: &str) {
 /// mini-C? (Cheap smoke validation before the real reparse.)
 #[doc(hidden)]
 pub fn looks_like_minic(source: &str) -> bool {
-    source.contains("int main()")
-        && source.matches('{').count() == source.matches('}').count()
+    source.contains("int main()") && source.matches('{').count() == source.matches('}').count()
 }
 
 #[cfg(test)]
@@ -355,7 +354,11 @@ mod tests {
         ];
         let err = merge(&files).unwrap_err();
         match err {
-            MergeError::DuplicateExternal { symbol, first, second } => {
+            MergeError::DuplicateExternal {
+                symbol,
+                first,
+                second,
+            } => {
                 assert_eq!(symbol, "f");
                 assert_eq!(first, "a.c");
                 assert_eq!(second, "b.c");

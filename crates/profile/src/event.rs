@@ -81,7 +81,7 @@ impl EventTrace {
     /// by the profiler's per-kind interval.)
     pub fn push(&mut self, event: Event) -> bool {
         self.phase += 1;
-        if self.phase % self.weight != 0 {
+        if !self.phase.is_multiple_of(self.weight) {
             return false;
         }
         if self.events.len() == self.capacity {
@@ -228,7 +228,10 @@ mod tests {
     fn iterates_in_program_order() {
         let mut t = EventTrace::with_capacity(4);
         t.push(Event::Call { callee: FnId(1) });
-        t.push(Event::Branch { site: 7, taken: true });
+        t.push(Event::Branch {
+            site: 7,
+            taken: true,
+        });
         t.push(Event::Return);
         let kinds: Vec<&Event> = (&t).into_iter().collect();
         assert_eq!(kinds.len(), 3);

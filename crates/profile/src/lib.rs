@@ -44,4 +44,7 @@ pub mod event;
 pub mod profiler;
 
 pub use event::{Event, EventTrace};
-pub use profiler::{FnId, FnMeta, Profile, Profiler, SampleConfig, Totals};
+pub use profiler::{
+    BudgetExceeded, FnId, FnMeta, InvariantViolation, Profile, Profiler, ProfilerFault,
+    SampleConfig, Totals,
+};

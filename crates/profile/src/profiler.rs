@@ -2,6 +2,7 @@
 
 use crate::event::{Event, EventTrace, DEFAULT_TRACE_CAPACITY};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Identifier of an instrumented function, issued by
 /// [`Profiler::register_function`].
@@ -22,6 +23,10 @@ pub struct FnMeta {
 /// Sampling configuration: keep one out of every `interval` events of each
 /// kind in the trace. Counters (totals, per-function work) are *always*
 /// exact; sampling only affects the replayable [`EventTrace`].
+///
+/// Also carries the run's *resilience knobs*: an optional deterministic
+/// [work budget](SampleConfig::work_budget) and an optional injected
+/// [fault](SampleConfig::fault) used by the fault-injection harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SampleConfig {
     /// Keep every Nth conditional branch event.
@@ -32,6 +37,14 @@ pub struct SampleConfig {
     pub call_interval: u32,
     /// Maximum retained events before decimation kicks in.
     pub trace_capacity: usize,
+    /// Deterministic watchdog: when set, the run aborts (by unwinding
+    /// with a [`BudgetExceeded`] payload) as soon as retired ops exceed
+    /// this budget. Retired-op counting is deterministic, so the abort
+    /// fires at the same count on every repetition of the same run.
+    pub work_budget: Option<u64>,
+    /// Fault to inject into this run's event stream (testing hook for the
+    /// degradation paths; `None` in normal operation).
+    pub fault: Option<ProfilerFault>,
 }
 
 impl Default for SampleConfig {
@@ -41,6 +54,8 @@ impl Default for SampleConfig {
             mem_interval: 1,
             call_interval: 1,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            work_budget: None,
+            fault: None,
         }
     }
 }
@@ -54,9 +69,121 @@ impl SampleConfig {
             mem_interval: 4,
             call_interval: 4,
             trace_capacity: DEFAULT_TRACE_CAPACITY / 4,
+            ..SampleConfig::default()
+        }
+    }
+
+    /// Returns the configuration with a work budget installed.
+    pub fn with_work_budget(mut self, budget: u64) -> Self {
+        self.work_budget = Some(budget);
+        self
+    }
+
+    /// Returns the configuration with a fault installed.
+    pub fn with_fault(mut self, fault: ProfilerFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}
+
+/// A deterministic fault injected into a profiled run. Event indices count
+/// every instrumentation call (`enter`, `exit`, `retire`, `branch`,
+/// `load`, `store`), starting at 1, so a given fault always fires at the
+/// same point of the same run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfilerFault {
+    /// Panics (with a plain string payload, like a benchmark bug would)
+    /// when the Nth instrumentation event is recorded.
+    PanicAtEvent(u64),
+    /// Corrupts the profiler's branch bookkeeping at the Nth event by
+    /// inflating the taken-branch counter past any plausible value; the
+    /// corruption is caught later by [`Profile::validate`].
+    CorruptEvents {
+        /// Event index at which the corruption lands.
+        at: u64,
+    },
+}
+
+/// Panic payload carried by a deterministic work-budget abort.
+///
+/// [`Profiler::retire`] throws this (via [`std::panic::panic_any`]) the
+/// moment retired ops exceed [`SampleConfig::work_budget`]. Harnesses
+/// catch it at the benchmark boundary (`alberta_benchmarks::run_guarded`)
+/// and surface it as a typed error instead of a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The configured budget.
+    pub budget: u64,
+    /// Retired ops at the moment the budget check fired (the first prefix
+    /// sum strictly above the budget — deterministic per run).
+    pub retired_ops: u64,
+}
+
+/// A violated internal-consistency invariant of a [`Profile`], reported
+/// by [`Profile::validate`]. These only occur when the event stream was
+/// corrupted (by a bug or by injected faults) — valid instrumentation
+/// cannot produce them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// More taken branches than branches.
+    TakenExceedsBranches {
+        /// Taken-branch count.
+        taken: u64,
+        /// Total branch count.
+        branches: u64,
+    },
+    /// Fewer retired ops than the floor implied by the event counts
+    /// (every branch, load, and store retires at least one op).
+    RetiredBelowEventFloor {
+        /// Retired ops recorded.
+        retired: u64,
+        /// Minimum implied by branches + loads + stores.
+        floor: u64,
+    },
+    /// More work attributed to functions than was retired in total.
+    AttributedExceedsRetired {
+        /// Sum of per-function attributed work.
+        attributed: u64,
+        /// Total retired ops.
+        retired: u64,
+    },
+    /// The aggregate call counter disagrees with the per-function calls.
+    CallTotalsMismatch {
+        /// Aggregate counter.
+        total: u64,
+        /// Sum over functions.
+        per_function: u64,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::TakenExceedsBranches { taken, branches } => {
+                write!(f, "{taken} taken branches exceed {branches} total branches")
+            }
+            InvariantViolation::RetiredBelowEventFloor { retired, floor } => {
+                write!(f, "{retired} retired ops below event floor {floor}")
+            }
+            InvariantViolation::AttributedExceedsRetired {
+                attributed,
+                retired,
+            } => write!(
+                f,
+                "{attributed} attributed work units exceed {retired} retired ops"
+            ),
+            InvariantViolation::CallTotalsMismatch {
+                total,
+                per_function,
+            } => write!(
+                f,
+                "aggregate call count {total} disagrees with per-function sum {per_function}"
+            ),
         }
     }
 }
+
+impl std::error::Error for InvariantViolation {}
 
 /// Exact aggregate event counts for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -130,6 +257,47 @@ impl Profile {
             .position(|m| m.name == name)
             .map(|i| FnId(i as u32))
     }
+
+    /// Checks the profile's internal-consistency invariants.
+    ///
+    /// Valid instrumentation cannot violate them; a violation means the
+    /// event stream was corrupted somewhere between the benchmark and the
+    /// analysis, and the run's numbers must not enter any summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`InvariantViolation`].
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        let t = &self.totals;
+        if t.taken_branches > t.branches {
+            return Err(InvariantViolation::TakenExceedsBranches {
+                taken: t.taken_branches,
+                branches: t.branches,
+            });
+        }
+        let floor = t.branches + t.loads + t.stores;
+        if t.retired_ops < floor {
+            return Err(InvariantViolation::RetiredBelowEventFloor {
+                retired: t.retired_ops,
+                floor,
+            });
+        }
+        let attributed: u64 = self.fn_work.iter().sum();
+        if attributed > t.retired_ops {
+            return Err(InvariantViolation::AttributedExceedsRetired {
+                attributed,
+                retired: t.retired_ops,
+            });
+        }
+        let per_function: u64 = self.fn_calls.iter().sum();
+        if t.calls != per_function {
+            return Err(InvariantViolation::CallTotalsMismatch {
+                total: t.calls,
+                per_function,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Collects instrumentation events from a mini-benchmark run.
@@ -147,6 +315,7 @@ pub struct Profiler {
     branch_phase: u32,
     mem_phase: u32,
     call_phase: u32,
+    events: u64,
 }
 
 impl Profiler {
@@ -163,7 +332,52 @@ impl Profiler {
             branch_phase: 0,
             mem_phase: 0,
             call_phase: 0,
+            events: 0,
         }
+    }
+
+    /// Advances the event counter and applies any injected fault. Called
+    /// once per instrumentation hook, so event indices are deterministic
+    /// for a deterministic benchmark.
+    #[inline]
+    fn tick(&mut self) {
+        self.events += 1;
+        match self.sampling.fault {
+            Some(ProfilerFault::PanicAtEvent(n)) if self.events == n => {
+                panic!("injected fault: forced panic at event {n}");
+            }
+            Some(ProfilerFault::CorruptEvents { at }) if self.events == at => {
+                // Inflate past any count a real run could reach so
+                // `Profile::validate` is guaranteed to notice.
+                self.totals.taken_branches += 1 << 40;
+            }
+            _ => {}
+        }
+    }
+
+    /// Adds retired ops and enforces the work budget. Every retiring hook
+    /// funnels through here, so the budget is checked against exact
+    /// counts and trips at the same op count on every repetition.
+    #[inline]
+    fn add_retired(&mut self, n: u64) {
+        self.totals.retired_ops += n;
+        if let Some(budget) = self.sampling.work_budget {
+            if self.totals.retired_ops > budget {
+                std::panic::panic_any(BudgetExceeded {
+                    budget,
+                    retired_ops: self.totals.retired_ops,
+                });
+            }
+        }
+        if let Some(&id) = self.stack.last() {
+            self.fn_work[id.0 as usize] += n;
+        }
+    }
+
+    /// Instrumentation events recorded so far (for tests and fault
+    /// placement).
+    pub fn event_count(&self) -> u64 {
+        self.events
     }
 
     /// Registers an instrumented function and returns its id.
@@ -196,6 +410,7 @@ impl Profiler {
             (id.0 as usize) < self.functions.len(),
             "unregistered function id {id:?}"
         );
+        self.tick();
         self.fn_calls[id.0 as usize] += 1;
         self.totals.calls += 1;
         self.stack.push(id);
@@ -213,6 +428,7 @@ impl Profiler {
     /// Panics if no function is active (unbalanced `exit`).
     #[inline]
     pub fn exit(&mut self) {
+        self.tick();
         self.stack.pop().expect("exit without matching enter");
         if self.call_phase == 0 {
             self.trace.push(Event::Return);
@@ -221,12 +437,15 @@ impl Profiler {
 
     /// Records `n` retired micro-ops, attributed to the current function
     /// (or to no function when called outside any scope).
+    ///
+    /// # Panics
+    ///
+    /// Unwinds with a [`BudgetExceeded`] payload when a configured
+    /// [`SampleConfig::work_budget`] is exceeded.
     #[inline]
     pub fn retire(&mut self, n: u64) {
-        self.totals.retired_ops += n;
-        if let Some(&id) = self.stack.last() {
-            self.fn_work[id.0 as usize] += n;
-        }
+        self.tick();
+        self.add_retired(n);
     }
 
     /// Records a conditional branch at static site `site`.
@@ -235,9 +454,10 @@ impl Profiler {
     /// accrues attributed work.
     #[inline]
     pub fn branch(&mut self, site: u32, taken: bool) {
+        self.tick();
         self.totals.branches += 1;
         self.totals.taken_branches += taken as u64;
-        self.retire(1);
+        self.add_retired(1);
         self.branch_phase += 1;
         if self.branch_phase >= self.sampling.branch_interval {
             self.branch_phase = 0;
@@ -248,8 +468,9 @@ impl Profiler {
     /// Records a data load from `addr` (retires one micro-op).
     #[inline]
     pub fn load(&mut self, addr: u64) {
+        self.tick();
         self.totals.loads += 1;
-        self.retire(1);
+        self.add_retired(1);
         self.mem_phase += 1;
         if self.mem_phase >= self.sampling.mem_interval {
             self.mem_phase = 0;
@@ -260,8 +481,9 @@ impl Profiler {
     /// Records a data store to `addr` (retires one micro-op).
     #[inline]
     pub fn store(&mut self, addr: u64) {
+        self.tick();
         self.totals.stores += 1;
-        self.retire(1);
+        self.add_retired(1);
         self.mem_phase += 1;
         if self.mem_phase >= self.sampling.mem_interval {
             self.mem_phase = 0;
@@ -383,6 +605,7 @@ mod tests {
             mem_interval: 8,
             call_interval: 8,
             trace_capacity: 1 << 16,
+            ..SampleConfig::default()
         });
         for p in [&mut dense, &mut sparse] {
             let f = p.register_function("f", 1);
@@ -428,6 +651,95 @@ mod tests {
     fn exit_without_enter_panics() {
         let mut p = Profiler::default();
         p.exit();
+    }
+
+    #[test]
+    fn validate_accepts_real_profiles() {
+        let mut p = Profiler::default();
+        let f = p.register_function("f", 1);
+        p.enter(f);
+        for i in 0..100u64 {
+            p.branch(0, i % 2 == 0);
+            p.load(i);
+            p.store(i);
+            p.retire(3);
+        }
+        p.exit();
+        assert_eq!(p.finish().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_injected_corruption() {
+        let run = |fault| {
+            let mut p = Profiler::new(SampleConfig::default().with_fault(fault));
+            let f = p.register_function("f", 1);
+            p.enter(f);
+            for i in 0..50u64 {
+                p.branch(0, i % 2 == 0);
+            }
+            p.exit();
+            p.finish()
+        };
+        let profile = run(ProfilerFault::CorruptEvents { at: 10 });
+        assert!(matches!(
+            profile.validate(),
+            Err(InvariantViolation::TakenExceedsBranches { .. })
+        ));
+        // The same corruption is applied at the same event every time.
+        let again = run(ProfilerFault::CorruptEvents { at: 10 });
+        assert_eq!(profile.totals, again.totals);
+    }
+
+    #[test]
+    fn budget_abort_is_deterministic() {
+        let run = || {
+            let mut p = Profiler::new(SampleConfig::default().with_work_budget(500));
+            let f = p.register_function("f", 1);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.enter(f);
+                for i in 0..10_000u64 {
+                    p.retire(7);
+                    p.branch(0, i % 3 == 0);
+                }
+                p.exit();
+            }))
+            .expect_err("budget must trip");
+            *caught
+                .downcast_ref::<BudgetExceeded>()
+                .expect("typed payload")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.budget, 500);
+        assert!(a.retired_ops > 500, "first prefix sum above the budget");
+        assert!(a.retired_ops <= 500 + 7, "trips at the first overrun");
+    }
+
+    #[test]
+    fn forced_panic_fires_at_exact_event() {
+        let mut p =
+            Profiler::new(SampleConfig::default().with_fault(ProfilerFault::PanicAtEvent(5)));
+        let f = p.register_function("f", 1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.enter(f); // event 1
+            p.retire(1); // 2
+            p.load(0); // 3
+            p.store(0); // 4
+            p.branch(0, true); // 5 → boom
+            p.exit();
+        }))
+        .expect_err("fault must fire");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("forced panic at event 5"), "{msg}");
+        assert_eq!(p.event_count(), 5);
+    }
+
+    #[test]
+    fn no_budget_means_unbounded() {
+        let mut p = Profiler::default();
+        p.retire(u64::MAX / 2);
+        assert_eq!(p.finish().totals.retired_ops, u64::MAX / 2);
     }
 
     #[test]

@@ -218,10 +218,7 @@ mod tests {
 
     #[test]
     fn column_defaults_missing_methods_to_zero() {
-        let m = matrix(&[
-            ("w0", &[("a", 60.0), ("b", 40.0)]),
-            ("w1", &[("a", 100.0)]),
-        ]);
+        let m = matrix(&[("w0", &[("a", 60.0), ("b", 40.0)]), ("w1", &[("a", 100.0)])]);
         assert_eq!(m.column("b"), vec![40.0, 0.0]);
         assert_eq!(m.workload_count(), 2);
         assert_eq!(m.method_names(), vec!["a", "b"]);
@@ -261,7 +258,10 @@ mod tests {
 
     #[test]
     fn epsilon_makes_zero_coverage_well_defined() {
-        let m = matrix(&[("w0", &[("f", 100.0), ("g", 0.0)]), ("w1", &[("f", 0.0), ("g", 100.0)])]);
+        let m = matrix(&[
+            ("w0", &[("f", 100.0), ("g", 0.0)]),
+            ("w1", &[("f", 0.0), ("g", 100.0)]),
+        ]);
         // Without the epsilon this would take ln(0).
         let s = CoverageSummary::from_matrix(&m).unwrap();
         assert!(s.mu_g_m.is_finite());

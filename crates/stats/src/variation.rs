@@ -170,9 +170,8 @@ impl TopDownSummary {
         if runs.is_empty() {
             return Err(StatsError::Empty);
         }
-        let column = |select: fn(&TopDownRatios) -> f64| -> Vec<f64> {
-            runs.iter().map(select).collect()
-        };
+        let column =
+            |select: fn(&TopDownRatios) -> f64| -> Vec<f64> { runs.iter().map(select).collect() };
         let front_end = RatioSummary::from_ratios(&column(|r| r.front_end), RATIO_FLOOR)?;
         let back_end = RatioSummary::from_ratios(&column(|r| r.back_end), RATIO_FLOOR)?;
         let bad_speculation =

@@ -44,13 +44,19 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways > 0, "associativity must be positive");
         assert!(
-            self.size_bytes % (self.line_bytes * self.ways) == 0,
+            self.size_bytes.is_multiple_of(self.line_bytes * self.ways),
             "capacity must be a whole number of sets"
         );
-        assert!(self.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            self.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
     }
 }
 

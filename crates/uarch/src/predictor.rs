@@ -154,7 +154,10 @@ impl Tournament {
     ///
     /// Panics if `bits` is 0 or greater than 24.
     pub fn new(bits: u32) -> Self {
-        assert!((1..=24).contains(&bits), "tournament bits must be in 1..=24");
+        assert!(
+            (1..=24).contains(&bits),
+            "tournament bits must be in 1..=24"
+        );
         Tournament {
             bimodal: Bimodal::new(bits),
             gshare: Gshare::new(bits),
@@ -236,7 +239,11 @@ pub(crate) mod tests {
     use super::*;
 
     /// Runs `n` observations of a pattern function, returns mispredict count.
-    fn mispredicts(p: &mut dyn BranchPredictor, n: u64, pattern: impl Fn(u64) -> (u32, bool)) -> u64 {
+    fn mispredicts(
+        p: &mut dyn BranchPredictor,
+        n: u64,
+        pattern: impl Fn(u64) -> (u32, bool),
+    ) -> u64 {
         let mut wrong = 0;
         for i in 0..n {
             let (site, taken) = pattern(i);
@@ -266,7 +273,10 @@ pub(crate) mod tests {
     fn bimodal_struggles_with_alternating_branch() {
         let mut p = Bimodal::new(10);
         let wrong = mispredicts(&mut p, 1000, |i| (42, i % 2 == 0));
-        assert!(wrong >= 400, "2-bit counters cannot track TNTN, got {wrong}");
+        assert!(
+            wrong >= 400,
+            "2-bit counters cannot track TNTN, got {wrong}"
+        );
     }
 
     #[test]

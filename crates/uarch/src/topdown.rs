@@ -212,7 +212,13 @@ impl TopDownModel {
             }
         }
 
-        let ratio = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
         let mispredict_rate = ratio(sampled_mispredicts, sampled_branches);
         let l2_hit_rate = ratio(sampled_l2_hits, sampled_mem);
         let mem_rate = ratio(sampled_mem_hits, sampled_mem);
@@ -323,11 +329,7 @@ mod tests {
         }
         p.exit();
         let report = model().analyze(&p.finish());
-        assert!(
-            report.ratios.back_end > 0.6,
-            "backend {:?}",
-            report.ratios
-        );
+        assert!(report.ratios.back_end > 0.6, "backend {:?}", report.ratios);
         assert!(report.l1d_miss_ratio > 0.9);
     }
 
@@ -453,10 +455,14 @@ mod tests {
             p.exit();
             p.finish()
         };
-        let weak = TopDownModel::new(MachineConfig::default(), PredictorKind::Bimodal { bits: 12 })
-            .analyze(&profile);
-        let strong = TopDownModel::new(MachineConfig::default(), PredictorKind::Gshare { bits: 12 })
-            .analyze(&profile);
+        let weak = TopDownModel::new(
+            MachineConfig::default(),
+            PredictorKind::Bimodal { bits: 12 },
+        )
+        .analyze(&profile);
+        let strong =
+            TopDownModel::new(MachineConfig::default(), PredictorKind::Gshare { bits: 12 })
+                .analyze(&profile);
         assert!(weak.ratios.bad_speculation > strong.ratios.bad_speculation * 2.0);
     }
 

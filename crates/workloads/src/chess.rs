@@ -88,6 +88,23 @@ impl ChessGen {
     }
 }
 
+impl ChessWorkload {
+    /// Fault-injection hook: deterministically invalidates one
+    /// seeded-picked position by zeroing its search depth — the mini
+    /// engine's analogue of an illegal FEN string, since a zero-ply
+    /// search task is meaningless and must be rejected, not searched.
+    ///
+    /// No-op (returns `false`) on an empty workload.
+    pub fn corrupt(&mut self, seed: u64) -> bool {
+        if self.positions.is_empty() {
+            return false;
+        }
+        let victim = (seed % self.positions.len() as u64) as usize;
+        self.positions[victim].depth = 0;
+        true
+    }
+}
+
 /// The nine Alberta workloads (paper: "nine new workloads, each one
 /// containing eight chess positions").
 pub fn alberta_set(scale: Scale) -> Vec<Named<ChessWorkload>> {

@@ -119,9 +119,30 @@ impl CompressGen {
 /// spaces with sentence structure.
 fn markov_text(rng: &mut SeededRng, size: usize) -> Vec<u8> {
     const VOCAB: [&str; 24] = [
-        "the", "of", "and", "to", "in", "benchmark", "workload", "cache", "branch", "cycle",
-        "time", "run", "input", "data", "loop", "code", "memory", "miss", "rate", "mean",
-        "suite", "spec", "alberta", "profile",
+        "the",
+        "of",
+        "and",
+        "to",
+        "in",
+        "benchmark",
+        "workload",
+        "cache",
+        "branch",
+        "cycle",
+        "time",
+        "run",
+        "input",
+        "data",
+        "loop",
+        "code",
+        "memory",
+        "miss",
+        "rate",
+        "mean",
+        "suite",
+        "spec",
+        "alberta",
+        "profile",
     ];
     let mut out = Vec::with_capacity(size + 16);
     let mut sentence_len = 0;

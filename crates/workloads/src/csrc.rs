@@ -111,8 +111,7 @@ impl CSourceGen {
         for i in 0..self.functions {
             let a = rng.range(1, 7);
             let b = rng.range(1, 7);
-            e.out
-                .push_str(&format!("  acc = acc + f{i}({a}, {b});\n"));
+            e.out.push_str(&format!("  acc = acc + f{i}({a}, {b});\n"));
         }
         e.out.push_str("  return acc;\n}\n");
         CSource { source: e.out }
@@ -370,7 +369,10 @@ mod tests {
         let src = gen.generate(1).source;
         assert!(src.contains("int main()"));
         for i in 0..gen.functions {
-            assert!(src.contains(&format!("int f{i}(int a, int b)")), "missing f{i}");
+            assert!(
+                src.contains(&format!("int f{i}(int a, int b)")),
+                "missing f{i}"
+            );
         }
         // Braces balance.
         assert_eq!(src.matches('{').count(), src.matches('}').count());

@@ -73,6 +73,29 @@ impl FlowInstance {
         }
         Ok(())
     }
+
+    /// Fault-injection hook: deterministically disconnects the network by
+    /// deleting every arc touching one seeded-picked demand node, leaving
+    /// its demand unservable. The instance still passes [`validate`]'s
+    /// structural checks (balanced supplies, in-range endpoints) but is
+    /// infeasible, which is exactly the class of degenerate input a
+    /// production workload service must survive.
+    ///
+    /// No-op (returns `false`) when the instance has no demand node.
+    ///
+    /// [`validate`]: FlowInstance::validate
+    pub fn disconnect(&mut self, seed: u64) -> bool {
+        let demand_nodes: Vec<u32> = (0..self.node_count)
+            .filter(|&i| self.supplies[i as usize] < 0)
+            .collect();
+        if demand_nodes.is_empty() {
+            return false;
+        }
+        let victim = demand_nodes[(seed % demand_nodes.len() as u64) as usize];
+        self.arcs
+            .retain(|arc| arc.from != victim && arc.to != victim);
+        true
+    }
 }
 
 /// A timetabled trip on the generated city map.
@@ -247,8 +270,10 @@ pub fn problem_to_flow(problem: &ScheduleProblem, max_layover_min: u32) -> FlowI
         });
         // Deadhead links to compatible later trips.
         for (j, next) in problem.trips.iter().enumerate().skip(i as usize + 1) {
-            let deadhead =
-                distance(problem.stops[trip.to_stop as usize], problem.stops[next.from_stop as usize]);
+            let deadhead = distance(
+                problem.stops[trip.to_stop as usize],
+                problem.stops[next.from_stop as usize],
+            );
             let ready = trip.arrive_min + deadhead.ceil() as u32;
             if next.depart_min >= ready && next.depart_min - ready <= max_layover_min {
                 let idle = next.depart_min - ready;

@@ -32,11 +32,7 @@ impl Obstacle {
     pub fn contains(&self, p: (f64, f64, f64)) -> bool {
         match *self {
             Obstacle::Sphere { center, radius } => {
-                let d = (
-                    p.0 - center.0,
-                    p.1 - center.1,
-                    p.2 - center.2,
-                );
+                let d = (p.0 - center.0, p.1 - center.1, p.2 - center.2);
                 d.0 * d.0 + d.1 * d.1 + d.2 * d.2 <= radius * radius
             }
             Obstacle::Box { min, max } => {
@@ -173,7 +169,11 @@ pub fn alberta_set(scale: Scale) -> Vec<Named<FluidWorkload>> {
                     ..base
                 };
                 out.push(Named::new(
-                    format!("alberta.o{count}.r{}.t{}", (rhi * 100.0) as u32, (tau * 10.0) as u32),
+                    format!(
+                        "alberta.o{count}.r{}.t{}",
+                        (rhi * 100.0) as u32,
+                        (tau * 10.0) as u32
+                    ),
                     gen.generate(0x1B4 + i),
                 ));
                 i += 1;
@@ -261,7 +261,7 @@ mod tests {
         assert_eq!(set.len(), 30, "Table II lists 30 lbm workloads");
         // Sweep actually varies density.
         let fracs: Vec<f64> = set.iter().map(|w| w.workload.solid_fraction()).collect();
-        assert!(fracs.iter().any(|&f| f == 0.0), "zero-obstacle case present");
+        assert!(fracs.contains(&0.0), "zero-obstacle case present");
         assert!(fracs.iter().any(|&f| f > 0.05), "dense case present");
     }
 

@@ -23,8 +23,8 @@ pub mod chess;
 pub mod compress;
 pub mod csrc;
 pub mod fem;
-pub mod fluid;
 pub mod flow;
+pub mod fluid;
 pub mod go;
 pub mod mesh;
 pub mod molecule;
@@ -69,6 +69,16 @@ impl Scale {
             Scale::Test => 1,
             Scale::Train => 4,
             Scale::Ref => 16,
+        }
+    }
+
+    /// The next scale down, or `None` at [`Scale::Test`]. Resilient
+    /// harnesses use this to retry a failed run on smaller inputs.
+    pub fn reduced(self) -> Option<Scale> {
+        match self {
+            Scale::Test => None,
+            Scale::Train => Some(Scale::Test),
+            Scale::Ref => Some(Scale::Train),
         }
     }
 }

@@ -283,7 +283,11 @@ mod tests {
         let gen = MoleculeGen::standard(Scale::Test);
         let m = gen.generate(2);
         for b in &m.bonds {
-            let d = dist2(m.atoms[b.a as usize].position, m.atoms[b.b as usize].position).sqrt();
+            let d = dist2(
+                m.atoms[b.a as usize].position,
+                m.atoms[b.b as usize].position,
+            )
+            .sqrt();
             assert!((d - b.length).abs() < 0.1, "bond stretched to {d}");
         }
     }

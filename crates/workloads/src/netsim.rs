@@ -259,7 +259,9 @@ mod tests {
         let set = alberta_set(Scale::Test);
         assert_eq!(set.len(), 10, "Table II lists 10 omnetpp workloads");
         let names: Vec<&str> = set.iter().map(|w| w.name.as_str()).collect();
-        for expected in ["line", "ring", "star", "tree", "random9", "random18", "random27"] {
+        for expected in [
+            "line", "ring", "star", "tree", "random9", "random18", "random27",
+        ] {
             assert!(
                 names.iter().any(|n| n.contains(expected)),
                 "missing {expected}"

@@ -162,9 +162,15 @@ mod tests {
     #[test]
     fn families_all_present() {
         let set = alberta_set(Scale::Test);
-        assert!(set.iter().any(|w| matches!(w.workload.initial, InitialData::GaussianPulse { .. })));
-        assert!(set.iter().any(|w| matches!(w.workload.initial, InitialData::BinaryPulses { .. })));
-        assert!(set.iter().any(|w| matches!(w.workload.initial, InitialData::SmoothNoise { .. })));
+        assert!(set
+            .iter()
+            .any(|w| matches!(w.workload.initial, InitialData::GaussianPulse { .. })));
+        assert!(set
+            .iter()
+            .any(|w| matches!(w.workload.initial, InitialData::BinaryPulses { .. })));
+        assert!(set
+            .iter()
+            .any(|w| matches!(w.workload.initial, InitialData::SmoothNoise { .. })));
     }
 
     #[test]

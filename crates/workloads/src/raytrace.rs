@@ -146,12 +146,20 @@ impl RayGen {
                 for _ in 0..self.collection_objects {
                     let mat = Material {
                         color: (rng.unit(), rng.unit(), rng.unit()),
-                        reflectivity: if rng.chance(0.3) { rng.float(0.1, 0.5) } else { 0.0 },
+                        reflectivity: if rng.chance(0.3) {
+                            rng.float(0.1, 0.5)
+                        } else {
+                            0.0
+                        },
                         transparency: 0.0,
                         ior: 1.0,
                         checker: false,
                     };
-                    let c = (rng.float(-6.0, 6.0), rng.float(0.4, 3.0), rng.float(4.0, 14.0));
+                    let c = (
+                        rng.float(-6.0, 6.0),
+                        rng.float(0.4, 3.0),
+                        rng.float(4.0, 14.0),
+                    );
                     if rng.chance(0.5) {
                         objects.push(SceneObject {
                             shape: Shape::Sphere {

@@ -1,7 +1,9 @@
 //! Seeded random-number helper shared by every generator.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Implemented from scratch (xoshiro256++ seeded through SplitMix64) so
+//! the workspace has no external dependencies: workload bytes must be
+//! reproducible from a `u64` seed on any machine, including offline
+//! build environments where crates.io is unreachable.
 
 /// A deterministic RNG wrapper with the handful of draw shapes the
 /// generators need. All Alberta generators derive their entire output from
@@ -9,14 +11,29 @@ use rand::{Rng, SeedableRng};
 /// generation reproducible across machines.
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand the seed into the xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SeededRng {
     /// Creates an RNG from a seed.
     pub fn new(seed: u64) -> Self {
+        let mut s = seed;
         SeededRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
@@ -25,8 +42,8 @@ impl SeededRng {
     /// generator does not perturb another part's output.
     pub fn child(&self, label: u64) -> Self {
         let mut probe = self.clone();
-        let base: u64 = probe.inner.gen();
-        SeededRng::new(base ^ label.wrapping_mul(0x9E3779B97F4A7C15))
+        let base = probe.next_u64();
+        SeededRng::new(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -36,7 +53,15 @@ impl SeededRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's widening-multiply method with rejection: unbiased and
+        // branch-cheap for the small bounds the generators use.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let wide = (self.next_u64() as u128) * (bound as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform integer in `[lo, hi]` inclusive.
@@ -46,12 +71,18 @@ impl SeededRng {
     /// Panics if `lo > hi`.
     pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        if span > u64::MAX as u128 {
+            // Only reachable for the full i64 domain; a raw draw is uniform.
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.below(span as u64) as i64)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard [0, 1) dyadic grid.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -61,12 +92,12 @@ impl SeededRng {
     /// Panics if `lo >= hi`.
     pub fn float(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty float range");
-        self.inner.gen_range(lo..hi)
+        lo + self.unit() * (hi - lo)
     }
 
     /// Bernoulli draw.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.unit() < p.clamp(0.0, 1.0)
     }
 
     /// Picks a uniformly random element of a non-empty slice.
@@ -88,9 +119,20 @@ impl SeededRng {
         }
     }
 
-    /// Raw u64 draw.
+    /// Raw u64 draw (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 }
 
@@ -124,6 +166,15 @@ mod tests {
     }
 
     #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut r = SeededRng::new(9);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
     fn range_inclusive() {
         let mut r = SeededRng::new(4);
         let mut seen_lo = false;
@@ -135,6 +186,15 @@ mod tests {
             seen_hi |= v == 2;
         }
         assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn range_covers_extreme_domains() {
+        let mut r = SeededRng::new(12);
+        for _ in 0..100 {
+            let _ = r.range(i64::MIN, i64::MAX);
+            assert_eq!(r.range(5, 5), 5);
+        }
     }
 
     #[test]

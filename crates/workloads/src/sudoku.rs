@@ -23,13 +23,7 @@ impl Puzzle {
     pub fn to_line(&self) -> String {
         self.0
             .iter()
-            .map(|&d| {
-                if d == 0 {
-                    '.'
-                } else {
-                    char::from(b'0' + d)
-                }
-            })
+            .map(|&d| if d == 0 { '.' } else { char::from(b'0' + d) })
             .collect()
     }
 
@@ -61,6 +55,7 @@ impl Puzzle {
 
     /// Checks that no row, column, or box repeats a digit (empties are
     /// ignored), i.e. the puzzle is *consistent*.
+    #[allow(clippy::needless_range_loop)]
     pub fn is_consistent(&self) -> bool {
         let mut rows = [[false; 10]; 9];
         let mut cols = [[false; 10]; 9];

@@ -88,7 +88,10 @@ impl VideoGen {
     /// is zero.
     pub fn generate(&self, seed: u64) -> VideoWorkload {
         assert!(
-            self.width % 8 == 0 && self.height % 8 == 0 && self.width > 0 && self.height > 0,
+            self.width.is_multiple_of(8)
+                && self.height.is_multiple_of(8)
+                && self.width > 0
+                && self.height > 0,
             "dimensions must be positive multiples of 8"
         );
         assert!(self.frames > 0, "need at least one frame");
@@ -109,7 +112,7 @@ impl VideoGen {
             let t = (f % cut_every) as f64;
             let mut pixels = vec![0u8; self.width * self.height];
             let mut bg_rng = SeededRng::new(scene_seed ^ 0xB6);
-            let phase = bg_rng.float(0.0, 6.28);
+            let phase = bg_rng.float(0.0, std::f64::consts::TAU);
             for y in 0..self.height {
                 for x in 0..self.width {
                     // Drifting diagonal gradient background.
@@ -165,8 +168,11 @@ fn spawn_objects(gen: &VideoGen, seed: u64) -> Vec<MovingObject> {
         .map(|_| MovingObject {
             x: rng.float(0.0, gen.width as f64),
             y: rng.float(0.0, gen.height as f64),
-            vx: rng.float(-gen.motion, gen.motion.max(0.1)),
-            vy: rng.float(-gen.motion, gen.motion.max(0.1)),
+            // Scaling a symmetric unit draw (rather than drawing from
+            // [-motion, motion) directly) keeps the range legal and the
+            // objects genuinely frozen when `motion` is zero.
+            vx: rng.float(-1.0, 1.0) * gen.motion,
+            vy: rng.float(-1.0, 1.0) * gen.motion,
             size: 4 + rng.below(6) as usize,
             shade: 30 + rng.below(200) as u8,
         })

@@ -22,6 +22,29 @@ pub struct XmlWorkload {
     pub stylesheet: String,
 }
 
+impl XmlWorkload {
+    /// Fault-injection hook: deterministically truncates the document at
+    /// a seeded-picked tag opener, leaving a dangling `<` with no closing
+    /// `>` — the classic torn-download corruption an XML pipeline must
+    /// reject rather than crash on.
+    ///
+    /// No-op (returns `false`) when the document contains no tag.
+    pub fn truncate_document(&mut self, seed: u64) -> bool {
+        let openers: Vec<usize> = self
+            .document
+            .char_indices()
+            .filter(|&(_, c)| c == '<')
+            .map(|(i, _)| i)
+            .collect();
+        if openers.is_empty() {
+            return false;
+        }
+        let cut = openers[(seed % openers.len() as u64) as usize];
+        self.document.truncate(cut + 1);
+        true
+    }
+}
+
 /// Parameters of the XML document generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct XmlGen {
@@ -72,7 +95,11 @@ impl XmlGen {
         for i in 0..self.items {
             let depth = 1 + rng.below(self.max_depth.max(1) as u64) as usize;
             for d in 0..depth {
-                out.push_str(&format!("{}<category name=\"c{}\">\n", "  ".repeat(d + 1), rng.below(8)));
+                out.push_str(&format!(
+                    "{}<category name=\"c{}\">\n",
+                    "  ".repeat(d + 1),
+                    rng.below(8)
+                ));
             }
             let seller = if self.people > 0 {
                 rng.below(self.people as u64)
@@ -294,7 +321,10 @@ mod tests {
         let sizes: Vec<usize> = set.iter().map(|w| w.workload.document.len()).collect();
         let min = sizes.iter().min().unwrap();
         let max = sizes.iter().max().unwrap();
-        assert!(max > &(min * 3), "sizes should span a wide range: {sizes:?}");
+        assert!(
+            max > &(min * 3),
+            "sizes should span a wide range: {sizes:?}"
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ fn main() -> Result<(), alberta::fdo::FdoError> {
     );
     println!("…but the same FDO binary across the workload family:");
     for (name, s) in &classic.actual_speedups {
-        let marker = if *s < 1.0 { "  ← slower than baseline!" } else { "" };
+        let marker = if *s < 1.0 {
+            "  ← slower than baseline!"
+        } else {
+            ""
+        };
         println!("  {name:>24}  {s:.4}{marker}");
     }
     println!(

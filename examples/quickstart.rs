@@ -37,8 +37,14 @@ fn main() -> Result<(), alberta::core::CoreError> {
             cat.variation
         );
     }
-    println!("  μg(V) = {:.2}   (single-number behaviour-variation proxy)", c.topdown.mu_g_v);
-    println!("  μg(M) = {:.2}   (method-coverage variation, Eq. 5)", c.coverage.mu_g_m);
+    println!(
+        "  μg(V) = {:.2}   (single-number behaviour-variation proxy)",
+        c.topdown.mu_g_v
+    );
+    println!(
+        "  μg(M) = {:.2}   (method-coverage variation, Eq. 5)",
+        c.coverage.mu_g_m
+    );
 
     // Per-workload stacks (Figure 1 for this benchmark).
     println!("\n{}", fig1_series(&c).render());

@@ -69,8 +69,8 @@ fn optimization_levels_agree_on_merged_programs() {
         let mut p2 = Profiler::default();
         let (r0, _) =
             MiniGcc::compile_and_run(&merged.source, &OptOptions::none(), &mut p0).expect("O0");
-        let (r2, _) = MiniGcc::compile_and_run(&merged.source, &OptOptions::default(), &mut p2)
-            .expect("O2");
+        let (r2, _) =
+            MiniGcc::compile_and_run(&merged.source, &OptOptions::default(), &mut p2).expect("O2");
         assert_eq!(r0, r2, "seed {seed}: optimizer changed merged semantics");
     }
 }
