@@ -2,20 +2,22 @@
 //! `523.xalancbmk_r` (left) and `557.xz_r` (right).
 //!
 //! ```text
-//! cargo run --release -p alberta-bench --bin fig1 [test|train|ref]
+//! cargo run --release -p alberta-bench --bin fig1 [test|train|ref] [--jobs N]
 //! ```
 //!
 //! Runs through the resilient pipeline: a failing workload costs one bar,
 //! not the figure. Lost runs are reported on stderr and the plot title is
-//! annotated `(n of m workloads)`.
+//! annotated `(n of m workloads)`. `--jobs N` runs the workloads on N
+//! worker threads with bit-identical output.
 
-use alberta_bench::scale_from_args;
+use alberta_bench::{exec_from_args, scale_from_args};
 use alberta_core::figures::fig1_series_resilient;
 use alberta_core::Suite;
 
 fn main() {
     let scale = scale_from_args();
-    let suite = Suite::new(scale);
+    let exec = exec_from_args();
+    let suite = Suite::new(scale).with_exec(exec);
     for name in ["xalancbmk", "xz"] {
         let r = suite
             .characterize_resilient(name)

@@ -2,16 +2,17 @@
 //! mini-benchmark refrate cycles as the measured column.
 //!
 //! ```text
-//! cargo run --release -p alberta-bench --bin table1 [test|train|ref]
+//! cargo run --release -p alberta-bench --bin table1 [test|train|ref] [--jobs N]
 //! ```
 
-use alberta_bench::scale_from_args;
+use alberta_bench::{exec_from_args, scale_from_args};
 use alberta_core::tables;
 use alberta_core::Suite;
 
 fn main() {
     let scale = scale_from_args();
-    let suite = Suite::new(scale);
+    let exec = exec_from_args();
+    let suite = Suite::new(scale).with_exec(exec);
     println!("Reproduced Table I ({scale:?} scale)\n");
     println!("{}", tables::table1(&suite).expect("characterization"));
 }

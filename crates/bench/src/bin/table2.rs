@@ -1,21 +1,23 @@
 //! Regenerates Table II: the per-benchmark behaviour-variation summary.
 //!
 //! ```text
-//! cargo run --release -p alberta-bench --bin table2 [test|train|ref] [--keep-going]
+//! cargo run --release -p alberta-bench --bin table2 [test|train|ref] [--keep-going] [--jobs N]
 //! ```
 //!
 //! By default the first failing benchmark aborts the regeneration. With
 //! `--keep-going` the resilient pipeline runs instead: per-run failures
 //! are reported on stderr, and the table is emitted over the surviving
-//! runs with `n of m` workload annotations.
+//! runs with `n of m` workload annotations. `--jobs N` fans the runs out
+//! to N worker threads; the table is bit-identical either way.
 
-use alberta_bench::{flag_from_args, scale_from_args};
+use alberta_bench::{exec_from_args, flag_from_args, scale_from_args};
 use alberta_core::tables;
 use alberta_core::Suite;
 
 fn main() {
     let scale = scale_from_args();
-    let suite = Suite::new(scale);
+    let exec = exec_from_args();
+    let suite = Suite::new(scale).with_exec(exec);
     let table = if flag_from_args("--keep-going") {
         let results = suite.characterize_all_resilient();
         for r in &results {

@@ -1,26 +1,80 @@
-//! Internal tool: per-benchmark characterization wall time.
+//! Internal tool: characterization wall time, serial vs parallel.
+//!
+//! ```text
+//! cargo run --release -p alberta-bench --bin timing [test|train|ref] [--jobs N]
+//! ```
+//!
+//! Prints per-benchmark serial wall times, then sweeps the whole suite
+//! once serially and once under the parallel runner (`--jobs N`,
+//! defaulting to the available hardware parallelism) and reports the
+//! wall-clock speedup. Both sweeps produce bit-identical results; the
+//! binary asserts it.
 
-use alberta_core::Suite;
-use alberta_workloads::Scale;
-use std::time::Instant;
+use alberta_bench::{exec_from_args, scale_from_args};
+use alberta_core::{ExecPolicy, Suite};
+use std::time::{Duration, Instant};
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("train") => Scale::Train,
-        Some("ref") => Scale::Ref,
-        _ => Scale::Test,
+    let scale = scale_from_args();
+    // For the speedup report a 1-thread "parallel" run is meaningless,
+    // so the default here is the hardware parallelism rather than
+    // serial; --jobs N still overrides it.
+    let parallel = match exec_from_args() {
+        ExecPolicy::Serial => ExecPolicy::parallel(),
+        parallel => parallel,
     };
-    let suite = Suite::new(scale);
+    let suite = Suite::new(scale).with_exec(ExecPolicy::serial());
+
+    println!("Per-benchmark serial characterization ({scale:?} scale):");
+    let mut serial_total = Duration::ZERO;
+    let mut serial_results = Vec::new();
     for b in suite.benchmarks() {
         let start = Instant::now();
         match suite.characterize(b.short_name()) {
-            Ok(c) => println!(
-                "{:>12}  {:>3} workloads  {:>8.2?}",
-                b.short_name(),
-                c.workload_count(),
-                start.elapsed()
-            ),
-            Err(e) => println!("{:>12}  FAILED: {e}", b.short_name()),
+            Ok(c) => {
+                let elapsed = start.elapsed();
+                serial_total += elapsed;
+                println!(
+                    "{:>12}  {:>3} workloads  {:>10.2?}",
+                    b.short_name(),
+                    c.workload_count(),
+                    elapsed
+                );
+                serial_results.push(c);
+            }
+            Err(e) => {
+                eprintln!("timing: {} failed: {e}", b.short_name());
+                std::process::exit(1);
+            }
         }
     }
+
+    let suite = suite.with_exec(parallel);
+    let start = Instant::now();
+    let parallel_results = suite
+        .characterize_all()
+        .expect("parallel sweep matches the serial one");
+    let parallel_total = start.elapsed();
+
+    // The determinism guarantee, enforced: the parallel sweep must be
+    // bit-identical to the serial per-benchmark runs.
+    assert_eq!(serial_results.len(), parallel_results.len());
+    for (s, p) in serial_results.iter().zip(&parallel_results) {
+        assert_eq!(
+            s.topdown.mu_g_v.to_bits(),
+            p.topdown.mu_g_v.to_bits(),
+            "{}: parallel sweep diverged from serial",
+            s.short_name
+        );
+    }
+
+    let speedup = serial_total.as_secs_f64() / parallel_total.as_secs_f64().max(f64::EPSILON);
+    println!();
+    println!("serial sweep    {serial_total:>10.2?}");
+    println!(
+        "parallel sweep  {parallel_total:>10.2?}  ({} workers)",
+        parallel.jobs()
+    );
+    println!("speedup         {speedup:>9.2}x");
+    println!("determinism     serial and parallel sweeps bit-identical");
 }

@@ -1,20 +1,80 @@
 //! Shared helpers for the experiment-regeneration binaries and benches.
+//!
+//! Argument handling is strict: an unrecognized scale or a malformed
+//! `--jobs` value terminates the binary with an error listing the valid
+//! choices. Silently mapping a typo (`Ref`, `tset`) to `Scale::Test`
+//! used to waste an entire sweep at the wrong scale.
 
+use alberta_core::ExecPolicy;
 use alberta_workloads::Scale;
 
-/// Parses the first non-flag CLI argument as a scale (`test`, `train`,
-/// `ref`); defaults to `Scale::Test` so every binary completes in
-/// seconds.
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+/// The positional (non-flag) arguments, with flag *values* excluded:
+/// `--jobs 4` contributes neither token.
+fn positional_args() -> Vec<String> {
+    let mut positionals = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            // The value belongs to the flag; exec_from_args consumes it.
+            let _ = args.next();
+        } else if !arg.starts_with("--") {
+            positionals.push(arg);
+        }
+    }
+    positionals
+}
+
+/// Parses the first positional CLI argument as a scale (`test`, `train`,
+/// `ref`); defaults to [`Scale::Test`] when absent so every binary
+/// completes in seconds. An unrecognized scale terminates with an error
+/// listing the valid scales — never a silent fall-back to test scale.
 pub fn scale_from_args() -> Scale {
-    match std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
-        .as_deref()
-    {
+    match positional_args().first().map(String::as_str) {
+        None => Scale::Test,
+        Some("test") => Scale::Test,
         Some("train") => Scale::Train,
         Some("ref") => Scale::Ref,
-        _ => Scale::Test,
+        Some(other) => usage_error(&format!(
+            "unknown scale {other:?}; valid scales are: test, train, ref"
+        )),
     }
+}
+
+/// Parses `--jobs N` / `--jobs=N` into an execution policy, falling back
+/// to the `ALBERTA_JOBS` environment variable and then to serial. A
+/// malformed count terminates with an error. Call this *before*
+/// [`Suite::new`](alberta_core::Suite::new) so a malformed environment
+/// surfaces as a usage error rather than a panic.
+pub fn exec_from_args() -> ExecPolicy {
+    // Validate the environment up front even when --jobs overrides it —
+    // Suite::new consults ALBERTA_JOBS too and panics on garbage.
+    let env_policy = match ExecPolicy::from_env() {
+        Ok(policy) => policy,
+        Err(message) => usage_error(&message),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value =
+            if arg == "--jobs" {
+                Some(args.next().unwrap_or_else(|| {
+                    usage_error("--jobs requires a thread count, e.g. --jobs 4")
+                }))
+            } else {
+                arg.strip_prefix("--jobs=").map(str::to_owned)
+            };
+        if let Some(value) = value {
+            return match value.parse::<usize>() {
+                Ok(n) => ExecPolicy::with_jobs(n),
+                Err(_) => usage_error(&format!("--jobs expects a thread count, got {value:?}")),
+            };
+        }
+    }
+    env_policy.unwrap_or_default()
 }
 
 /// True when the named `--flag` appears anywhere on the command line.

@@ -195,8 +195,10 @@ impl BenchError {
 }
 
 /// Renders a panic payload the way `std` would: `&str` and `String`
-/// payloads verbatim, anything else by type-erased placeholder.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// payloads verbatim, anything else by type-erased placeholder. Public
+/// so harnesses with their own panic boundaries (e.g. parallel workers)
+/// report payloads the same way [`run_guarded`] does.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -302,8 +304,13 @@ pub struct RunOutput {
 
 /// One SPEC-style benchmark program with its workload set attached.
 ///
-/// Object safe: the harness holds `Box<dyn Benchmark>`.
-pub trait Benchmark {
+/// Object safe: the harness holds `Box<dyn Benchmark>`. The `Send +
+/// Sync` supertraits let the characterization harness share one suite
+/// across worker threads — runs take `&self` and write all measurement
+/// state into the per-run [`Profiler`], so a benchmark is immutable
+/// while it executes (the only mutation, [`Benchmark::inject_malformed`],
+/// happens before any run starts).
+pub trait Benchmark: Send + Sync {
     /// SPEC-style identifier, e.g. `"505.mcf_r"`.
     fn name(&self) -> &'static str;
 

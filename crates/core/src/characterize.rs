@@ -5,6 +5,7 @@
 //! method-coverage row. Then summarize with the paper's geometric
 //! statistics into the Table II quantities `μg`, `σg`, `μg(V)`, `μg(M)`.
 
+use crate::exec::{run_indexed, ExecPolicy};
 use crate::suite::CoreError;
 use alberta_benchmarks::{run_guarded, BenchError, Benchmark};
 use alberta_profile::{Profiler, SampleConfig};
@@ -45,7 +46,11 @@ pub struct Characterization {
     pub coverage: CoverageSummary,
     /// Modelled cycles of the refrate workload (the paper's "refrate
     /// time" column, with modelled cycles standing in for seconds).
-    pub refrate_cycles: f64,
+    /// `None` when the refrate run did not survive — the resilient
+    /// pipeline summarizes over the remaining workloads, but there is no
+    /// refrate time to report and tables render a `—` instead of a
+    /// fabricated zero.
+    pub refrate_cycles: Option<f64>,
 }
 
 impl Characterization {
@@ -204,7 +209,7 @@ pub(crate) fn summarize(
     }
     let mut matrix = CoverageMatrix::new();
     let mut ratios: Vec<TopDownRatios> = Vec::new();
-    let mut refrate_cycles = 0.0;
+    let mut refrate_cycles = None;
     for run in &runs {
         matrix
             .push_workload(
@@ -214,7 +219,7 @@ pub(crate) fn summarize(
             .expect("coverage percentages are finite");
         ratios.push(run.report.ratios);
         if run.workload == "refrate" {
-            refrate_cycles = run.report.cycles;
+            refrate_cycles = Some(run.report.cycles);
         }
     }
     let topdown = TopDownSummary::from_runs(&ratios).expect("at least one run");
@@ -241,10 +246,40 @@ pub fn characterize_benchmark(
     model: &TopDownModel,
     sampling: SampleConfig,
 ) -> Result<Characterization, CoreError> {
-    let mut runs = Vec::new();
-    for workload in benchmark.workload_names() {
-        runs.push(run_workload(benchmark, &workload, model, sampling)?);
-    }
+    characterize_benchmark_with(benchmark, model, sampling, ExecPolicy::Serial)
+}
+
+/// [`characterize_benchmark`] under an explicit [`ExecPolicy`]: the
+/// benchmark's workloads fan out to worker threads and the result is
+/// bit-identical to the serial run.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Run`] for the first failing workload in
+/// canonical workload order (the same error the serial pipeline stops
+/// at — parallel execution may run workloads the serial one never
+/// reached, but their outcomes are discarded).
+pub fn characterize_benchmark_with(
+    benchmark: &dyn Benchmark,
+    model: &TopDownModel,
+    sampling: SampleConfig,
+    policy: ExecPolicy,
+) -> Result<Characterization, CoreError> {
+    let workloads = benchmark.workload_names();
+    let runs = if policy.jobs() <= 1 {
+        // Serial sweeps keep the seed behaviour of stopping at the first
+        // failing workload instead of draining the queue.
+        workloads
+            .iter()
+            .map(|workload| run_workload(benchmark, workload, model, sampling))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        run_indexed(policy, &workloads, |_, workload| {
+            run_workload(benchmark, workload, model, sampling)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?
+    };
     Ok(summarize(benchmark.name(), benchmark.short_name(), runs)
         .expect("benchmarks have at least one workload"))
 }
@@ -302,8 +337,62 @@ mod tests {
     #[test]
     fn refrate_cycles_recorded() {
         let c = characterize("deepsjeng");
-        assert!(c.refrate_cycles > 0.0);
+        let cycles = c.refrate_cycles.expect("refrate run survived");
+        assert!(cycles > 0.0);
         let refrate = c.run("refrate").unwrap();
-        assert!((refrate.report.cycles - c.refrate_cycles).abs() < 1e-9);
+        assert!((refrate.report.cycles - cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refrate_cycles_absent_when_refrate_missing() {
+        // Regression: a summary over runs that lost refrate used to
+        // record 0.0 silently; it must be None.
+        let c = characterize("deepsjeng");
+        let without_refrate: Vec<WorkloadRun> = c
+            .runs
+            .iter()
+            .filter(|r| r.workload != "refrate")
+            .cloned()
+            .collect();
+        let partial =
+            summarize(&c.spec_id, &c.short_name, without_refrate).expect("other runs survive");
+        assert_eq!(partial.refrate_cycles, None);
+    }
+
+    #[test]
+    fn parallel_characterization_matches_serial() {
+        let benchmarks = suite(Scale::Test);
+        let b = benchmarks
+            .iter()
+            .find(|b| b.short_name() == "xz")
+            .expect("benchmark exists");
+        let model = TopDownModel::reference();
+        let serial = characterize_benchmark_with(
+            b.as_ref(),
+            &model,
+            SampleConfig::default(),
+            ExecPolicy::Serial,
+        )
+        .unwrap();
+        let parallel = characterize_benchmark_with(
+            b.as_ref(),
+            &model,
+            SampleConfig::default(),
+            ExecPolicy::with_jobs(4),
+        )
+        .unwrap();
+        assert_eq!(
+            serial.topdown.mu_g_v.to_bits(),
+            parallel.topdown.mu_g_v.to_bits()
+        );
+        assert_eq!(
+            serial.coverage.mu_g_m.to_bits(),
+            parallel.coverage.mu_g_m.to_bits()
+        );
+        for (rs, rp) in serial.runs.iter().zip(&parallel.runs) {
+            assert_eq!(rs.workload, rp.workload);
+            assert_eq!(rs.checksum, rp.checksum);
+            assert_eq!(rs.report.cycles.to_bits(), rp.report.cycles.to_bits());
+        }
     }
 }

@@ -1,0 +1,206 @@
+//! The parallel execution layer for suite characterization.
+//!
+//! The paper's methodology is embarrassingly parallel: every
+//! `(benchmark, workload)` run is independent of every other. This module
+//! supplies the machinery the [`Suite`](crate::Suite) entry points use to
+//! exploit that — an [`ExecPolicy`] selecting serial or multi-threaded
+//! execution, and a deterministic run-queue that fans indexed tasks out
+//! to `std::thread` workers and reassembles the results in submission
+//! order.
+//!
+//! # Determinism
+//!
+//! Parallel execution is *bit-identical* to serial execution. Three
+//! properties make that hold:
+//!
+//! 1. every run builds its own [`alberta_profile::Profiler`], so no
+//!    measurement state is shared between concurrent runs;
+//! 2. workers pull work by claiming the next unstarted index from a
+//!    shared atomic cursor — scheduling order varies run to run, but the
+//!    *result* of each task depends only on its inputs;
+//! 3. results are slotted back by task index, so callers always observe
+//!    the canonical (Table II / workload-list) order regardless of which
+//!    worker finished first.
+//!
+//! Worker panics are not allowed to poison the queue: [`run_indexed`]
+//! requires infallible task closures, and the suite-level callers wrap
+//! each run in a panic guard that converts an unwind into a typed
+//! failure result before it reaches this layer.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How suite characterization executes its independent runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// One run at a time, on the calling thread. The default.
+    #[default]
+    Serial,
+    /// Runs fan out to a pool of worker threads over a shared run-queue.
+    /// Results are reassembled in canonical order, so output is
+    /// bit-identical to [`ExecPolicy::Serial`].
+    Parallel {
+        /// Number of worker threads.
+        jobs: NonZeroUsize,
+    },
+}
+
+impl ExecPolicy {
+    /// The serial policy.
+    pub fn serial() -> Self {
+        ExecPolicy::Serial
+    }
+
+    /// The parallel policy with one worker per available hardware
+    /// thread (falling back to one worker when the parallelism cannot
+    /// be determined).
+    pub fn parallel() -> Self {
+        let jobs = std::thread::available_parallelism()
+            .unwrap_or(NonZeroUsize::new(1).expect("1 is non-zero"));
+        ExecPolicy::Parallel { jobs }
+    }
+
+    /// A policy with exactly `jobs` workers: [`ExecPolicy::Serial`] for
+    /// `jobs <= 1`, [`ExecPolicy::Parallel`] otherwise.
+    pub fn with_jobs(jobs: usize) -> Self {
+        match NonZeroUsize::new(jobs) {
+            Some(jobs) if jobs.get() > 1 => ExecPolicy::Parallel { jobs },
+            _ => ExecPolicy::Serial,
+        }
+    }
+
+    /// The policy requested by the `ALBERTA_JOBS` environment variable:
+    /// `None` when the variable is unset or empty, otherwise
+    /// `Some(with_jobs(n))`.
+    ///
+    /// # Errors
+    ///
+    /// A set-but-unparseable value is a configuration error, reported
+    /// rather than silently mapped to a default.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var("ALBERTA_JOBS") {
+            Err(_) => Ok(None),
+            Ok(v) if v.trim().is_empty() => Ok(None),
+            Ok(v) => v
+                .trim()
+                .parse::<usize>()
+                .map(|n| Some(ExecPolicy::with_jobs(n)))
+                .map_err(|_| format!("ALBERTA_JOBS must be a thread count, got {v:?}")),
+        }
+    }
+
+    /// The number of concurrent runs under this policy.
+    pub fn jobs(&self) -> usize {
+        match self {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Parallel { jobs } => jobs.get(),
+        }
+    }
+}
+
+/// Runs `task` over every element of `tasks` under `policy` and returns
+/// the results in input order.
+///
+/// In parallel mode each worker repeatedly steals the next unclaimed
+/// index from the shared cursor, so a long-running task (gcc's 21
+/// workloads, lbm's 32) never blocks progress on the rest of the queue.
+/// Each worker batches its `(index, result)` pairs locally and merges
+/// them under the lock once, when the queue is empty.
+///
+/// `task` must be infallible and panic-free: failures must be encoded in
+/// `R` (the suite callers wrap runs in
+/// [`alberta_benchmarks::run_guarded`]-style panic guards first). If a
+/// task panics anyway, the panic is propagated to the caller after all
+/// workers have drained — never swallowed, and never left as a poisoned
+/// queue.
+pub(crate) fn run_indexed<T, R, F>(policy: ExecPolicy, tasks: &[T], task: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = policy.jobs().min(tasks.len());
+    if workers <= 1 {
+        return tasks.iter().enumerate().map(|(i, t)| task(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(tasks.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= tasks.len() {
+                        break;
+                    }
+                    local.push((index, task(index, &tasks[index])));
+                }
+                let mut slots = match slots.lock() {
+                    Ok(slots) => slots,
+                    // Another worker panicked while merging; the scope
+                    // will re-raise its panic, so just deliver ours.
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                slots.extend(local);
+            });
+        }
+    });
+    let mut results = slots.into_inner().unwrap_or_else(|p| p.into_inner());
+    debug_assert_eq!(results.len(), tasks.len());
+    results.sort_unstable_by_key(|(index, _)| *index);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_jobs_clamps_to_serial() {
+        assert_eq!(ExecPolicy::with_jobs(0), ExecPolicy::Serial);
+        assert_eq!(ExecPolicy::with_jobs(1), ExecPolicy::Serial);
+        assert_eq!(ExecPolicy::with_jobs(4).jobs(), 4);
+    }
+
+    #[test]
+    fn parallel_default_uses_available_parallelism() {
+        let policy = ExecPolicy::parallel();
+        assert!(policy.jobs() >= 1);
+    }
+
+    #[test]
+    fn run_indexed_preserves_input_order() {
+        let tasks: Vec<u64> = (0..257).collect();
+        let serial = run_indexed(ExecPolicy::Serial, &tasks, |i, t| (i as u64) * 1000 + t);
+        let parallel = run_indexed(ExecPolicy::with_jobs(8), &tasks, |i, t| {
+            (i as u64) * 1000 + t
+        });
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[42], 42 * 1000 + 42);
+    }
+
+    #[test]
+    fn run_indexed_handles_fewer_tasks_than_workers() {
+        let tasks = vec![7u64];
+        assert_eq!(
+            run_indexed(ExecPolicy::with_jobs(16), &tasks, |_, t| t * 2),
+            vec![14]
+        );
+        let empty: Vec<u64> = Vec::new();
+        assert!(run_indexed(ExecPolicy::with_jobs(4), &empty, |_, t| *t).is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let tasks: Vec<u64> = (0..32).collect();
+        let caught = std::panic::catch_unwind(|| {
+            run_indexed(ExecPolicy::with_jobs(4), &tasks, |_, t| {
+                assert!(*t != 13, "injected worker panic");
+                *t
+            })
+        });
+        assert!(caught.is_err(), "panic must reach the caller");
+    }
+}

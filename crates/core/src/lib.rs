@@ -33,6 +33,7 @@
 //! ```
 
 pub mod characterize;
+pub mod exec;
 pub mod faults;
 pub mod figures;
 pub mod report;
@@ -43,6 +44,7 @@ pub mod tables;
 pub use characterize::{
     Characterization, ResilientCharacterization, RunReport, RunStatus, WorkloadRun,
 };
+pub use exec::ExecPolicy;
 pub use faults::{Fault, FaultKind, FaultPlan};
 pub use suite::{CoreError, Suite};
 

@@ -1,16 +1,18 @@
 //! The [`Suite`] orchestrator.
 
 use crate::characterize::{
-    characterize_benchmark, run_workload, summarize, Characterization, ResilientCharacterization,
-    RunReport, RunStatus, WorkloadRun,
+    characterize_benchmark_with, run_workload, summarize, Characterization,
+    ResilientCharacterization, RunReport, RunStatus, WorkloadRun,
 };
+use crate::exec::{run_indexed, ExecPolicy};
 use crate::faults::{FaultKind, FaultPlan};
-use alberta_benchmarks::{suite as build_benchmarks, BenchError, Benchmark};
+use alberta_benchmarks::{panic_message, suite as build_benchmarks, BenchError, Benchmark};
 use alberta_profile::SampleConfig;
 use alberta_uarch::TopDownModel;
 use alberta_workloads::{Scale, SeededRng};
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Error from suite-level operations.
 #[derive(Debug)]
@@ -58,18 +60,47 @@ pub struct Suite {
     sampling: SampleConfig,
     scale: Scale,
     faults: FaultPlan,
+    exec: ExecPolicy,
 }
 
 impl Suite {
     /// Builds the suite at a scale with the reference machine model.
+    ///
+    /// The execution policy defaults to [`ExecPolicy::Serial`] unless the
+    /// `ALBERTA_JOBS` environment variable requests a worker count (the
+    /// CI knob that forces the parallel runner on for a whole test run);
+    /// [`Suite::with_exec`] overrides either.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ALBERTA_JOBS` is set to something that is not a
+    /// thread count — a misconfigured environment must be loud, not
+    /// silently serial.
     pub fn new(scale: Scale) -> Self {
+        let exec = ExecPolicy::from_env()
+            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_default();
         Suite {
             benchmarks: build_benchmarks(scale),
             model: TopDownModel::reference(),
             sampling: SampleConfig::default(),
             scale,
             faults: FaultPlan::default(),
+            exec,
         }
+    }
+
+    /// Overrides the execution policy (serial vs parallel workers).
+    /// Parallel execution produces bit-identical results — see
+    /// [`crate::exec`] for the determinism argument.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The execution policy characterizations run under.
+    pub fn exec(&self) -> ExecPolicy {
+        self.exec
     }
 
     /// Overrides the microarchitecture model (predictor/latency ablations).
@@ -128,19 +159,60 @@ impl Suite {
             .ok_or_else(|| CoreError::UnknownBenchmark {
                 name: name.to_owned(),
             })?;
-        characterize_benchmark(benchmark, &self.model, self.sampling)
+        characterize_benchmark_with(benchmark, &self.model, self.sampling, self.exec)
     }
 
     /// Characterizes the whole suite in Table II order.
     ///
+    /// Under a parallel [`ExecPolicy`] every `(benchmark, workload)`
+    /// pair is fanned out to the worker pool as one unit of work, so a
+    /// long benchmark (gcc's 21 workloads, lbm's 32) never serializes
+    /// the sweep; results are reassembled in canonical Table II order
+    /// and are bit-identical to the serial sweep.
+    ///
     /// # Errors
     ///
-    /// Returns the first failure encountered.
+    /// Returns the first failure in canonical order — the same error a
+    /// serial sweep stops at.
     pub fn characterize_all(&self) -> Result<Vec<Characterization>, CoreError> {
-        self.benchmarks
-            .iter()
-            .map(|b| characterize_benchmark(b.as_ref(), &self.model, self.sampling))
-            .collect()
+        if self.exec.jobs() <= 1 {
+            // Serial sweeps keep the seed behaviour of stopping at the
+            // first failing workload instead of draining the queue.
+            return self
+                .benchmarks
+                .iter()
+                .map(|b| {
+                    characterize_benchmark_with(
+                        b.as_ref(),
+                        &self.model,
+                        self.sampling,
+                        ExecPolicy::Serial,
+                    )
+                })
+                .collect();
+        }
+        let tasks = run_pairs(&self.benchmarks);
+        let results = run_indexed(self.exec, &tasks, |_, (bench_index, workload)| {
+            run_workload(
+                self.benchmarks[*bench_index].as_ref(),
+                workload,
+                &self.model,
+                self.sampling,
+            )
+        });
+        let mut results = results.into_iter();
+        let mut out = Vec::with_capacity(self.benchmarks.len());
+        for benchmark in &self.benchmarks {
+            let mut runs = Vec::new();
+            for _ in 0..benchmark.workload_names().len() {
+                runs.push(results.next().expect("one result per task")?);
+            }
+            out.push(
+                summarize(benchmark.name(), benchmark.short_name(), runs)
+                    .expect("benchmarks have at least one workload"),
+            );
+        }
+        Ok(out)
     }
 
     /// Characterizes the whole suite with per-run fault tolerance.
@@ -156,11 +228,15 @@ impl Suite {
     /// injected faults; success downgrades the run to
     /// [`RunStatus::Degraded`] instead of [`RunStatus::Failed`].
     pub fn characterize_all_resilient(&self) -> Vec<ResilientCharacterization> {
-        let mut benchmarks = build_benchmarks(self.scale);
-        benchmarks
-            .iter_mut()
-            .map(|b| self.characterize_resilient_inner(b.as_mut()))
-            .collect()
+        match self.malformed_benchmarks() {
+            // Corruption mutates workloads, so it runs on a rebuilt
+            // suite — the stored benchmarks stay pristine for later
+            // strict runs.
+            Some(rebuilt) => self.characterize_resilient_set(&rebuilt),
+            // No corruption faults: reuse the stored benchmarks instead
+            // of paying workload generation a second time per sweep.
+            None => self.characterize_resilient_set(&self.benchmarks),
+        }
     }
 
     /// Resilient characterization of a single benchmark.
@@ -173,66 +249,115 @@ impl Suite {
         &self,
         name: &str,
     ) -> Result<ResilientCharacterization, CoreError> {
-        let mut benchmark = build_benchmarks(self.scale)
-            .into_iter()
+        let rebuilt = self.malformed_benchmarks();
+        let benchmarks = rebuilt.as_deref().unwrap_or(&self.benchmarks);
+        let benchmark = benchmarks
+            .iter()
             .find(|b| b.short_name() == name || b.name() == name)
             .ok_or_else(|| CoreError::UnknownBenchmark {
                 name: name.to_owned(),
             })?;
-        Ok(self.characterize_resilient_inner(benchmark.as_mut()))
+        let mut results = self.characterize_resilient_set(std::slice::from_ref(benchmark));
+        Ok(results.pop().expect("one benchmark yields one result"))
     }
 
-    fn characterize_resilient_inner(
-        &self,
-        benchmark: &mut dyn Benchmark,
-    ) -> ResilientCharacterization {
-        let spec_id = benchmark.name();
-        let short_name = benchmark.short_name();
-        // Malformed-workload faults mutate the stored workloads before
-        // any run; the other kinds are per-run profiler configuration.
-        for workload in benchmark.workload_names() {
-            if self.faults.fault_for(spec_id, short_name, &workload)
-                == Some(FaultKind::MalformedWorkload)
-            {
-                benchmark.inject_malformed(&workload, self.faults.seed());
-            }
-        }
-        let mut statuses = Vec::new();
-        let mut survivors = Vec::new();
-        for workload in benchmark.workload_names() {
-            let mut sampling = self.sampling;
-            if let Some(kind) = self.faults.fault_for(spec_id, short_name, &workload) {
-                if let Some(fault) = FaultPlan::profiler_fault(kind) {
-                    sampling = sampling.with_fault(fault);
-                }
-                if let FaultKind::ExhaustBudget { budget } = kind {
-                    sampling = sampling.with_work_budget(budget);
-                }
-            }
-            let status = match run_workload(benchmark, &workload, &self.model, sampling) {
-                Ok(run) => {
-                    survivors.push(run);
-                    RunStatus::Ok
-                }
-                Err(error) if error.is_retryable() => {
-                    let retried_at = self.scale.reduced().unwrap_or(self.scale);
-                    match self.retry_run(spec_id, &workload, retried_at) {
-                        Some(run) => {
-                            survivors.push(run);
-                            RunStatus::Degraded { error, retried_at }
+    /// When the fault plan corrupts stored workloads, rebuilds the suite
+    /// and applies the corruption; otherwise `None` — the pristine
+    /// stored benchmarks can be shared as-is.
+    fn malformed_benchmarks(&self) -> Option<Vec<Box<dyn Benchmark>>> {
+        self.faults
+            .faults()
+            .iter()
+            .any(|f| f.kind == FaultKind::MalformedWorkload)
+            .then(|| {
+                let mut rebuilt = build_benchmarks(self.scale);
+                for benchmark in &mut rebuilt {
+                    let (spec_id, short_name) = (benchmark.name(), benchmark.short_name());
+                    for workload in benchmark.workload_names() {
+                        if self.faults.fault_for(spec_id, short_name, &workload)
+                            == Some(FaultKind::MalformedWorkload)
+                        {
+                            benchmark.inject_malformed(&workload, self.faults.seed());
                         }
-                        None => RunStatus::Failed { error },
                     }
                 }
-                Err(error) => RunStatus::Failed { error },
-            };
-            statuses.push(RunReport { workload, status });
+                rebuilt
+            })
+    }
+
+    /// Fans every `(benchmark, workload)` pair of `benchmarks` out under
+    /// the execution policy and reassembles per-benchmark resilient
+    /// characterizations in input order. Workers never poison the queue:
+    /// each run is wrapped in a panic guard, and an unwind that somehow
+    /// escapes the per-run guard in [`run_workload`] still becomes a
+    /// [`RunStatus::Failed`] for that run alone.
+    fn characterize_resilient_set(
+        &self,
+        benchmarks: &[Box<dyn Benchmark>],
+    ) -> Vec<ResilientCharacterization> {
+        let tasks = run_pairs(benchmarks);
+        let mut results = run_indexed(self.exec, &tasks, |_, (bench_index, workload)| {
+            let benchmark = benchmarks[*bench_index].as_ref();
+            catch_unwind(AssertUnwindSafe(|| self.resilient_run(benchmark, workload)))
+                .unwrap_or_else(|payload| {
+                    let status = RunStatus::Failed {
+                        error: BenchError::Panicked {
+                            benchmark: benchmark.name(),
+                            workload: workload.clone(),
+                            message: panic_message(payload.as_ref()),
+                        },
+                    };
+                    (status, None)
+                })
+        })
+        .into_iter();
+        let mut out = Vec::with_capacity(benchmarks.len());
+        for benchmark in benchmarks {
+            let mut statuses = Vec::new();
+            let mut survivors = Vec::new();
+            for workload in benchmark.workload_names() {
+                let (status, run) = results.next().expect("one result per task");
+                survivors.extend(run);
+                statuses.push(RunReport { workload, status });
+            }
+            out.push(ResilientCharacterization {
+                spec_id: benchmark.name().to_owned(),
+                short_name: benchmark.short_name().to_owned(),
+                statuses,
+                characterization: summarize(benchmark.name(), benchmark.short_name(), survivors),
+            });
         }
-        ResilientCharacterization {
-            spec_id: spec_id.to_owned(),
-            short_name: short_name.to_owned(),
-            statuses,
-            characterization: summarize(spec_id, short_name, survivors),
+        out
+    }
+
+    /// One workload's resilient run: apply any planned per-run fault,
+    /// run, and retry retryable failures once at reduced scale. Returns
+    /// the run's fate and, for survivors, its measurements.
+    fn resilient_run(
+        &self,
+        benchmark: &dyn Benchmark,
+        workload: &str,
+    ) -> (RunStatus, Option<WorkloadRun>) {
+        let (spec_id, short_name) = (benchmark.name(), benchmark.short_name());
+        let mut sampling = self.sampling;
+        if let Some(kind) = self.faults.fault_for(spec_id, short_name, workload) {
+            if let Some(fault) = FaultPlan::profiler_fault(kind) {
+                sampling = sampling.with_fault(fault);
+            }
+            if let FaultKind::ExhaustBudget { budget } = kind {
+                sampling = sampling.with_work_budget(budget);
+            }
+        }
+        match run_workload(benchmark, workload, &self.model, sampling) {
+            Ok(run) => (RunStatus::Ok, Some(run)),
+            Err(error) if error.is_retryable() => {
+                let retried_at = self.scale.reduced().unwrap_or(self.scale);
+                match self.retry_run(spec_id, workload, retried_at) {
+                    Some(run) => (RunStatus::Degraded { error, retried_at }, Some(run)),
+                    None => (RunStatus::Failed { error }, None),
+                }
+            }
+            Err(error) => (RunStatus::Failed { error }, None),
         }
     }
 
@@ -301,8 +426,20 @@ impl fmt::Debug for Suite {
         f.debug_struct("Suite")
             .field("benchmarks", &self.benchmarks.len())
             .field("scale", &self.scale)
+            .field("exec", &self.exec)
             .finish()
     }
+}
+
+/// Flattens a benchmark set into its `(benchmark index, workload)` run
+/// pairs in canonical order — the unit of work the execution layer
+/// schedules.
+fn run_pairs(benchmarks: &[Box<dyn Benchmark>]) -> Vec<(usize, String)> {
+    benchmarks
+        .iter()
+        .enumerate()
+        .flat_map(|(index, b)| b.workload_names().into_iter().map(move |w| (index, w)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -454,6 +591,14 @@ mod tests {
         }
         assert!(c.topdown.mu_g_v >= 1.0);
         assert!(c.coverage.mu_g_m > 0.0);
-        assert!(c.refrate_cycles > 0.0);
+        assert!(c.refrate_cycles.expect("refrate survived") > 0.0);
+    }
+
+    #[test]
+    fn exec_policy_is_configurable() {
+        let s = Suite::new(Scale::Test).with_exec(ExecPolicy::with_jobs(3));
+        assert_eq!(s.exec().jobs(), 3);
+        let s = s.with_exec(ExecPolicy::serial());
+        assert_eq!(s.exec(), ExecPolicy::Serial);
     }
 }

@@ -28,8 +28,9 @@ pub struct MeasuredRow {
     pub mu_g_v: f64,
     /// `μg(M)`.
     pub mu_g_m: f64,
-    /// Modelled refrate cycles (time analogue).
-    pub refrate_cycles: f64,
+    /// Modelled refrate cycles (time analogue); `None` when the refrate
+    /// run did not survive — rendered as `—`, never as a silent zero.
+    pub refrate_cycles: Option<f64>,
 }
 
 impl MeasuredRow {
@@ -136,7 +137,8 @@ impl Table2 {
                     format!("{:.1}", r.r.1),
                     format!("{:.1}", r.mu_g_v),
                     format!("{:.1}", r.mu_g_m),
-                    format!("{:.2}", r.refrate_cycles / 1e6),
+                    r.refrate_cycles
+                        .map_or_else(|| "—".to_owned(), |c| format!("{:.2}", c / 1e6)),
                 ]
             })
             .collect();
@@ -227,7 +229,8 @@ fn table1_row(suite: &Suite, row: &Table1Row) -> Result<Vec<String>, CoreError> 
     let measured = match mini {
         Some(name) => {
             let c = suite.characterize(name)?;
-            format!("{:.2}", c.refrate_cycles / 1e6)
+            c.refrate_cycles
+                .map_or_else(|| "—".to_owned(), |cycles| format!("{:.2}", cycles / 1e6))
         }
         None => String::new(),
     };

@@ -119,6 +119,34 @@ fn fault_injection_is_deterministic() {
     assert_eq!(run(), run());
 }
 
+/// Regression: when the refrate run fails terminally, the summary must
+/// carry `refrate_cycles: None` and Table II must render `—` — not a
+/// silent 0.00 row.
+#[test]
+fn failed_refrate_renders_a_dash_not_zero() {
+    // CorruptEvents is not retryable, so the refrate run fails outright.
+    let plan = FaultPlan::new(3).inject("xz", "refrate", FaultKind::CorruptEvents { at: 10 });
+    let suite = Suite::new(Scale::Test).with_faults(plan);
+    let r = suite.characterize_resilient("xz").unwrap();
+    let incident = r.incidents().next().expect("refrate failed");
+    assert_eq!(incident.workload, "refrate");
+    assert!(matches!(incident.status, RunStatus::Failed { .. }));
+
+    let c = r.characterization.as_ref().expect("other runs survive");
+    assert_eq!(
+        c.refrate_cycles, None,
+        "a lost refrate run must not fabricate a zero time"
+    );
+
+    let rendering = table2_resilient(std::slice::from_ref(&r)).render();
+    let row = rendering
+        .lines()
+        .find(|l| l.trim_start().starts_with("xz"))
+        .expect("xz row renders");
+    assert!(row.contains('—'), "missing refrate dash: {row}");
+    assert!(!row.contains("0.00"), "zero refrate time leaked: {row}");
+}
+
 /// A fault aimed at nothing (unknown benchmark/workload) changes nothing:
 /// the resilient pipeline matches a fault-free pass.
 #[test]

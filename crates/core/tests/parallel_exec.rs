@@ -1,0 +1,94 @@
+//! The execution-layer determinism guarantee, end to end: a parallel
+//! sweep must be bit-identical to a serial sweep of the same suite — for
+//! the strict pipeline, and for the resilient pipeline under an injected
+//! fault plan (including the `RunStatus` sequence).
+
+use alberta_core::{Characterization, ExecPolicy, Scale, Suite};
+
+fn assert_bit_identical(serial: &Characterization, parallel: &Characterization) {
+    assert_eq!(serial.spec_id, parallel.spec_id);
+    assert_eq!(
+        serial.topdown.mu_g_v.to_bits(),
+        parallel.topdown.mu_g_v.to_bits(),
+        "{}: μg(V) diverged",
+        serial.short_name
+    );
+    assert_eq!(
+        serial.coverage.mu_g_m.to_bits(),
+        parallel.coverage.mu_g_m.to_bits(),
+        "{}: μg(M) diverged",
+        serial.short_name
+    );
+    assert_eq!(
+        serial.refrate_cycles.map(f64::to_bits),
+        parallel.refrate_cycles.map(f64::to_bits),
+        "{}: refrate cycles diverged",
+        serial.short_name
+    );
+    assert_eq!(serial.runs.len(), parallel.runs.len());
+    for (rs, rp) in serial.runs.iter().zip(&parallel.runs) {
+        assert_eq!(rs.workload, rp.workload, "{}: run order", serial.short_name);
+        assert_eq!(
+            rs.checksum, rp.checksum,
+            "{}/{}: checksum",
+            serial.short_name, rs.workload
+        );
+        assert_eq!(
+            rs.report.cycles.to_bits(),
+            rp.report.cycles.to_bits(),
+            "{}/{}: cycles",
+            serial.short_name,
+            rs.workload
+        );
+        assert_eq!(rs.work, rp.work, "{}/{}", serial.short_name, rs.workload);
+    }
+}
+
+#[test]
+fn parallel_strict_sweep_is_bit_identical_to_serial() {
+    let serial = Suite::new(Scale::Test)
+        .with_exec(ExecPolicy::serial())
+        .characterize_all()
+        .expect("serial sweep");
+    let parallel = Suite::new(Scale::Test)
+        .with_exec(ExecPolicy::with_jobs(4))
+        .characterize_all()
+        .expect("parallel sweep");
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_bit_identical(s, p);
+    }
+}
+
+#[test]
+fn parallel_resilient_sweep_matches_serial_under_faults() {
+    // The fault plan mixes all four kinds (panic, budget, corrupt
+    // events, malformed workload), so the RunStatus sequence covers Ok,
+    // Degraded, and Failed — and must be identical either way.
+    let sweep = |policy: ExecPolicy| {
+        let suite = Suite::new(Scale::Test);
+        let plan = suite.scattered_faults(0xBEEF, 6);
+        suite
+            .with_faults(plan)
+            .with_exec(policy)
+            .characterize_all_resilient()
+    };
+    let serial = sweep(ExecPolicy::serial());
+    let parallel = sweep(ExecPolicy::with_jobs(4));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s.statuses, p.statuses,
+            "{}: RunStatus sequence",
+            s.short_name
+        );
+        match (&s.characterization, &p.characterization) {
+            (Some(cs), Some(cp)) => assert_bit_identical(cs, cp),
+            (None, None) => {}
+            _ => panic!("{}: survivor summaries diverged", s.short_name),
+        }
+    }
+    // The plan actually bit: some statuses are non-Ok in both sweeps.
+    let incidents: usize = serial.iter().map(|r| r.incidents().count()).sum();
+    assert_eq!(incidents, 6);
+}

@@ -11,9 +11,13 @@ use alberta::workloads::Scale;
 
 fn main() -> Result<(), alberta::core::CoreError> {
     let scale = match std::env::args().nth(1).as_deref() {
+        None | Some("test") => Scale::Test,
         Some("train") => Scale::Train,
         Some("ref") => Scale::Ref,
-        _ => Scale::Test,
+        Some(other) => {
+            eprintln!("error: unknown scale {other:?}; valid scales are: test, train, ref");
+            std::process::exit(2);
+        }
     };
     let suite = Suite::new(scale);
     let table = tables::table2(&suite)?;
