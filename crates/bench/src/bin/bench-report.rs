@@ -1,0 +1,72 @@
+//! Sweeps the suite and persists the structured run report.
+//!
+//! ```text
+//! cargo run --release -p alberta-bench --bin bench-report \
+//!     [test|train|ref] [--jobs N] [--out PATH] [--telemetry]
+//! ```
+//!
+//! Runs the resilient characterization pipeline over every benchmark
+//! and writes the schema-versioned JSON document (`BENCH_<scale>.json`
+//! by default, `--out PATH` to override). The canonical document is
+//! bit-identical whether the sweep ran serially or under `--jobs N`;
+//! `--telemetry` keeps the volatile wall-clock and worker-id fields for
+//! local inspection, at the cost of that guarantee.
+//!
+//! Per-run failures cost a run, not the report: they land in the
+//! document as `degraded`/`failed` records and are echoed on stderr.
+
+use alberta_bench::{exec_from_args, flag_from_args, scale_from_args, value_from_args};
+use alberta_core::Suite;
+use alberta_report::SuiteReport;
+use std::path::PathBuf;
+
+fn scale_name(scale: alberta_workloads::Scale) -> &'static str {
+    match scale {
+        alberta_workloads::Scale::Test => "test",
+        alberta_workloads::Scale::Train => "train",
+        alberta_workloads::Scale::Ref => "ref",
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let exec = exec_from_args();
+    let out = value_from_args("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", scale_name(scale))));
+
+    let suite = Suite::new(scale).with_exec(exec);
+    let results = suite.characterize_all_resilient_metered();
+    for (r, _) in &results {
+        for incident in r.incidents() {
+            eprintln!(
+                "bench-report: {}/{}: {:?}",
+                r.short_name, incident.workload, incident.status
+            );
+        }
+    }
+
+    let mut report = SuiteReport::from_resilient(scale, &results);
+    if !flag_from_args("--telemetry") {
+        report.strip_telemetry();
+    }
+    if let Err(e) = alberta_report::save(&report, &out) {
+        eprintln!("bench-report: {e}");
+        std::process::exit(1);
+    }
+
+    let benchmarks = report.benchmarks.len();
+    let attempted: usize = report.benchmarks.iter().map(|b| b.attempted()).sum();
+    let survived: usize = report.benchmarks.iter().map(|b| b.survived()).sum();
+    println!(
+        "bench-report: {benchmarks} benchmarks, {survived}/{attempted} runs ok \
+         ({} scale) -> {}",
+        scale_name(scale),
+        out.display()
+    );
+    if survived < attempted {
+        // The report still captures what happened, but a sweep that lost
+        // runs should not look like a clean pass in CI logs.
+        std::process::exit(3);
+    }
+}

@@ -9,23 +9,29 @@
 //! not the figure. Lost runs are reported on stderr and the plot title is
 //! annotated `(n of m workloads)`. `--jobs N` runs the workloads on N
 //! worker threads with bit-identical output.
+//!
+//! The series is extracted from a [`SuiteReport`] — the same structured
+//! document `bench-report` persists — so the figure and the JSON
+//! artifact share one source of truth.
 
 use alberta_bench::{exec_from_args, scale_from_args};
-use alberta_core::figures::fig1_series_resilient;
 use alberta_core::Suite;
+use alberta_report::{view, SuiteReport};
 
 fn main() {
     let scale = scale_from_args();
     let exec = exec_from_args();
     let suite = Suite::new(scale).with_exec(exec);
     for name in ["xalancbmk", "xz"] {
-        let r = suite
-            .characterize_resilient(name)
+        let result = suite
+            .characterize_resilient_metered(name)
             .expect("benchmark exists");
-        for incident in r.incidents() {
+        for incident in result.0.incidents() {
             eprintln!("fig1: {name}/{}: {:?}", incident.workload, incident.status);
         }
-        match fig1_series_resilient(&r) {
+        let mut report = SuiteReport::from_resilient(scale, std::slice::from_ref(&result));
+        report.strip_telemetry();
+        match view::fig1_series(&report.benchmarks[0]) {
             Some(series) => {
                 println!("{}", series.render());
                 println!("{}", series.render_numeric());

@@ -9,34 +9,38 @@
 //! not the figure. Lost runs are reported on stderr and the plot title is
 //! annotated `(n of m workloads)`. `--jobs N` runs the workloads on N
 //! worker threads with bit-identical output.
+//!
+//! The series is extracted from a [`SuiteReport`] — the same structured
+//! document `bench-report` persists — so the figure and the JSON
+//! artifact share one source of truth.
 
 use alberta_bench::{exec_from_args, scale_from_args};
-use alberta_core::figures::fig2_series_resilient;
 use alberta_core::Suite;
+use alberta_report::{view, SuiteReport};
 
 fn main() {
     let scale = scale_from_args();
     let exec = exec_from_args();
     let suite = Suite::new(scale).with_exec(exec);
     for name in ["deepsjeng", "xz"] {
-        let r = suite
-            .characterize_resilient(name)
+        let result = suite
+            .characterize_resilient_metered(name)
             .expect("benchmark exists");
-        for incident in r.incidents() {
+        for incident in result.0.incidents() {
             eprintln!("fig2: {name}/{}: {:?}", incident.workload, incident.status);
         }
-        match fig2_series_resilient(&r) {
+        let mut report = SuiteReport::from_resilient(scale, std::slice::from_ref(&result));
+        report.strip_telemetry();
+        let bench = &report.benchmarks[0];
+        match view::fig2_series(bench) {
             Some(series) => {
                 println!("{}", series.render());
                 println!("per-method range (max − min %):");
                 for (method, range) in series.method_ranges() {
                     println!("  {method:>28}  {range:6.2}");
                 }
-                let c = r
-                    .characterization
-                    .as_ref()
-                    .expect("series implies survivors");
-                println!("μg(M) = {:.2}\n", c.coverage.mu_g_m);
+                let summary = bench.summary.as_ref().expect("series implies survivors");
+                println!("μg(M) = {:.2}\n", summary.mu_g_m);
             }
             None => eprintln!("fig2: {name}: no surviving runs, figure omitted"),
         }

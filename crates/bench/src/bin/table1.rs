@@ -4,15 +4,35 @@
 //! ```text
 //! cargo run --release -p alberta-bench --bin table1 [test|train|ref] [--jobs N]
 //! ```
+//!
+//! The measured column is rendered from a [`SuiteReport`] — the same
+//! structured document `bench-report` persists — so the table and the
+//! JSON artifact can never disagree. The sweep runs through the
+//! resilient pipeline: a benchmark that loses its refrate run shows `—`
+//! instead of aborting the table.
 
 use alberta_bench::{exec_from_args, scale_from_args};
-use alberta_core::tables;
-use alberta_core::Suite;
+use alberta_core::{tables, Suite};
+use alberta_report::{view, SuiteReport};
 
 fn main() {
     let scale = scale_from_args();
     let exec = exec_from_args();
     let suite = Suite::new(scale).with_exec(exec);
+    let results = suite.characterize_all_resilient_metered();
+    for (r, _) in &results {
+        for incident in r.incidents() {
+            eprintln!(
+                "table1: {}/{}: {:?}",
+                r.short_name, incident.workload, incident.status
+            );
+        }
+    }
+    let mut report = SuiteReport::from_resilient(scale, &results);
+    report.strip_telemetry();
     println!("Reproduced Table I ({scale:?} scale)\n");
-    println!("{}", tables::table1(&suite).expect("characterization"));
+    println!(
+        "{}",
+        tables::table1_from_cycles(&view::refrate_cycles(&report))
+    );
 }

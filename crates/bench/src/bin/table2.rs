@@ -9,18 +9,22 @@
 //! are reported on stderr, and the table is emitted over the surviving
 //! runs with `n of m` workload annotations. `--jobs N` fans the runs out
 //! to N worker threads; the table is bit-identical either way.
+//!
+//! The table is rendered from a [`SuiteReport`] — the same structured
+//! document `bench-report` persists — so the terminal output and the
+//! JSON artifact share one source of truth.
 
 use alberta_bench::{exec_from_args, flag_from_args, scale_from_args};
-use alberta_core::tables;
 use alberta_core::Suite;
+use alberta_report::{view, SuiteReport};
 
 fn main() {
     let scale = scale_from_args();
     let exec = exec_from_args();
     let suite = Suite::new(scale).with_exec(exec);
-    let table = if flag_from_args("--keep-going") {
-        let results = suite.characterize_all_resilient();
-        for r in &results {
+    let mut report = if flag_from_args("--keep-going") {
+        let results = suite.characterize_all_resilient_metered();
+        for (r, _) in &results {
             for incident in r.incidents() {
                 eprintln!(
                     "table2: {}/{}: {:?}",
@@ -31,11 +35,15 @@ fn main() {
                 eprintln!("table2: {}: no surviving runs, row omitted", r.short_name);
             }
         }
-        tables::table2_resilient(&results)
+        SuiteReport::from_resilient(scale, &results)
     } else {
-        tables::table2(&suite)
-            .expect("suite characterization (rerun with --keep-going to tolerate failures)")
+        let results = suite
+            .characterize_all_metered()
+            .expect("suite characterization (rerun with --keep-going to tolerate failures)");
+        SuiteReport::from_strict(scale, &results)
     };
+    report.strip_telemetry();
+    let table = view::table2(&report);
     println!("Reproduced Table II ({scale:?} scale)\n");
     println!("{}", table.render());
     println!("\nMeasured vs paper (headline columns)\n");

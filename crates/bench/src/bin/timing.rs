@@ -4,11 +4,13 @@
 //! cargo run --release -p alberta-bench --bin timing [test|train|ref] [--jobs N]
 //! ```
 //!
-//! Prints per-benchmark serial wall times, then sweeps the whole suite
-//! once serially and once under the parallel runner (`--jobs N`,
-//! defaulting to the available hardware parallelism) and reports the
-//! wall-clock speedup. Both sweeps produce bit-identical results; the
-//! binary asserts it.
+//! Sweeps the whole suite once serially and once under the parallel
+//! runner (`--jobs N`, defaulting to the available hardware
+//! parallelism) and reports per-benchmark wall times — summed from the
+//! per-run [`RunMetrics`](alberta_core::RunMetrics) telemetry — plus
+//! the wall-clock speedup. Both sweeps must produce bit-identical
+//! canonical reports; the binary asserts it on the serialized JSON, the
+//! same guarantee CI enforces on `bench-report` artifacts.
 
 use alberta_bench::{exec_from_args, scale_from_args};
 use alberta_core::{ExecPolicy, Suite};
@@ -25,48 +27,48 @@ fn main() {
     };
     let suite = Suite::new(scale).with_exec(ExecPolicy::serial());
 
+    let start = Instant::now();
+    let serial_results = suite.characterize_all_metered().unwrap_or_else(|e| {
+        eprintln!("timing: serial sweep failed: {e}");
+        std::process::exit(1);
+    });
+    let serial_total = start.elapsed();
+
     println!("Per-benchmark serial characterization ({scale:?} scale):");
-    let mut serial_total = Duration::ZERO;
-    let mut serial_results = Vec::new();
-    for b in suite.benchmarks() {
-        let start = Instant::now();
-        match suite.characterize(b.short_name()) {
-            Ok(c) => {
-                let elapsed = start.elapsed();
-                serial_total += elapsed;
-                println!(
-                    "{:>12}  {:>3} workloads  {:>10.2?}",
-                    b.short_name(),
-                    c.workload_count(),
-                    elapsed
-                );
-                serial_results.push(c);
-            }
-            Err(e) => {
-                eprintln!("timing: {} failed: {e}", b.short_name());
-                std::process::exit(1);
-            }
-        }
+    for (c, metrics) in &serial_results {
+        let wall: u64 = metrics.iter().map(|m| m.wall_nanos).sum();
+        println!(
+            "{:>12}  {:>3} workloads  {:>10.2?}",
+            c.short_name,
+            c.workload_count(),
+            Duration::from_nanos(wall)
+        );
     }
 
     let suite = suite.with_exec(parallel);
     let start = Instant::now();
-    let parallel_results = suite
-        .characterize_all()
-        .expect("parallel sweep matches the serial one");
+    let parallel_results = suite.characterize_all_metered().unwrap_or_else(|e| {
+        eprintln!("timing: parallel sweep failed: {e}");
+        std::process::exit(1);
+    });
     let parallel_total = start.elapsed();
 
-    // The determinism guarantee, enforced: the parallel sweep must be
-    // bit-identical to the serial per-benchmark runs.
-    assert_eq!(serial_results.len(), parallel_results.len());
-    for (s, p) in serial_results.iter().zip(&parallel_results) {
-        assert_eq!(
-            s.topdown.mu_g_v.to_bits(),
-            p.topdown.mu_g_v.to_bits(),
-            "{}: parallel sweep diverged from serial",
-            s.short_name
-        );
-    }
+    // The determinism guarantee, enforced end to end: after stripping
+    // the volatile telemetry, the two sweeps must serialize to the very
+    // same bytes.
+    let canonical = |results: &[(
+        alberta_core::Characterization,
+        Vec<alberta_core::RunMetrics>,
+    )]| {
+        let mut report = alberta_report::SuiteReport::from_strict(scale, results);
+        report.strip_telemetry();
+        report.to_json()
+    };
+    assert_eq!(
+        canonical(&serial_results),
+        canonical(&parallel_results),
+        "parallel sweep diverged from serial"
+    );
 
     let speedup = serial_total.as_secs_f64() / parallel_total.as_secs_f64().max(f64::EPSILON);
     println!();
@@ -76,5 +78,5 @@ fn main() {
         parallel.jobs()
     );
     println!("speedup         {speedup:>9.2}x");
-    println!("determinism     serial and parallel sweeps bit-identical");
+    println!("determinism     serial and parallel reports byte-identical");
 }

@@ -8,10 +8,18 @@
 use alberta_core::ExecPolicy;
 use alberta_workloads::Scale;
 
-fn usage_error(message: &str) -> ! {
+/// Prints a usage error and terminates with exit code 2 — the code the
+/// binaries reserve for "the invocation was wrong" as opposed to "the
+/// comparison found a regression" (1).
+pub fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
     std::process::exit(2);
 }
+
+/// Flags that consume the next argument as their value. Keep in sync
+/// with the binaries: a flag missing from this list would leak its
+/// value into the positionals and be misread as a scale.
+const VALUE_FLAGS: &[&str] = &["--jobs", "--out", "--threshold"];
 
 /// The positional (non-flag) arguments, with flag *values* excluded:
 /// `--jobs 4` contributes neither token.
@@ -19,14 +27,37 @@ fn positional_args() -> Vec<String> {
     let mut positionals = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--jobs" {
-            // The value belongs to the flag; exec_from_args consumes it.
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            // The value belongs to the flag; value_from_args consumes it.
             let _ = args.next();
         } else if !arg.starts_with("--") {
             positionals.push(arg);
         }
     }
     positionals
+}
+
+/// The positional arguments after the optional leading scale — the
+/// file operands of `bench-diff BASE NEW`.
+pub fn operands_from_args() -> Vec<String> {
+    positional_args()
+}
+
+/// The value of `--flag VALUE` / `--flag=VALUE`, if the flag appears.
+/// A flag present without a value terminates with a usage error.
+pub fn value_from_args(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            return Some(args.next().unwrap_or_else(|| {
+                usage_error(&format!("{flag} requires a value, e.g. {flag} <value>"))
+            }));
+        }
+        if let Some(value) = arg.strip_prefix(&format!("{flag}=")) {
+            return Some(value.to_owned());
+        }
+    }
+    None
 }
 
 /// Parses the first positional CLI argument as a scale (`test`, `train`,

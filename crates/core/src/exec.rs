@@ -30,6 +30,40 @@
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Observability record for one `(benchmark, workload)` run: what the
+/// execution layer can see about it, independent of the measured
+/// characterization numbers.
+///
+/// The fields split into two classes:
+///
+/// * **volatile telemetry** — [`wall_nanos`](RunMetrics::wall_nanos) and
+///   [`worker`](RunMetrics::worker) vary run to run and between serial
+///   and parallel sweeps. Report serialization strips them by default so
+///   the published artifact stays bit-identical regardless of the
+///   [`ExecPolicy`];
+/// * **deterministic accounting** —
+///   [`retries`](RunMetrics::retries) and
+///   [`budget_consumed`](RunMetrics::budget_consumed) depend only on the
+///   run's inputs (scale, fault plan, sampling configuration), so they
+///   are safe to publish and diff across commits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Wall-clock duration of the run in nanoseconds (volatile).
+    pub wall_nanos: u64,
+    /// Index of the worker thread that executed the run; 0 under
+    /// [`ExecPolicy::Serial`] (volatile).
+    pub worker: usize,
+    /// Retry attempts made for this run (0 for a clean first run). Only
+    /// the resilient pipeline retries, and it retries at most once.
+    pub retries: u32,
+    /// Retired micro-ops the run consumed — against
+    /// [`alberta_profile::SampleConfig::work_budget`] when one is set.
+    /// For a failed run this is the count at the abort when known
+    /// (budget overruns report it) and 0 otherwise.
+    pub budget_consumed: u64,
+}
 
 /// How suite characterization executes its independent runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -120,22 +154,60 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_indexed_metered(policy, tasks, task)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// [`run_indexed`] with per-run observability: every result is paired
+/// with a [`RunMetrics`] whose volatile telemetry (wall-clock, worker id)
+/// the scheduler fills in. The deterministic accounting fields are left
+/// at their defaults for the caller to complete — the scheduler cannot
+/// know what a task retried or consumed.
+pub(crate) fn run_indexed_metered<T, R, F>(
+    policy: ExecPolicy,
+    tasks: &[T],
+    task: F,
+) -> Vec<(R, RunMetrics)>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let meter = |worker: usize, index: usize, t: &T| -> (R, RunMetrics) {
+        let start = Instant::now();
+        let result = task(index, t);
+        let metrics = RunMetrics {
+            wall_nanos: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            worker,
+            ..RunMetrics::default()
+        };
+        (result, metrics)
+    };
     let workers = policy.jobs().min(tasks.len());
     if workers <= 1 {
-        return tasks.iter().enumerate().map(|(i, t)| task(i, t)).collect();
+        return tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| meter(0, i, t))
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(tasks.len()));
+    let slots: Mutex<Vec<(usize, (R, RunMetrics))>> = Mutex::new(Vec::with_capacity(tasks.len()));
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut local: Vec<(usize, R)> = Vec::new();
+        for worker in 0..workers {
+            let meter = &meter;
+            let cursor = &cursor;
+            let slots = &slots;
+            scope.spawn(move || {
+                let mut local: Vec<(usize, (R, RunMetrics))> = Vec::new();
                 loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     if index >= tasks.len() {
                         break;
                     }
-                    local.push((index, task(index, &tasks[index])));
+                    local.push((index, meter(worker, index, &tasks[index])));
                 }
                 let mut slots = match slots.lock() {
                     Ok(slots) => slots,
@@ -190,6 +262,24 @@ mod tests {
         );
         let empty: Vec<u64> = Vec::new();
         assert!(run_indexed(ExecPolicy::with_jobs(4), &empty, |_, t| *t).is_empty());
+    }
+
+    #[test]
+    fn metered_results_match_and_carry_telemetry() {
+        let tasks: Vec<u64> = (0..64).collect();
+        let serial = run_indexed_metered(ExecPolicy::Serial, &tasks, |_, t| t * 3);
+        let parallel = run_indexed_metered(ExecPolicy::with_jobs(4), &tasks, |_, t| t * 3);
+        let values = |v: &[(u64, RunMetrics)]| -> Vec<u64> { v.iter().map(|(r, _)| *r).collect() };
+        assert_eq!(values(&serial), values(&parallel));
+        for (_, m) in &serial {
+            assert_eq!(m.worker, 0, "serial runs execute on the calling thread");
+            assert_eq!(m.retries, 0);
+            assert_eq!(m.budget_consumed, 0);
+        }
+        assert!(
+            parallel.iter().all(|(_, m)| m.worker < 4),
+            "worker ids stay within the pool"
+        );
     }
 
     #[test]

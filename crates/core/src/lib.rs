@@ -44,13 +44,13 @@ pub mod tables;
 pub use characterize::{
     Characterization, ResilientCharacterization, RunReport, RunStatus, WorkloadRun,
 };
-pub use exec::ExecPolicy;
+pub use exec::{ExecPolicy, RunMetrics};
 pub use faults::{Fault, FaultKind, FaultPlan};
 pub use suite::{CoreError, Suite};
 
 // Re-export the layers users need to drive the facade.
 pub use alberta_benchmarks::{suite as benchmark_suite, BenchError, Benchmark, RunOutput};
 pub use alberta_profile::{Profiler, SampleConfig};
-pub use alberta_stats::{CoverageSummary, TopDownSummary};
+pub use alberta_stats::{CoverageSummary, RatioSummary, TopDownSummary};
 pub use alberta_uarch::{MachineConfig, PredictorKind, TopDownModel, TopDownReport};
 pub use alberta_workloads::Scale;

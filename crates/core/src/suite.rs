@@ -4,7 +4,7 @@ use crate::characterize::{
     characterize_benchmark_with, run_workload, summarize, Characterization,
     ResilientCharacterization, RunReport, RunStatus, WorkloadRun,
 };
-use crate::exec::{run_indexed, ExecPolicy};
+use crate::exec::{run_indexed, run_indexed_metered, ExecPolicy, RunMetrics};
 use crate::faults::{FaultKind, FaultPlan};
 use alberta_benchmarks::{panic_message, suite as build_benchmarks, BenchError, Benchmark};
 use alberta_profile::SampleConfig;
@@ -215,6 +215,50 @@ impl Suite {
         Ok(out)
     }
 
+    /// [`Suite::characterize_all`] with per-run observability: each
+    /// characterization is paired with one [`RunMetrics`] per workload,
+    /// in workload order.
+    ///
+    /// Unlike the serial strict sweep, the metered sweep always drains
+    /// the whole run queue; on failure the error returned is the first
+    /// one in canonical Table II order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure in canonical order.
+    pub fn characterize_all_metered(
+        &self,
+    ) -> Result<Vec<(Characterization, Vec<RunMetrics>)>, CoreError> {
+        let tasks = run_pairs(&self.benchmarks);
+        let results = run_indexed_metered(self.exec, &tasks, |_, (bench_index, workload)| {
+            run_workload(
+                self.benchmarks[*bench_index].as_ref(),
+                workload,
+                &self.model,
+                self.sampling,
+            )
+        });
+        let mut results = results.into_iter();
+        let mut out = Vec::with_capacity(self.benchmarks.len());
+        for benchmark in &self.benchmarks {
+            let mut runs = Vec::new();
+            let mut metrics = Vec::new();
+            for _ in 0..benchmark.workload_names().len() {
+                let (run, mut m) = results.next().expect("one result per task");
+                let run = run?;
+                m.budget_consumed = run.report.retired_ops;
+                runs.push(run);
+                metrics.push(m);
+            }
+            out.push((
+                summarize(benchmark.name(), benchmark.short_name(), runs)
+                    .expect("benchmarks have at least one workload"),
+                metrics,
+            ));
+        }
+        Ok(out)
+    }
+
     /// Characterizes the whole suite with per-run fault tolerance.
     ///
     /// Unlike [`Suite::characterize_all`], this never fails and never
@@ -228,6 +272,19 @@ impl Suite {
     /// injected faults; success downgrades the run to
     /// [`RunStatus::Degraded`] instead of [`RunStatus::Failed`].
     pub fn characterize_all_resilient(&self) -> Vec<ResilientCharacterization> {
+        self.characterize_all_resilient_metered()
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// [`Suite::characterize_all_resilient`] with per-run observability:
+    /// each resilient characterization is paired with one [`RunMetrics`]
+    /// per attempted workload, aligned with its
+    /// [`statuses`](ResilientCharacterization::statuses).
+    pub fn characterize_all_resilient_metered(
+        &self,
+    ) -> Vec<(ResilientCharacterization, Vec<RunMetrics>)> {
         match self.malformed_benchmarks() {
             // Corruption mutates workloads, so it runs on a rebuilt
             // suite — the stored benchmarks stay pristine for later
@@ -249,6 +306,21 @@ impl Suite {
         &self,
         name: &str,
     ) -> Result<ResilientCharacterization, CoreError> {
+        self.characterize_resilient_metered(name).map(|(r, _)| r)
+    }
+
+    /// [`Suite::characterize_resilient`] with per-run [`RunMetrics`],
+    /// aligned with the returned
+    /// [`statuses`](ResilientCharacterization::statuses).
+    ///
+    /// # Errors
+    ///
+    /// Only [`CoreError::UnknownBenchmark`] — run failures are reported
+    /// in the per-run statuses, never as an error.
+    pub fn characterize_resilient_metered(
+        &self,
+        name: &str,
+    ) -> Result<(ResilientCharacterization, Vec<RunMetrics>), CoreError> {
         let rebuilt = self.malformed_benchmarks();
         let benchmarks = rebuilt.as_deref().unwrap_or(&self.benchmarks);
         let benchmark = benchmarks
@@ -294,9 +366,9 @@ impl Suite {
     fn characterize_resilient_set(
         &self,
         benchmarks: &[Box<dyn Benchmark>],
-    ) -> Vec<ResilientCharacterization> {
+    ) -> Vec<(ResilientCharacterization, Vec<RunMetrics>)> {
         let tasks = run_pairs(benchmarks);
-        let mut results = run_indexed(self.exec, &tasks, |_, (bench_index, workload)| {
+        let mut results = run_indexed_metered(self.exec, &tasks, |_, (bench_index, workload)| {
             let benchmark = benchmarks[*bench_index].as_ref();
             catch_unwind(AssertUnwindSafe(|| self.resilient_run(benchmark, workload)))
                 .unwrap_or_else(|payload| {
@@ -315,17 +387,27 @@ impl Suite {
         for benchmark in benchmarks {
             let mut statuses = Vec::new();
             let mut survivors = Vec::new();
+            let mut metrics = Vec::new();
             for workload in benchmark.workload_names() {
-                let (status, run) = results.next().expect("one result per task");
+                let ((status, run), mut m) = results.next().expect("one result per task");
+                (m.retries, m.budget_consumed) = run_accounting(&status, run.as_ref());
+                metrics.push(m);
                 survivors.extend(run);
                 statuses.push(RunReport { workload, status });
             }
-            out.push(ResilientCharacterization {
-                spec_id: benchmark.name().to_owned(),
-                short_name: benchmark.short_name().to_owned(),
-                statuses,
-                characterization: summarize(benchmark.name(), benchmark.short_name(), survivors),
-            });
+            out.push((
+                ResilientCharacterization {
+                    spec_id: benchmark.name().to_owned(),
+                    short_name: benchmark.short_name().to_owned(),
+                    statuses,
+                    characterization: summarize(
+                        benchmark.name(),
+                        benchmark.short_name(),
+                        survivors,
+                    ),
+                },
+                metrics,
+            ));
         }
         out
     }
@@ -429,6 +511,26 @@ impl fmt::Debug for Suite {
             .field("exec", &self.exec)
             .finish()
     }
+}
+
+/// Fills the deterministic accounting fields of a run's [`RunMetrics`]
+/// from its fate: retry attempts made, and the retired-op budget the run
+/// consumed. A `Failed` run with a retryable error *was* retried (the
+/// retry just failed too), so it counts one retry.
+fn run_accounting(status: &RunStatus, run: Option<&WorkloadRun>) -> (u32, u64) {
+    let retries = match status {
+        RunStatus::Ok => 0,
+        RunStatus::Degraded { .. } => 1,
+        RunStatus::Failed { error } => u32::from(error.is_retryable()),
+    };
+    let consumed = run.map(|r| r.report.retired_ops).unwrap_or_else(|| {
+        match status.error() {
+            Some(BenchError::BudgetExceeded { retired_ops, .. }) => *retired_ops,
+            // The abort point of other failures is not recorded.
+            _ => 0,
+        }
+    });
+    (retries, consumed)
 }
 
 /// Flattens a benchmark set into its `(benchmark index, workload)` run

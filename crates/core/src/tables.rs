@@ -190,6 +190,26 @@ impl Table2 {
 /// The reproduced Table I: the paper's published columns plus our
 /// mini-benchmark refrate cycles where a 2017 analogue exists.
 pub fn table1(suite: &Suite) -> Result<String, CoreError> {
+    let mut cycles = std::collections::BTreeMap::new();
+    for row in &specdata::TABLE1 {
+        if let Some(name) = table1_mini(row) {
+            if suite.benchmark(name).is_some() {
+                let c = suite.characterize(name)?;
+                cycles.insert(name.to_owned(), c.refrate_cycles);
+            }
+        }
+    }
+    Ok(table1_from_cycles(&cycles))
+}
+
+/// Renders Table I from pre-measured refrate cycles: one entry per
+/// mini-benchmark short name, `None` when that benchmark's refrate run
+/// did not survive. Benchmarks absent from the map get an empty measured
+/// cell (no 2017 analogue in the suite). This is the rendering path the
+/// report layer uses — the cycle map comes straight out of a serialized
+/// [`SuiteReport`](https://docs.rs/alberta-report)'s summaries, so the
+/// table never re-runs the characterization.
+pub fn table1_from_cycles(cycles: &std::collections::BTreeMap<String, Option<f64>>) -> String {
     let header = vec![
         "Application Area".to_owned(),
         "SPEC 2017".to_owned(),
@@ -200,7 +220,20 @@ pub fn table1(suite: &Suite) -> Result<String, CoreError> {
     ];
     let mut rows = Vec::new();
     for row in &specdata::TABLE1 {
-        rows.push(table1_row(suite, row)?);
+        let measured = match table1_mini(row).and_then(|name| cycles.get(name)) {
+            Some(refrate) => {
+                refrate.map_or_else(|| "—".to_owned(), |cycles| format!("{:.2}", cycles / 1e6))
+            }
+            None => String::new(),
+        };
+        rows.push(vec![
+            row.area.to_owned(),
+            row.spec2017.to_owned(),
+            row.spec2006.to_owned(),
+            row.time2017.map(|t| format!("{t:.0}")).unwrap_or_default(),
+            row.time2006.map(|t| format!("{t:.0}")).unwrap_or_default(),
+            measured,
+        ]);
     }
     // The paper closes with the arithmetic average of the times.
     let avg = |sel: fn(&Table1Row) -> Option<f64>| -> f64 {
@@ -215,33 +248,16 @@ pub fn table1(suite: &Suite) -> Result<String, CoreError> {
         format!("{:.0}", avg(|r| r.time2006)),
         String::new(),
     ]);
-    Ok(format_table(&header, &rows, Align::Left))
+    format_table(&header, &rows, Align::Left)
 }
 
-fn table1_row(suite: &Suite, row: &Table1Row) -> Result<Vec<String>, CoreError> {
-    // Our measured column: modelled refrate cycles of the matching mini.
-    let mini = row
-        .spec2017
+/// The mini-benchmark short name a Table I row maps to (`505.mcf_r` →
+/// `mcf`), regardless of whether the suite implements it.
+fn table1_mini(row: &Table1Row) -> Option<&str> {
+    row.spec2017
         .split('.')
         .nth(1)
         .map(|s| s.trim_end_matches("_r"))
-        .filter(|s| suite.benchmark(s).is_some());
-    let measured = match mini {
-        Some(name) => {
-            let c = suite.characterize(name)?;
-            c.refrate_cycles
-                .map_or_else(|| "—".to_owned(), |cycles| format!("{:.2}", cycles / 1e6))
-        }
-        None => String::new(),
-    };
-    Ok(vec![
-        row.area.to_owned(),
-        row.spec2017.to_owned(),
-        row.spec2006.to_owned(),
-        row.time2017.map(|t| format!("{t:.0}")).unwrap_or_default(),
-        row.time2006.map(|t| format!("{t:.0}")).unwrap_or_default(),
-        measured,
-    ])
 }
 
 #[cfg(test)]

@@ -1,0 +1,517 @@
+//! A minimal, dependency-free JSON layer for the report schema.
+//!
+//! The workspace builds fully offline, so this crate hand-rolls the
+//! small slice of JSON it needs instead of pulling `serde_json`:
+//!
+//! * [`Value`] — an order-preserving document model. Objects keep their
+//!   fields in insertion order, so emission is deterministic and
+//!   emit → parse → emit is byte-identical;
+//! * [`Value::render`] — pretty emission with two-space indentation.
+//!   Floats are written with Rust's shortest round-trip formatting,
+//!   which is stable under re-parsing (the shortest representation of
+//!   the parsed value is the string it was parsed from);
+//! * [`parse`] — a strict recursive-descent parser reporting byte
+//!   offsets on malformed input.
+//!
+//! Integers and floats are kept distinct: `u64` quantities (checksums,
+//! retired-op counts) do not round-trip through `f64`, which would lose
+//! precision above 2^53.
+
+use std::fmt::Write as _;
+
+/// An order-preserving JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer written without a decimal point. Covers
+    /// the full `u64` range exactly.
+    UInt(u64),
+    /// Any other number. Always finite: JSON has no NaN or infinities.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, fields in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Field lookup on an object; `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The exact integer payload, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`. Integers convert (with the usual
+    /// `u64 as f64` rounding above 2^53 — callers that need exactness
+    /// use [`Value::as_u64`]).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Pretty-renders the document with two-space indentation and a
+    /// trailing newline — the canonical serialization every report
+    /// artifact uses.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(x) => write_f64(out, *x),
+            Value::Str(s) => write_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_string(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Writes a finite float in Rust's shortest round-trip decimal form.
+/// Integral values render without a fractional part (`3` rather than
+/// `3.0`), which re-parses as [`Value::UInt`] and re-emits identically.
+///
+/// # Panics
+///
+/// Panics on NaN or infinities — the schema layer only admits finite
+/// measurements, so a non-finite value here is a bug, not bad input.
+fn write_f64(out: &mut String, x: f64) {
+    assert!(x.is_finite(), "JSON cannot represent {x}");
+    let _ = write!(out, "{x}");
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse failure: what went wrong and the byte offset it went wrong at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "malformed JSON at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the byte offset of the first problem.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_whitespace();
+    let value = p.value()?;
+    p.skip_whitespace();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected character {:?}", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.error(format!("duplicate object key {key:?}")));
+            }
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.hex4()?;
+                            // The schema never emits non-BMP text, so
+                            // lone surrogates are rejected rather than
+                            // paired.
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => {
+                                    self.pos = start;
+                                    return Err(self.error("unsupported \\u surrogate escape"));
+                                }
+                            }
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.error("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar (input is &str, so
+                    // byte boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).expect("input was a &str");
+                    let c = text.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a') as u32 + 10,
+                Some(c @ b'A'..=b'F') => (c - b'A') as u32 + 10,
+                _ => return Err(self.error("expected four hex digits after \\u")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut saw_fraction_or_exponent = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    saw_fraction_or_exponent = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        if !saw_fraction_or_exponent && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Value::Float(x)),
+            _ => {
+                self.pos = start;
+                Err(self.error(format!("invalid number {text:?}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    #[test]
+    fn render_parse_render_is_byte_identical() {
+        let doc = obj(vec![
+            ("version", Value::UInt(1)),
+            ("pi", Value::Float(std::f64::consts::PI)),
+            ("tiny", Value::Float(1e-12)),
+            ("big", Value::UInt(u64::MAX)),
+            ("name", Value::Str("alberta \"report\"\n".to_owned())),
+            ("empty", Value::Array(Vec::new())),
+            (
+                "runs",
+                Value::Array(vec![obj(vec![("ok", Value::Bool(true))]), Value::Null]),
+            ),
+        ]);
+        let first = doc.render();
+        let reparsed = parse(&first).unwrap();
+        assert_eq!(reparsed, doc);
+        assert_eq!(reparsed.render(), first);
+    }
+
+    #[test]
+    fn u64_payloads_round_trip_exactly() {
+        let checksum = 0xDEAD_BEEF_CAFE_F00Du64;
+        let doc = obj(vec![("checksum", Value::UInt(checksum))]);
+        let parsed = parse(&doc.render()).unwrap();
+        assert_eq!(parsed.get("checksum").unwrap().as_u64(), Some(checksum));
+    }
+
+    #[test]
+    fn integral_floats_collapse_to_integers_stably() {
+        let doc = obj(vec![("cycles", Value::Float(1234.0))]);
+        let first = doc.render();
+        assert!(first.contains("\"cycles\": 1234"));
+        let reparsed = parse(&first).unwrap();
+        assert_eq!(reparsed.get("cycles").unwrap().as_f64(), Some(1234.0));
+        assert_eq!(reparsed.render(), first);
+    }
+
+    #[test]
+    fn parser_reports_offsets() {
+        let err = parse("{\"a\": }").unwrap_err();
+        assert_eq!(err.offset, 6);
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{\"a\": 1, \"a\": 2}").is_err(), "duplicate keys");
+    }
+
+    #[test]
+    fn numbers_parse_by_shape() {
+        assert_eq!(parse("7").unwrap(), Value::UInt(7));
+        assert_eq!(parse("-7").unwrap(), Value::Float(-7.0));
+        assert_eq!(parse("7.5").unwrap(), Value::Float(7.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        assert!(parse("1e999").is_err(), "overflow to infinity rejected");
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let doc = obj(vec![("s", Value::Str("tab\t quote\" back\\ \u{1}".into()))]);
+        let text = doc.render();
+        assert!(text.contains("\\u0001"));
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+}

@@ -1,0 +1,721 @@
+//! The versioned report schema and its (de)serialization.
+//!
+//! A [`SuiteReport`] is the machine-readable artifact of one full
+//! characterization sweep: per `(benchmark, workload)` run it records
+//! the run's fate, deterministic accounting from
+//! [`RunMetrics`](alberta_core::RunMetrics), and the measured behaviour
+//! (Top-Down ratios, modelled cycles, method coverage); per benchmark it
+//! records the paper's Table II summary statistics.
+//!
+//! # Determinism contract
+//!
+//! The canonical serialization is **bit-identical across execution
+//! policies**: sweeping a suite serially or under `--jobs N` yields the
+//! same bytes. Wall-clock and worker-id telemetry would break that, so
+//! those fields are optional and stripped by default
+//! ([`SuiteReport::strip_telemetry`]); everything else in the schema
+//! depends only on the run's inputs.
+//!
+//! # Versioning
+//!
+//! Every document carries `schema_version`. [`SuiteReport::parse`]
+//! rejects versions it does not understand with a clear error instead
+//! of misparsing — field meanings may change between versions, and a
+//! silently misread baseline would gate CI on garbage.
+
+use crate::json::{self, Value};
+use crate::ReportError;
+use alberta_core::{Characterization, ResilientCharacterization, RunMetrics, RunStatus};
+use alberta_workloads::Scale;
+use std::collections::BTreeMap;
+
+/// The schema version this build emits and understands.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One full characterization sweep, serialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteReport {
+    /// Schema version of the document ([`SCHEMA_VERSION`] when built by
+    /// this crate).
+    pub schema_version: u64,
+    /// The scale the sweep ran at.
+    pub scale: Scale,
+    /// Per-benchmark reports, in canonical Table II order.
+    pub benchmarks: Vec<BenchmarkReport>,
+}
+
+/// One benchmark's sweep: every attempted run plus the summary over the
+/// survivors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkReport {
+    /// SPEC-style id, e.g. `505.mcf_r`.
+    pub spec_id: String,
+    /// Short name, e.g. `mcf`.
+    pub short_name: String,
+    /// One record per attempted workload, in workload order.
+    pub runs: Vec<RunRecord>,
+    /// The Table II summary over surviving runs; `None` when every run
+    /// failed.
+    pub summary: Option<SummaryRecord>,
+}
+
+impl BenchmarkReport {
+    /// Workloads attempted.
+    pub fn attempted(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Workloads whose data entered the summaries.
+    pub fn survived(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.status != StatusKind::Failed)
+            .count()
+    }
+
+    /// The record for a named workload, if present.
+    pub fn run(&self, workload: &str) -> Option<&RunRecord> {
+        self.runs.iter().find(|r| r.workload == workload)
+    }
+}
+
+/// The serialized fate of one run — [`RunStatus`] with the error
+/// flattened to text (errors carry `'static` benchmark names and typed
+/// payloads that do not survive a parse round-trip).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusKind {
+    /// The run completed and validated.
+    Ok,
+    /// The original run failed but a retry salvaged it.
+    Degraded,
+    /// The run contributed nothing to the summaries.
+    Failed,
+}
+
+impl StatusKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            StatusKind::Ok => "ok",
+            StatusKind::Degraded => "degraded",
+            StatusKind::Failed => "failed",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "ok" => Some(StatusKind::Ok),
+            "degraded" => Some(StatusKind::Degraded),
+            "failed" => Some(StatusKind::Failed),
+            _ => None,
+        }
+    }
+
+    /// Ordering used by the diff layer: a larger rank is a worse fate.
+    pub fn rank(self) -> u8 {
+        match self {
+            StatusKind::Ok => 0,
+            StatusKind::Degraded => 1,
+            StatusKind::Failed => 2,
+        }
+    }
+}
+
+/// One `(benchmark, workload)` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Workload name.
+    pub workload: String,
+    /// The run's fate.
+    pub status: StatusKind,
+    /// The error behind a non-`ok` status, rendered to text.
+    pub error: Option<String>,
+    /// The scale a successful retry ran at (`degraded` runs only).
+    pub retried_at: Option<Scale>,
+    /// Retry attempts made (deterministic accounting).
+    pub retries: u32,
+    /// Retired micro-ops consumed (deterministic accounting).
+    pub budget_consumed: u64,
+    /// Wall-clock nanoseconds — volatile telemetry, absent in canonical
+    /// reports.
+    pub wall_nanos: Option<u64>,
+    /// Executing worker id — volatile telemetry, absent in canonical
+    /// reports.
+    pub worker: Option<u64>,
+    /// The measured behaviour; absent for `failed` runs.
+    pub measures: Option<MeasureRecord>,
+}
+
+/// The measured behaviour of one surviving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureRecord {
+    /// Top-Down slot fractions in Table II order: `[f, b, s, r]`.
+    pub ratios: [f64; 4],
+    /// Modelled execution cycles.
+    pub cycles: f64,
+    /// Modelled instructions per cycle.
+    pub ipc: f64,
+    /// Exact retired micro-ops.
+    pub retired_ops: u64,
+    /// The benchmark's own work metric.
+    pub work: u64,
+    /// Semantic output checksum.
+    pub checksum: u64,
+    /// Method coverage: method name → percent of attributed work.
+    pub coverage: BTreeMap<String, f64>,
+}
+
+/// `(μg, σg, V)` for one Top-Down category across workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryRecord {
+    /// Geometric mean.
+    pub geo_mean: f64,
+    /// Geometric standard deviation.
+    pub geo_std: f64,
+    /// Proportional variation `σg/μg`.
+    pub variation: f64,
+}
+
+/// The Table II summary row for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRecord {
+    /// Workloads whose runs entered the summary.
+    pub workloads: u64,
+    /// Front-end-bound summary.
+    pub front_end: CategoryRecord,
+    /// Back-end-bound summary.
+    pub back_end: CategoryRecord,
+    /// Bad-speculation summary.
+    pub bad_speculation: CategoryRecord,
+    /// Retiring summary.
+    pub retiring: CategoryRecord,
+    /// Eq. (4): `μg(V)`.
+    pub mu_g_v: f64,
+    /// Eq. (5): `μg(M)`.
+    pub mu_g_m: f64,
+    /// Modelled refrate cycles; `None` when the refrate run was lost.
+    pub refrate_cycles: Option<f64>,
+}
+
+fn scale_str(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Train => "train",
+        Scale::Ref => "ref",
+    }
+}
+
+fn scale_from_str(s: &str) -> Option<Scale> {
+    match s {
+        "test" => Some(Scale::Test),
+        "train" => Some(Scale::Train),
+        "ref" => Some(Scale::Ref),
+        _ => None,
+    }
+}
+
+impl SuiteReport {
+    /// Builds a report from a strict metered sweep
+    /// ([`Suite::characterize_all_metered`](alberta_core::Suite::characterize_all_metered)):
+    /// every run is `ok`.
+    pub fn from_strict(scale: Scale, results: &[(Characterization, Vec<RunMetrics>)]) -> Self {
+        let benchmarks = results
+            .iter()
+            .map(|(c, metrics)| {
+                let runs = c
+                    .runs
+                    .iter()
+                    .zip(metrics)
+                    .map(|(run, m)| RunRecord {
+                        workload: run.workload.clone(),
+                        status: StatusKind::Ok,
+                        error: None,
+                        retried_at: None,
+                        retries: m.retries,
+                        budget_consumed: m.budget_consumed,
+                        wall_nanos: Some(m.wall_nanos),
+                        worker: Some(m.worker as u64),
+                        measures: Some(MeasureRecord::from_run(run)),
+                    })
+                    .collect();
+                BenchmarkReport {
+                    spec_id: c.spec_id.clone(),
+                    short_name: c.short_name.clone(),
+                    runs,
+                    summary: Some(SummaryRecord::from_characterization(c)),
+                }
+            })
+            .collect();
+        SuiteReport {
+            schema_version: SCHEMA_VERSION,
+            scale,
+            benchmarks,
+        }
+    }
+
+    /// Builds a report from a resilient metered sweep
+    /// ([`Suite::characterize_all_resilient_metered`](alberta_core::Suite::characterize_all_resilient_metered)).
+    pub fn from_resilient(
+        scale: Scale,
+        results: &[(ResilientCharacterization, Vec<RunMetrics>)],
+    ) -> Self {
+        let benchmarks = results
+            .iter()
+            .map(|(r, metrics)| {
+                let runs = r
+                    .statuses
+                    .iter()
+                    .zip(metrics)
+                    .map(|(report, m)| {
+                        let (status, error, retried_at) = match &report.status {
+                            RunStatus::Ok => (StatusKind::Ok, None, None),
+                            RunStatus::Degraded { error, retried_at } => (
+                                StatusKind::Degraded,
+                                Some(error.to_string()),
+                                Some(*retried_at),
+                            ),
+                            RunStatus::Failed { error } => {
+                                (StatusKind::Failed, Some(error.to_string()), None)
+                            }
+                        };
+                        let measures = r
+                            .characterization
+                            .as_ref()
+                            .and_then(|c| c.run(&report.workload))
+                            .map(MeasureRecord::from_run);
+                        RunRecord {
+                            workload: report.workload.clone(),
+                            status,
+                            error,
+                            retried_at,
+                            retries: m.retries,
+                            budget_consumed: m.budget_consumed,
+                            wall_nanos: Some(m.wall_nanos),
+                            worker: Some(m.worker as u64),
+                            measures,
+                        }
+                    })
+                    .collect();
+                BenchmarkReport {
+                    spec_id: r.spec_id.clone(),
+                    short_name: r.short_name.clone(),
+                    runs,
+                    summary: r
+                        .characterization
+                        .as_ref()
+                        .map(SummaryRecord::from_characterization),
+                }
+            })
+            .collect();
+        SuiteReport {
+            schema_version: SCHEMA_VERSION,
+            scale,
+            benchmarks,
+        }
+    }
+
+    /// Removes the volatile telemetry (wall-clock, worker ids) so the
+    /// serialization is bit-identical across execution policies. Called
+    /// by default wherever a canonical artifact is produced.
+    pub fn strip_telemetry(&mut self) {
+        for benchmark in &mut self.benchmarks {
+            for run in &mut benchmark.runs {
+                run.wall_nanos = None;
+                run.worker = None;
+            }
+        }
+    }
+
+    /// The report for a benchmark, by short name or SPEC id.
+    pub fn benchmark(&self, name: &str) -> Option<&BenchmarkReport> {
+        self.benchmarks
+            .iter()
+            .find(|b| b.short_name == name || b.spec_id == name)
+    }
+
+    /// Serializes to the canonical JSON text (pretty, two-space indent,
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// Parses a report document.
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError::Json`] on malformed JSON,
+    /// [`ReportError::UnsupportedVersion`] when `schema_version` is not
+    /// one this build understands (checked before any other field is
+    /// touched), and [`ReportError::Schema`] on structural problems.
+    pub fn parse(text: &str) -> Result<Self, ReportError> {
+        let value = json::parse(text)?;
+        // Version gate first: field meanings are only defined per
+        // version, so nothing else may be interpreted before this check.
+        let version = value
+            .get("schema_version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ReportError::Schema {
+                message: "missing or non-integer schema_version".to_owned(),
+            })?;
+        if version != SCHEMA_VERSION {
+            return Err(ReportError::UnsupportedVersion { found: version });
+        }
+        let scale = require_str(&value, "scale")?;
+        let scale = scale_from_str(scale).ok_or_else(|| ReportError::Schema {
+            message: format!("unknown scale {scale:?}; expected test, train, or ref"),
+        })?;
+        let benchmarks = require_array(&value, "benchmarks")?
+            .iter()
+            .map(BenchmarkReport::from_value)
+            .collect::<Result<_, _>>()?;
+        Ok(SuiteReport {
+            schema_version: version,
+            scale,
+            benchmarks,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "schema_version".to_owned(),
+                Value::UInt(self.schema_version),
+            ),
+            (
+                "generator".to_owned(),
+                Value::Str("alberta-report".to_owned()),
+            ),
+            (
+                "scale".to_owned(),
+                Value::Str(scale_str(self.scale).to_owned()),
+            ),
+            (
+                "benchmarks".to_owned(),
+                Value::Array(
+                    self.benchmarks
+                        .iter()
+                        .map(BenchmarkReport::to_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl BenchmarkReport {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("spec_id".to_owned(), Value::Str(self.spec_id.clone())),
+            ("short_name".to_owned(), Value::Str(self.short_name.clone())),
+            (
+                "runs".to_owned(),
+                Value::Array(self.runs.iter().map(RunRecord::to_value).collect()),
+            ),
+        ];
+        if let Some(summary) = &self.summary {
+            fields.push(("summary".to_owned(), summary.to_value()));
+        }
+        Value::Object(fields)
+    }
+
+    fn from_value(value: &Value) -> Result<Self, ReportError> {
+        let runs = require_array(value, "runs")?
+            .iter()
+            .map(RunRecord::from_value)
+            .collect::<Result<_, _>>()?;
+        let summary = value
+            .get("summary")
+            .map(SummaryRecord::from_value)
+            .transpose()?;
+        Ok(BenchmarkReport {
+            spec_id: require_str(value, "spec_id")?.to_owned(),
+            short_name: require_str(value, "short_name")?.to_owned(),
+            runs,
+            summary,
+        })
+    }
+}
+
+impl RunRecord {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("workload".to_owned(), Value::Str(self.workload.clone())),
+            (
+                "status".to_owned(),
+                Value::Str(self.status.as_str().to_owned()),
+            ),
+        ];
+        if let Some(error) = &self.error {
+            fields.push(("error".to_owned(), Value::Str(error.clone())));
+        }
+        if let Some(scale) = self.retried_at {
+            fields.push((
+                "retried_at".to_owned(),
+                Value::Str(scale_str(scale).to_owned()),
+            ));
+        }
+        fields.push(("retries".to_owned(), Value::UInt(u64::from(self.retries))));
+        fields.push((
+            "budget_consumed".to_owned(),
+            Value::UInt(self.budget_consumed),
+        ));
+        if let Some(nanos) = self.wall_nanos {
+            fields.push(("wall_nanos".to_owned(), Value::UInt(nanos)));
+        }
+        if let Some(worker) = self.worker {
+            fields.push(("worker".to_owned(), Value::UInt(worker)));
+        }
+        if let Some(measures) = &self.measures {
+            fields.push(("measures".to_owned(), measures.to_value()));
+        }
+        Value::Object(fields)
+    }
+
+    fn from_value(value: &Value) -> Result<Self, ReportError> {
+        let workload = require_str(value, "workload")?.to_owned();
+        let status_text = require_str(value, "status")?;
+        let status = StatusKind::from_str(status_text).ok_or_else(|| ReportError::Schema {
+            message: format!("run {workload:?}: unknown status {status_text:?}"),
+        })?;
+        let error = optional_str(value, "error")?.map(str::to_owned);
+        let retried_at = match optional_str(value, "retried_at")? {
+            Some(s) => Some(scale_from_str(s).ok_or_else(|| ReportError::Schema {
+                message: format!("run {workload:?}: unknown retried_at scale {s:?}"),
+            })?),
+            None => None,
+        };
+        let measures = value
+            .get("measures")
+            .map(MeasureRecord::from_value)
+            .transpose()?;
+        if status == StatusKind::Ok && measures.is_none() {
+            return Err(ReportError::Schema {
+                message: format!("run {workload:?}: status is ok but measures are missing"),
+            });
+        }
+        if status != StatusKind::Ok && error.is_none() {
+            return Err(ReportError::Schema {
+                message: format!("run {workload:?}: non-ok status without an error"),
+            });
+        }
+        Ok(RunRecord {
+            workload,
+            status,
+            error,
+            retried_at,
+            retries: u32::try_from(require_u64(value, "retries")?).map_err(|_| {
+                ReportError::Schema {
+                    message: "retries out of range".to_owned(),
+                }
+            })?,
+            budget_consumed: require_u64(value, "budget_consumed")?,
+            wall_nanos: optional_u64(value, "wall_nanos")?,
+            worker: optional_u64(value, "worker")?,
+            measures,
+        })
+    }
+}
+
+impl MeasureRecord {
+    fn from_run(run: &alberta_core::WorkloadRun) -> Self {
+        MeasureRecord {
+            ratios: run.report.ratios.as_array(),
+            cycles: run.report.cycles,
+            ipc: run.report.ipc,
+            retired_ops: run.report.retired_ops,
+            work: run.work,
+            checksum: run.checksum,
+            coverage: run.coverage.clone(),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("front_end".to_owned(), Value::Float(self.ratios[0])),
+            ("back_end".to_owned(), Value::Float(self.ratios[1])),
+            ("bad_speculation".to_owned(), Value::Float(self.ratios[2])),
+            ("retiring".to_owned(), Value::Float(self.ratios[3])),
+            ("cycles".to_owned(), Value::Float(self.cycles)),
+            ("ipc".to_owned(), Value::Float(self.ipc)),
+            ("retired_ops".to_owned(), Value::UInt(self.retired_ops)),
+            ("work".to_owned(), Value::UInt(self.work)),
+            ("checksum".to_owned(), Value::UInt(self.checksum)),
+            (
+                "coverage".to_owned(),
+                Value::Object(
+                    self.coverage
+                        .iter()
+                        .map(|(method, pct)| (method.clone(), Value::Float(*pct)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, ReportError> {
+        let coverage_fields = value
+            .get("coverage")
+            .and_then(Value::as_object)
+            .ok_or_else(|| ReportError::Schema {
+                message: "measures missing coverage object".to_owned(),
+            })?;
+        let mut coverage = BTreeMap::new();
+        for (method, pct) in coverage_fields {
+            let pct = pct.as_f64().ok_or_else(|| ReportError::Schema {
+                message: format!("coverage of {method:?} is not a number"),
+            })?;
+            coverage.insert(method.clone(), pct);
+        }
+        Ok(MeasureRecord {
+            ratios: [
+                require_f64(value, "front_end")?,
+                require_f64(value, "back_end")?,
+                require_f64(value, "bad_speculation")?,
+                require_f64(value, "retiring")?,
+            ],
+            cycles: require_f64(value, "cycles")?,
+            ipc: require_f64(value, "ipc")?,
+            retired_ops: require_u64(value, "retired_ops")?,
+            work: require_u64(value, "work")?,
+            checksum: require_u64(value, "checksum")?,
+            coverage,
+        })
+    }
+}
+
+impl CategoryRecord {
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("geo_mean".to_owned(), Value::Float(self.geo_mean)),
+            ("geo_std".to_owned(), Value::Float(self.geo_std)),
+            ("variation".to_owned(), Value::Float(self.variation)),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, ReportError> {
+        Ok(CategoryRecord {
+            geo_mean: require_f64(value, "geo_mean")?,
+            geo_std: require_f64(value, "geo_std")?,
+            variation: require_f64(value, "variation")?,
+        })
+    }
+}
+
+impl SummaryRecord {
+    fn from_characterization(c: &Characterization) -> Self {
+        let category = |s: &alberta_core::RatioSummary| CategoryRecord {
+            geo_mean: s.geo_mean,
+            geo_std: s.geo_std,
+            variation: s.variation,
+        };
+        SummaryRecord {
+            workloads: c.topdown.workloads as u64,
+            front_end: category(&c.topdown.front_end),
+            back_end: category(&c.topdown.back_end),
+            bad_speculation: category(&c.topdown.bad_speculation),
+            retiring: category(&c.topdown.retiring),
+            mu_g_v: c.topdown.mu_g_v,
+            mu_g_m: c.coverage.mu_g_m,
+            refrate_cycles: c.refrate_cycles,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("workloads".to_owned(), Value::UInt(self.workloads)),
+            ("front_end".to_owned(), self.front_end.to_value()),
+            ("back_end".to_owned(), self.back_end.to_value()),
+            (
+                "bad_speculation".to_owned(),
+                self.bad_speculation.to_value(),
+            ),
+            ("retiring".to_owned(), self.retiring.to_value()),
+            ("mu_g_v".to_owned(), Value::Float(self.mu_g_v)),
+            ("mu_g_m".to_owned(), Value::Float(self.mu_g_m)),
+        ];
+        if let Some(cycles) = self.refrate_cycles {
+            fields.push(("refrate_cycles".to_owned(), Value::Float(cycles)));
+        }
+        Value::Object(fields)
+    }
+
+    fn from_value(value: &Value) -> Result<Self, ReportError> {
+        let sub = |key: &str| -> Result<CategoryRecord, ReportError> {
+            CategoryRecord::from_value(value.get(key).ok_or_else(|| ReportError::Schema {
+                message: format!("summary missing {key:?}"),
+            })?)
+        };
+        Ok(SummaryRecord {
+            workloads: require_u64(value, "workloads")?,
+            front_end: sub("front_end")?,
+            back_end: sub("back_end")?,
+            bad_speculation: sub("bad_speculation")?,
+            retiring: sub("retiring")?,
+            mu_g_v: require_f64(value, "mu_g_v")?,
+            mu_g_m: require_f64(value, "mu_g_m")?,
+            refrate_cycles: optional_f64(value, "refrate_cycles")?,
+        })
+    }
+}
+
+fn require_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, ReportError> {
+    value
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| ReportError::Schema {
+            message: format!("missing or non-string field {key:?}"),
+        })
+}
+
+fn optional_str<'v>(value: &'v Value, key: &str) -> Result<Option<&'v str>, ReportError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_str().map(Some).ok_or_else(|| ReportError::Schema {
+            message: format!("field {key:?} is not a string"),
+        }),
+    }
+}
+
+fn require_array<'v>(value: &'v Value, key: &str) -> Result<&'v [Value], ReportError> {
+    value
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| ReportError::Schema {
+            message: format!("missing or non-array field {key:?}"),
+        })
+}
+
+fn require_u64(value: &Value, key: &str) -> Result<u64, ReportError> {
+    value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ReportError::Schema {
+            message: format!("missing or non-integer field {key:?}"),
+        })
+}
+
+fn optional_u64(value: &Value, key: &str) -> Result<Option<u64>, ReportError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| ReportError::Schema {
+            message: format!("field {key:?} is not an integer"),
+        }),
+    }
+}
+
+fn require_f64(value: &Value, key: &str) -> Result<f64, ReportError> {
+    value
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| ReportError::Schema {
+            message: format!("missing or non-numeric field {key:?}"),
+        })
+}
+
+fn optional_f64(value: &Value, key: &str) -> Result<Option<f64>, ReportError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| ReportError::Schema {
+            message: format!("field {key:?} is not a number"),
+        }),
+    }
+}

@@ -1,0 +1,131 @@
+//! Rebuilding the core rendering structures from a parsed report.
+//!
+//! The rendering binaries persist a [`SuiteReport`] and print their
+//! tables and figures *from that document*, so the artifact on disk and
+//! the text on the terminal can never disagree. This module is the
+//! bridge: it reconstructs `alberta-core`'s render structs
+//! ([`Table2`], [`Fig1Series`], [`Fig2Series`]) from the schema types.
+//!
+//! The reconstruction deliberately does not rebuild `Characterization`
+//! or `ResilientCharacterization` — their error payloads carry
+//! `&'static str` benchmark names that cannot be conjured from parsed
+//! text. The render structs have public data fields and need nothing
+//! beyond what the schema stores.
+
+use crate::schema::{BenchmarkReport, SuiteReport};
+use alberta_core::figures::{Fig1Series, Fig2Series};
+use alberta_core::tables::{MeasuredRow, Table2};
+use std::collections::BTreeMap;
+
+/// The per-benchmark modelled refrate cycles, keyed by short name —
+/// the input [`alberta_core::tables::table1_from_cycles`] renders from.
+/// Benchmarks whose refrate run was lost (or that lost every run) map
+/// to `None` and render as `—`.
+pub fn refrate_cycles(report: &SuiteReport) -> BTreeMap<String, Option<f64>> {
+    report
+        .benchmarks
+        .iter()
+        .map(|b| {
+            (
+                b.short_name.clone(),
+                b.summary.as_ref().and_then(|s| s.refrate_cycles),
+            )
+        })
+        .collect()
+}
+
+/// Assembles Table II from a report. Benchmarks that lost every run
+/// have no summary and produce no row, matching
+/// [`alberta_core::tables::table2_resilient`].
+pub fn table2(report: &SuiteReport) -> Table2 {
+    Table2 {
+        rows: report.benchmarks.iter().filter_map(measured_row).collect(),
+    }
+}
+
+fn measured_row(b: &BenchmarkReport) -> Option<MeasuredRow> {
+    let s = b.summary.as_ref()?;
+    Some(MeasuredRow {
+        benchmark: b.short_name.clone(),
+        workloads: b.survived(),
+        attempted: b.attempted(),
+        f: (s.front_end.geo_mean, s.front_end.geo_std),
+        b: (s.back_end.geo_mean, s.back_end.geo_std),
+        s: (s.bad_speculation.geo_mean, s.bad_speculation.geo_std),
+        r: (s.retiring.geo_mean, s.retiring.geo_std),
+        mu_g_v: s.mu_g_v,
+        mu_g_m: s.mu_g_m,
+        refrate_cycles: s.refrate_cycles,
+    })
+}
+
+/// The benchmark label figures carry: annotated `(n of m workloads)`
+/// when runs were lost, mirroring
+/// [`ResilientCharacterization::annotation`](alberta_core::ResilientCharacterization::annotation).
+fn figure_label(b: &BenchmarkReport) -> String {
+    let (n, m) = (b.survived(), b.attempted());
+    if n < m {
+        format!("{} ({n} of {m} workloads)", b.short_name)
+    } else {
+        b.short_name.clone()
+    }
+}
+
+/// Extracts the Figure 1 series (per-workload Top-Down stacks) for one
+/// benchmark of the report. `None` when no run survived.
+pub fn fig1_series(b: &BenchmarkReport) -> Option<Fig1Series> {
+    let stacks: Vec<(String, [f64; 4])> = b
+        .runs
+        .iter()
+        .filter_map(|r| Some((r.workload.clone(), r.measures.as_ref()?.ratios)))
+        .collect();
+    (!stacks.is_empty()).then(|| Fig1Series {
+        benchmark: figure_label(b),
+        stacks,
+    })
+}
+
+/// Extracts the Figure 2 series (per-workload method coverage) for one
+/// benchmark of the report, methods ordered hottest-overall first with
+/// the same tie-break as [`alberta_core::figures::fig2_series`]
+/// (alphabetical, then stable sort by descending total). `None` when no
+/// run survived.
+pub fn fig2_series(b: &BenchmarkReport) -> Option<Fig2Series> {
+    let survivors: Vec<_> = b
+        .runs
+        .iter()
+        .filter_map(|r| Some((r.workload.clone(), r.measures.as_ref()?)))
+        .collect();
+    if survivors.is_empty() {
+        return None;
+    }
+    let mut totals: BTreeMap<&str, f64> = Default::default();
+    for (_, m) in &survivors {
+        for (method, pct) in &m.coverage {
+            *totals.entry(method.as_str()).or_default() += pct;
+        }
+    }
+    let mut methods: Vec<String> = totals.keys().map(|s| (*s).to_owned()).collect();
+    methods.sort_by(|a, b| {
+        totals[b.as_str()]
+            .partial_cmp(&totals[a.as_str()])
+            .expect("finite totals")
+    });
+    let rows = survivors
+        .iter()
+        .map(|(workload, m)| {
+            (
+                workload.clone(),
+                methods
+                    .iter()
+                    .map(|method| m.coverage.get(method).copied().unwrap_or(0.0))
+                    .collect(),
+            )
+        })
+        .collect();
+    Some(Fig2Series {
+        benchmark: figure_label(b),
+        methods,
+        rows,
+    })
+}

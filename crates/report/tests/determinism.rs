@@ -1,0 +1,33 @@
+//! The acceptance criterion of the observability layer, as a test:
+//! sweeping the suite serially and under `--jobs 4` must produce
+//! bit-identical canonical reports at Test scale. CI re-checks the same
+//! property on the actual `bench-report` artifacts with `cmp`; this
+//! test catches it earlier and without the binary in the loop.
+
+use alberta_core::{ExecPolicy, Suite};
+use alberta_report::SuiteReport;
+use alberta_workloads::Scale;
+
+fn canonical_sweep(exec: ExecPolicy) -> String {
+    let suite = Suite::new(Scale::Test).with_exec(exec);
+    let results = suite.characterize_all_resilient_metered();
+    let mut report = SuiteReport::from_resilient(Scale::Test, &results);
+    report.strip_telemetry();
+    report.to_json()
+}
+
+#[test]
+fn serial_and_parallel_sweeps_serialize_identically() {
+    let serial = canonical_sweep(ExecPolicy::serial());
+    let parallel = canonical_sweep(ExecPolicy::with_jobs(4));
+    assert!(
+        serial == parallel,
+        "canonical reports diverged between serial and --jobs 4 sweeps"
+    );
+    // And the artifact is a valid, version-gated document.
+    let report = SuiteReport::parse(&serial).expect("canonical report parses");
+    assert_eq!(
+        report.benchmarks.len(),
+        Suite::new(Scale::Test).benchmarks().len()
+    );
+}
