@@ -19,7 +19,14 @@ pub fn usage_error(message: &str) -> ! {
 /// Flags that consume the next argument as their value. Keep in sync
 /// with the binaries: a flag missing from this list would leak its
 /// value into the positionals and be misread as a scale.
-const VALUE_FLAGS: &[&str] = &["--jobs", "--out", "--threshold"];
+const VALUE_FLAGS: &[&str] = &[
+    "--jobs",
+    "--out",
+    "--threshold",
+    "--out-dir",
+    "--top-k",
+    "--lanes",
+];
 
 /// The positional (non-flag) arguments, with flag *values* excluded:
 /// `--jobs 4` contributes neither token.

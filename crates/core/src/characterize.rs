@@ -8,7 +8,7 @@
 use crate::exec::{run_indexed, ExecPolicy};
 use crate::suite::CoreError;
 use alberta_benchmarks::{run_guarded, BenchError, Benchmark};
-use alberta_profile::{Profiler, SampleConfig};
+use alberta_profile::{PathTable, Profiler, SampleConfig};
 use alberta_stats::variation::TopDownRatios;
 use alberta_stats::{CoverageMatrix, CoverageSummary, TopDownSummary};
 use alberta_uarch::{TopDownModel, TopDownReport};
@@ -24,6 +24,9 @@ pub struct WorkloadRun {
     pub report: TopDownReport,
     /// Method coverage (percent of attributed work per function).
     pub coverage: BTreeMap<String, f64>,
+    /// Name-resolved call-tree paths with exact exclusive/inclusive
+    /// work — the flamegraph/hot-path view of the run.
+    pub paths: PathTable,
     /// The benchmark's own work metric.
     pub work: u64,
     /// Semantic output checksum.
@@ -188,10 +191,12 @@ pub fn run_workload(
         })?;
     let report = model.analyze(&profile);
     let coverage = profile.coverage_percent();
+    let paths = profile.path_table();
     Ok(WorkloadRun {
         workload: workload.to_owned(),
         report,
         coverage,
+        paths,
         work: output.work,
         checksum: output.checksum,
     })

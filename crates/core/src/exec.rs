@@ -27,6 +27,7 @@
 //! each run in a panic guard that converts an unwind into a typed
 //! failure result before it reaches this layer.
 
+use crate::log::{self, Capture, LogRecord};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -38,7 +39,8 @@ use std::time::Instant;
 ///
 /// The fields split into two classes:
 ///
-/// * **volatile telemetry** — [`wall_nanos`](RunMetrics::wall_nanos) and
+/// * **volatile telemetry** — [`wall_nanos`](RunMetrics::wall_nanos),
+///   [`start_nanos`](RunMetrics::start_nanos), and
 ///   [`worker`](RunMetrics::worker) vary run to run and between serial
 ///   and parallel sweeps. Report serialization strips them by default so
 ///   the published artifact stays bit-identical regardless of the
@@ -52,6 +54,10 @@ use std::time::Instant;
 pub struct RunMetrics {
     /// Wall-clock duration of the run in nanoseconds (volatile).
     pub wall_nanos: u64,
+    /// Wall-clock start of the run, in nanoseconds since the sweep
+    /// began — lets trace exporters place runs on a shared timeline
+    /// (volatile).
+    pub start_nanos: u64,
     /// Index of the worker thread that executed the run; 0 under
     /// [`ExecPolicy::Serial`] (volatile).
     pub worker: usize,
@@ -165,6 +171,13 @@ where
 /// the scheduler fills in. The deterministic accounting fields are left
 /// at their defaults for the caller to complete — the scheduler cannot
 /// know what a task retried or consumed.
+///
+/// The scheduler also owns *log determinism*: each task runs under a
+/// [`log::Capture`], and the buffered records are flushed to stderr in
+/// canonical task order after reassembly — so a parallel sweep logs
+/// byte-identically to a serial one. A task that panics loses its
+/// buffered records (the capture guard discards them on unwind); the
+/// panic itself still propagates.
 pub(crate) fn run_indexed_metered<T, R, F>(
     policy: ExecPolicy,
     tasks: &[T],
@@ -175,54 +188,68 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let meter = |worker: usize, index: usize, t: &T| -> (R, RunMetrics) {
+    let epoch = Instant::now();
+    let level = log::max_level();
+    let meter = |worker: usize, index: usize, t: &T| -> (R, RunMetrics, Vec<LogRecord>) {
+        let capture = Capture::install(level);
         let start = Instant::now();
+        let start_nanos = u64::try_from((start - epoch).as_nanos()).unwrap_or(u64::MAX);
         let result = task(index, t);
         let metrics = RunMetrics {
             wall_nanos: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            start_nanos,
             worker,
             ..RunMetrics::default()
         };
-        (result, metrics)
+        (result, metrics, capture.finish())
     };
     let workers = policy.jobs().min(tasks.len());
-    if workers <= 1 {
-        return tasks
+    let results: Vec<(R, RunMetrics, Vec<LogRecord>)> = if workers <= 1 {
+        tasks
             .iter()
             .enumerate()
             .map(|(i, t)| meter(0, i, t))
-            .collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<(usize, (R, RunMetrics))>> = Mutex::new(Vec::with_capacity(tasks.len()));
-    std::thread::scope(|scope| {
-        for worker in 0..workers {
-            let meter = &meter;
-            let cursor = &cursor;
-            let slots = &slots;
-            scope.spawn(move || {
-                let mut local: Vec<(usize, (R, RunMetrics))> = Vec::new();
-                loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= tasks.len() {
-                        break;
+            .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        type Slot<R> = (usize, (R, RunMetrics, Vec<LogRecord>));
+        let slots: Mutex<Vec<Slot<R>>> = Mutex::new(Vec::with_capacity(tasks.len()));
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let meter = &meter;
+                let cursor = &cursor;
+                let slots = &slots;
+                scope.spawn(move || {
+                    let mut local: Vec<Slot<R>> = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= tasks.len() {
+                            break;
+                        }
+                        local.push((index, meter(worker, index, &tasks[index])));
                     }
-                    local.push((index, meter(worker, index, &tasks[index])));
-                }
-                let mut slots = match slots.lock() {
-                    Ok(slots) => slots,
-                    // Another worker panicked while merging; the scope
-                    // will re-raise its panic, so just deliver ours.
-                    Err(poisoned) => poisoned.into_inner(),
-                };
-                slots.extend(local);
-            });
-        }
-    });
-    let mut results = slots.into_inner().unwrap_or_else(|p| p.into_inner());
-    debug_assert_eq!(results.len(), tasks.len());
-    results.sort_unstable_by_key(|(index, _)| *index);
-    results.into_iter().map(|(_, r)| r).collect()
+                    let mut slots = match slots.lock() {
+                        Ok(slots) => slots,
+                        // Another worker panicked while merging; the scope
+                        // will re-raise its panic, so just deliver ours.
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    slots.extend(local);
+                });
+            }
+        });
+        let mut results = slots.into_inner().unwrap_or_else(|p| p.into_inner());
+        debug_assert_eq!(results.len(), tasks.len());
+        results.sort_unstable_by_key(|(index, _)| *index);
+        results.into_iter().map(|(_, r)| r).collect()
+    };
+    results
+        .into_iter()
+        .map(|(result, metrics, records)| {
+            log::flush(&records);
+            (result, metrics)
+        })
+        .collect()
 }
 
 #[cfg(test)]

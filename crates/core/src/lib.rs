@@ -36,6 +36,7 @@ pub mod characterize;
 pub mod exec;
 pub mod faults;
 pub mod figures;
+pub mod log;
 pub mod report;
 pub mod specdata;
 pub mod suite;
@@ -46,11 +47,12 @@ pub use characterize::{
 };
 pub use exec::{ExecPolicy, RunMetrics};
 pub use faults::{Fault, FaultKind, FaultPlan};
+pub use log::{LogLevel, LogRecord};
 pub use suite::{CoreError, Suite};
 
 // Re-export the layers users need to drive the facade.
 pub use alberta_benchmarks::{suite as benchmark_suite, BenchError, Benchmark, RunOutput};
-pub use alberta_profile::{Profiler, SampleConfig};
+pub use alberta_profile::{PathRow, PathTable, Profiler, SampleConfig};
 pub use alberta_stats::{CoverageSummary, RatioSummary, TopDownSummary};
 pub use alberta_uarch::{MachineConfig, PredictorKind, TopDownModel, TopDownReport};
 pub use alberta_workloads::Scale;

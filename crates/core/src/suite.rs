@@ -6,6 +6,7 @@ use crate::characterize::{
 };
 use crate::exec::{run_indexed, run_indexed_metered, ExecPolicy, RunMetrics};
 use crate::faults::{FaultKind, FaultPlan};
+use crate::{log_debug, log_error, log_warn};
 use alberta_benchmarks::{panic_message, suite as build_benchmarks, BenchError, Benchmark};
 use alberta_profile::SampleConfig;
 use alberta_uarch::TopDownModel;
@@ -430,16 +431,40 @@ impl Suite {
                 sampling = sampling.with_work_budget(budget);
             }
         }
+        log_debug!("run", "{short_name}/{workload}: start");
         match run_workload(benchmark, workload, &self.model, sampling) {
-            Ok(run) => (RunStatus::Ok, Some(run)),
+            Ok(run) => {
+                log_debug!("run", "{short_name}/{workload}: ok");
+                (RunStatus::Ok, Some(run))
+            }
             Err(error) if error.is_retryable() => {
+                // Budget trips and caught panics: degradations the sweep
+                // can survive, so they surface as warnings, not errors.
                 let retried_at = self.scale.reduced().unwrap_or(self.scale);
+                log_warn!(
+                    "run",
+                    "{short_name}/{workload}: {error}; retrying at {retried_at:?} scale"
+                );
                 match self.retry_run(spec_id, workload, retried_at) {
-                    Some(run) => (RunStatus::Degraded { error, retried_at }, Some(run)),
-                    None => (RunStatus::Failed { error }, None),
+                    Some(run) => {
+                        log_warn!(
+                            "run",
+                            "{short_name}/{workload}: retry succeeded, run degraded"
+                        );
+                        (RunStatus::Degraded { error, retried_at }, Some(run))
+                    }
+                    None => {
+                        log_error!("run", "{short_name}/{workload}: retry failed, run lost");
+                        (RunStatus::Failed { error }, None)
+                    }
                 }
             }
-            Err(error) => (RunStatus::Failed { error }, None),
+            Err(error) => {
+                // Validation failures and malformed inputs are not
+                // retryable: the run is lost for good.
+                log_error!("run", "{short_name}/{workload}: run lost: {error}");
+                (RunStatus::Failed { error }, None)
+            }
         }
     }
 

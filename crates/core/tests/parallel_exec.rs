@@ -41,6 +41,13 @@ fn assert_bit_identical(serial: &Characterization, parallel: &Characterization) 
             rs.workload
         );
         assert_eq!(rs.work, rp.work, "{}/{}", serial.short_name, rs.workload);
+        assert_eq!(
+            rs.paths.folded(),
+            rp.paths.folded(),
+            "{}/{}: collapsed call stacks diverged",
+            serial.short_name,
+            rs.workload
+        );
     }
 }
 

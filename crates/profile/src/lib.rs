@@ -40,9 +40,11 @@
 //! assert!(profile.coverage_percent()["kernel"] > 90.0);
 //! ```
 
+pub mod calltree;
 pub mod event;
 pub mod profiler;
 
+pub use calltree::{CallNode, CallTree, PathRow, PathTable};
 pub use event::{Event, EventTrace};
 pub use profiler::{
     BudgetExceeded, FnId, FnMeta, InvariantViolation, Profile, Profiler, ProfilerFault,

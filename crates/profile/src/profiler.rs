@@ -1,7 +1,8 @@
 //! The [`Profiler`] and its outputs.
 
+use crate::calltree::{CallTree, PathTable};
 use crate::event::{Event, EventTrace, DEFAULT_TRACE_CAPACITY};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Identifier of an instrumented function, issued by
@@ -154,6 +155,15 @@ pub enum InvariantViolation {
         /// Sum over functions.
         per_function: u64,
     },
+    /// The call tree disagrees with the flat per-function counters: the
+    /// sum of per-path exclusive work must equal the sum of `fn_work`
+    /// (both sides attribute every in-scope retired op exactly once).
+    TreeDisagreesWithFlat {
+        /// Sum of exclusive work over call-tree paths.
+        tree: u64,
+        /// Sum of the flat per-function work vector.
+        flat: u64,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -178,6 +188,10 @@ impl fmt::Display for InvariantViolation {
             } => write!(
                 f,
                 "aggregate call count {total} disagrees with per-function sum {per_function}"
+            ),
+            InvariantViolation::TreeDisagreesWithFlat { tree, flat } => write!(
+                f,
+                "call-tree exclusive work {tree} disagrees with flat attributed work {flat}"
             ),
         }
     }
@@ -217,6 +231,8 @@ pub struct Profile {
     pub trace: EventTrace,
     /// The sampling configuration the trace was captured with.
     pub sampling: SampleConfig,
+    /// Exact path-keyed call tree (unaffected by sampling).
+    pub calltree: CallTree,
 }
 
 impl Profile {
@@ -258,6 +274,14 @@ impl Profile {
             .map(|i| FnId(i as u32))
     }
 
+    /// The name-resolved view of the call tree: deterministically ordered
+    /// paths with exact exclusive/inclusive work and call counts, ready
+    /// for hot-path extraction and `.folded` emission.
+    pub fn path_table(&self) -> PathTable {
+        let names: Vec<&str> = self.functions.iter().map(|m| m.name.as_str()).collect();
+        self.calltree.resolve(&names)
+    }
+
     /// Checks the profile's internal-consistency invariants.
     ///
     /// Valid instrumentation cannot violate them; a violation means the
@@ -296,8 +320,26 @@ impl Profile {
                 per_function,
             });
         }
+        let tree = self.calltree.total_exclusive();
+        if tree != attributed {
+            return Err(InvariantViolation::TreeDisagreesWithFlat {
+                tree,
+                flat: attributed,
+            });
+        }
         Ok(())
     }
+}
+
+/// One open scope on the profiler's stack.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// The function this scope belongs to.
+    id: FnId,
+    /// Whether this scope's `Call` made it into the sampled trace; its
+    /// `Return` is emitted iff it did, so the trace stays properly
+    /// nested under any sampling interval.
+    sampled: bool,
 }
 
 /// Collects instrumentation events from a mini-benchmark run.
@@ -306,11 +348,13 @@ impl Profile {
 #[derive(Debug)]
 pub struct Profiler {
     functions: Vec<FnMeta>,
+    name_index: HashMap<String, FnId>,
     fn_work: Vec<u64>,
     fn_calls: Vec<u64>,
-    stack: Vec<FnId>,
+    stack: Vec<Frame>,
     totals: Totals,
     trace: EventTrace,
+    calltree: CallTree,
     sampling: SampleConfig,
     branch_phase: u32,
     mem_phase: u32,
@@ -323,11 +367,13 @@ impl Profiler {
     pub fn new(sampling: SampleConfig) -> Self {
         Profiler {
             functions: Vec::new(),
+            name_index: HashMap::new(),
             fn_work: Vec::new(),
             fn_calls: Vec::new(),
             stack: Vec::new(),
             totals: Totals::default(),
             trace: EventTrace::with_capacity(sampling.trace_capacity),
+            calltree: CallTree::new(),
             sampling,
             branch_phase: 0,
             mem_phase: 0,
@@ -369,9 +415,10 @@ impl Profiler {
                 });
             }
         }
-        if let Some(&id) = self.stack.last() {
-            self.fn_work[id.0 as usize] += n;
+        if let Some(frame) = self.stack.last() {
+            self.fn_work[frame.id.0 as usize] += n;
         }
+        self.calltree.retire(n);
     }
 
     /// Instrumentation events recorded so far (for tests and fault
@@ -386,10 +433,11 @@ impl Profiler {
     /// the original footprint), so helper constructors may be called
     /// repeatedly.
     pub fn register_function(&mut self, name: &str, code_bytes: u32) -> FnId {
-        if let Some(i) = self.functions.iter().position(|m| m.name == name) {
-            return FnId(i as u32);
+        if let Some(&id) = self.name_index.get(name) {
+            return id;
         }
         let id = FnId(self.functions.len() as u32);
+        self.name_index.insert(name.to_owned(), id);
         self.functions.push(FnMeta {
             name: name.to_owned(),
             code_bytes,
@@ -413,12 +461,14 @@ impl Profiler {
         self.tick();
         self.fn_calls[id.0 as usize] += 1;
         self.totals.calls += 1;
-        self.stack.push(id);
+        self.calltree.descend(id);
         self.call_phase += 1;
-        if self.call_phase >= self.sampling.call_interval {
+        let sampled = self.call_phase >= self.sampling.call_interval;
+        if sampled {
             self.call_phase = 0;
             self.trace.push(Event::Call { callee: id });
         }
+        self.stack.push(Frame { id, sampled });
     }
 
     /// Leaves the current function.
@@ -429,8 +479,13 @@ impl Profiler {
     #[inline]
     pub fn exit(&mut self) {
         self.tick();
-        self.stack.pop().expect("exit without matching enter");
-        if self.call_phase == 0 {
+        let frame = self.stack.pop().expect("exit without matching enter");
+        self.calltree.ascend();
+        // Emit the Return iff *this* scope's Call was sampled, so the
+        // sampled trace is always properly nested (keying off the
+        // global call phase would pair the Return with whichever enter
+        // happened most recently).
+        if frame.sampled {
             self.trace.push(Event::Return);
         }
     }
@@ -508,6 +563,8 @@ impl Profiler {
             "profiler finished with {} open scopes",
             self.stack.len()
         );
+        let mut calltree = self.calltree;
+        calltree.seal();
         Profile {
             functions: self.functions,
             fn_work: self.fn_work,
@@ -515,6 +572,7 @@ impl Profiler {
             totals: self.totals,
             trace: self.trace,
             sampling: self.sampling,
+            calltree,
         }
     }
 }
@@ -620,6 +678,46 @@ mod tests {
         let s = sparse.finish();
         assert_eq!(d.totals, s.totals);
         assert!(s.trace.len() * 4 < d.trace.len());
+    }
+
+    #[test]
+    fn sparse_call_sampling_keeps_trace_nested() {
+        // Under call_interval > 1 the old implementation paired each
+        // sampled Call with the Return of whichever scope exited while
+        // the phase happened to be zero, producing unbalanced traces.
+        let mut p = Profiler::new(SampleConfig {
+            call_interval: 3,
+            ..SampleConfig::default()
+        });
+        let outer = p.register_function("outer", 8);
+        let inner = p.register_function("inner", 8);
+        for _ in 0..25 {
+            p.enter(outer);
+            p.enter(inner);
+            p.exit();
+            p.exit();
+        }
+        let profile = p.finish();
+        let mut depth = 0i64;
+        let mut calls = 0u64;
+        let mut returns = 0u64;
+        for event in profile.trace.events() {
+            match event {
+                Event::Call { .. } => {
+                    depth += 1;
+                    calls += 1;
+                }
+                Event::Return => {
+                    depth -= 1;
+                    returns += 1;
+                    assert!(depth >= 0, "Return without a sampled Call");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "sampled trace must close every Call");
+        assert_eq!(calls, returns);
+        assert!(calls > 0, "interval 3 over 50 enters samples some calls");
     }
 
     #[test]

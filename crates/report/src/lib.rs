@@ -26,13 +26,15 @@
 pub mod diff;
 pub mod json;
 pub mod schema;
+pub mod trace;
 pub mod view;
 
 pub use diff::{DiffOptions, ReportDiff};
 pub use schema::{
-    BenchmarkReport, CategoryRecord, MeasureRecord, RunRecord, StatusKind, SuiteReport,
-    SummaryRecord, SCHEMA_VERSION,
+    BenchmarkReport, CategoryRecord, HotPathRecord, MeasureRecord, RunRecord, StatusKind,
+    SuiteReport, SummaryRecord, SCHEMA_VERSION,
 };
+pub use trace::{render_trace, TraceMode, DEFAULT_LANES};
 
 use std::fmt;
 use std::path::Path;

@@ -25,7 +25,7 @@
 
 use crate::json::{self, Value};
 use crate::ReportError;
-use alberta_core::{Characterization, ResilientCharacterization, RunMetrics, RunStatus};
+use alberta_core::{Characterization, PathTable, ResilientCharacterization, RunMetrics, RunStatus};
 use alberta_workloads::Scale;
 use std::collections::BTreeMap;
 
@@ -57,6 +57,12 @@ pub struct BenchmarkReport {
     /// The Table II summary over surviving runs; `None` when every run
     /// failed.
     pub summary: Option<SummaryRecord>,
+    /// The benchmark's hottest call paths by exclusive work, merged over
+    /// surviving runs — optional observability telemetry embedded by
+    /// `bench-trace` ([`SuiteReport::embed_hot_paths`]). Deterministic
+    /// (derived from the exact call tree), absent in canonical
+    /// `bench-report` artifacts, and ignored by the diff layer.
+    pub hot_paths: Option<Vec<HotPathRecord>>,
 }
 
 impl BenchmarkReport {
@@ -138,11 +144,45 @@ pub struct RunRecord {
     /// Wall-clock nanoseconds — volatile telemetry, absent in canonical
     /// reports.
     pub wall_nanos: Option<u64>,
+    /// Wall-clock start in nanoseconds since the sweep began — volatile
+    /// telemetry, absent in canonical reports.
+    pub start_nanos: Option<u64>,
     /// Executing worker id — volatile telemetry, absent in canonical
     /// reports.
     pub worker: Option<u64>,
     /// The measured behaviour; absent for `failed` runs.
     pub measures: Option<MeasureRecord>,
+}
+
+/// One hot call path of a benchmark: collapsed-stack notation with the
+/// exact counters behind its ranking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotPathRecord {
+    /// The call path, rendered `caller;callee;…`.
+    pub path: String,
+    /// Work retired with this path innermost, summed over surviving
+    /// runs.
+    pub exclusive: u64,
+    /// Times the path was entered, summed over surviving runs.
+    pub calls: u64,
+}
+
+impl HotPathRecord {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("path".to_owned(), Value::Str(self.path.clone())),
+            ("exclusive".to_owned(), Value::UInt(self.exclusive)),
+            ("calls".to_owned(), Value::UInt(self.calls)),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, ReportError> {
+        Ok(HotPathRecord {
+            path: require_str(value, "path")?.to_owned(),
+            exclusive: require_u64(value, "exclusive")?,
+            calls: require_u64(value, "calls")?,
+        })
+    }
 }
 
 /// The measured behaviour of one surviving run.
@@ -233,6 +273,7 @@ impl SuiteReport {
                         retries: m.retries,
                         budget_consumed: m.budget_consumed,
                         wall_nanos: Some(m.wall_nanos),
+                        start_nanos: Some(m.start_nanos),
                         worker: Some(m.worker as u64),
                         measures: Some(MeasureRecord::from_run(run)),
                     })
@@ -242,6 +283,7 @@ impl SuiteReport {
                     short_name: c.short_name.clone(),
                     runs,
                     summary: Some(SummaryRecord::from_characterization(c)),
+                    hot_paths: None,
                 }
             })
             .collect();
@@ -290,6 +332,7 @@ impl SuiteReport {
                             retries: m.retries,
                             budget_consumed: m.budget_consumed,
                             wall_nanos: Some(m.wall_nanos),
+                            start_nanos: Some(m.start_nanos),
                             worker: Some(m.worker as u64),
                             measures,
                         }
@@ -303,6 +346,7 @@ impl SuiteReport {
                         .characterization
                         .as_ref()
                         .map(SummaryRecord::from_characterization),
+                    hot_paths: None,
                 }
             })
             .collect();
@@ -316,12 +360,61 @@ impl SuiteReport {
     /// Removes the volatile telemetry (wall-clock, worker ids) so the
     /// serialization is bit-identical across execution policies. Called
     /// by default wherever a canonical artifact is produced.
+    ///
+    /// Embedded hot paths survive stripping: they derive from the exact
+    /// call tree, not from the scheduler, so they are identical across
+    /// execution policies. Remove them with
+    /// [`SuiteReport::strip_hot_paths`] when a baseline without the
+    /// observability section is wanted.
     pub fn strip_telemetry(&mut self) {
         for benchmark in &mut self.benchmarks {
             for run in &mut benchmark.runs {
                 run.wall_nanos = None;
+                run.start_nanos = None;
                 run.worker = None;
             }
+        }
+    }
+
+    /// Removes the embedded hot-path sections (the inverse of
+    /// [`SuiteReport::embed_hot_paths`]).
+    pub fn strip_hot_paths(&mut self) {
+        for benchmark in &mut self.benchmarks {
+            benchmark.hot_paths = None;
+        }
+    }
+
+    /// Embeds each benchmark's `top_k` hottest call paths (by exclusive
+    /// work, merged across its surviving runs) from the resilient sweep
+    /// the report was built from. Benchmarks whose runs all failed get
+    /// an empty list — attempted, nothing to show — and benchmarks
+    /// absent from `results` are left untouched.
+    pub fn embed_hot_paths(
+        &mut self,
+        results: &[(ResilientCharacterization, Vec<RunMetrics>)],
+        top_k: usize,
+    ) {
+        for benchmark in &mut self.benchmarks {
+            let Some((r, _)) = results.iter().find(|(r, _)| r.spec_id == benchmark.spec_id) else {
+                continue;
+            };
+            let mut merged = PathTable::default();
+            if let Some(c) = &r.characterization {
+                for run in &c.runs {
+                    merged.merge(&run.paths);
+                }
+            }
+            benchmark.hot_paths = Some(
+                merged
+                    .hot_paths(top_k)
+                    .into_iter()
+                    .map(|row| HotPathRecord {
+                        path: row.path.clone(),
+                        exclusive: row.exclusive,
+                        calls: row.calls,
+                    })
+                    .collect(),
+            );
         }
     }
 
@@ -414,6 +507,12 @@ impl BenchmarkReport {
         if let Some(summary) = &self.summary {
             fields.push(("summary".to_owned(), summary.to_value()));
         }
+        if let Some(hot_paths) = &self.hot_paths {
+            fields.push((
+                "hot_paths".to_owned(),
+                Value::Array(hot_paths.iter().map(HotPathRecord::to_value).collect()),
+            ));
+        }
         Value::Object(fields)
     }
 
@@ -426,11 +525,24 @@ impl BenchmarkReport {
             .get("summary")
             .map(SummaryRecord::from_value)
             .transpose()?;
+        let hot_paths = match value.get("hot_paths") {
+            None => None,
+            Some(v) => Some(
+                v.as_array()
+                    .ok_or_else(|| ReportError::Schema {
+                        message: "hot_paths is not an array".to_owned(),
+                    })?
+                    .iter()
+                    .map(HotPathRecord::from_value)
+                    .collect::<Result<_, _>>()?,
+            ),
+        };
         Ok(BenchmarkReport {
             spec_id: require_str(value, "spec_id")?.to_owned(),
             short_name: require_str(value, "short_name")?.to_owned(),
             runs,
             summary,
+            hot_paths,
         })
     }
 }
@@ -460,6 +572,9 @@ impl RunRecord {
         ));
         if let Some(nanos) = self.wall_nanos {
             fields.push(("wall_nanos".to_owned(), Value::UInt(nanos)));
+        }
+        if let Some(nanos) = self.start_nanos {
+            fields.push(("start_nanos".to_owned(), Value::UInt(nanos)));
         }
         if let Some(worker) = self.worker {
             fields.push(("worker".to_owned(), Value::UInt(worker)));
@@ -509,6 +624,7 @@ impl RunRecord {
             })?,
             budget_consumed: require_u64(value, "budget_consumed")?,
             wall_nanos: optional_u64(value, "wall_nanos")?,
+            start_nanos: optional_u64(value, "start_nanos")?,
             worker: optional_u64(value, "worker")?,
             measures,
         })

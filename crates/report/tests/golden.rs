@@ -10,8 +10,8 @@
 //! the baselines.
 
 use alberta_report::{
-    BenchmarkReport, CategoryRecord, MeasureRecord, RunRecord, StatusKind, SuiteReport,
-    SummaryRecord, SCHEMA_VERSION,
+    BenchmarkReport, CategoryRecord, HotPathRecord, MeasureRecord, RunRecord, StatusKind,
+    SuiteReport, SummaryRecord, SCHEMA_VERSION,
 };
 use alberta_workloads::Scale;
 use std::collections::BTreeMap;
@@ -44,6 +44,7 @@ fn sample_report() -> SuiteReport {
                         retries: 0,
                         budget_consumed: 2687,
                         wall_nanos: None,
+                        start_nanos: None,
                         worker: None,
                         measures: Some(MeasureRecord {
                             ratios: [0.125, 0.25, 0.0625, 0.5625],
@@ -65,6 +66,7 @@ fn sample_report() -> SuiteReport {
                         retries: 1,
                         budget_consumed: 99,
                         wall_nanos: Some(1_250_000),
+                        start_nanos: Some(4_000_000),
                         worker: Some(3),
                         measures: Some(MeasureRecord {
                             ratios: [0.1, 0.3, 0.1, 0.5],
@@ -103,6 +105,18 @@ fn sample_report() -> SuiteReport {
                     mu_g_m: 1.25,
                     refrate_cycles: Some(72872.0),
                 }),
+                hot_paths: Some(vec![
+                    HotPathRecord {
+                        path: "mcf::solve;mcf::price_out_impl".to_owned(),
+                        exclusive: 18131782674069289258,
+                        calls: 42,
+                    },
+                    HotPathRecord {
+                        path: "mcf::solve;mcf::refresh_potential".to_owned(),
+                        exclusive: 977,
+                        calls: 2,
+                    },
+                ]),
             },
             BenchmarkReport {
                 spec_id: "557.xz_r".to_owned(),
@@ -115,10 +129,12 @@ fn sample_report() -> SuiteReport {
                     retries: 0,
                     budget_consumed: 0,
                     wall_nanos: None,
+                    start_nanos: None,
                     worker: None,
                     measures: None,
                 }],
                 summary: None,
+                hot_paths: Some(vec![]),
             },
         ],
     }

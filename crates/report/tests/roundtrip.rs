@@ -10,8 +10,8 @@
 //! need escaping, and both telemetry-bearing and canonical records.
 
 use alberta_report::{
-    BenchmarkReport, CategoryRecord, DiffOptions, MeasureRecord, ReportDiff, ReportError,
-    RunRecord, StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
+    BenchmarkReport, CategoryRecord, DiffOptions, HotPathRecord, MeasureRecord, ReportDiff,
+    ReportError, RunRecord, StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
 };
 use alberta_workloads::Scale;
 use proptest::prelude::*;
@@ -87,6 +87,7 @@ fn arb_run(rng: &mut TestRng, index: usize) -> RunRecord {
         retries: rng.below(3) as u32,
         budget_consumed: rng.next_u64(),
         wall_nanos: telemetry.then(|| rng.next_u64()),
+        start_nanos: telemetry.then(|| rng.next_u64()),
         worker: telemetry.then(|| rng.below(64)),
         // The schema requires measures for ok runs, forbids nothing for
         // degraded ones, and failed runs have nothing to measure.
@@ -120,11 +121,21 @@ fn arb_benchmark(rng: &mut TestRng, index: usize) -> BenchmarkReport {
         mu_g_m: arb_f64(rng),
         refrate_cycles: (rng.below(3) != 0).then(|| rng.unit() * 1e10 + 1.0),
     });
+    let hot_paths = (rng.below(3) == 0).then(|| {
+        (0..rng.below(4) as usize)
+            .map(|i| HotPathRecord {
+                path: format!("{0};{0}_kernel{1}", arb_name(rng, "f", i), i),
+                exclusive: rng.next_u64(),
+                calls: rng.next_u64(),
+            })
+            .collect()
+    });
     BenchmarkReport {
         spec_id: arb_name(rng, "5", index),
         short_name: arb_name(rng, "b", index),
         runs,
         summary,
+        hot_paths,
     }
 }
 

@@ -1,0 +1,59 @@
+//! End-to-end determinism of the observability artifacts: everything
+//! `bench-trace` writes without `--telemetry` must be byte-identical
+//! whether the sweep ran serially or under four worker threads. CI
+//! compares the artifact directories with `diff -r`; this test pins the
+//! same guarantee at the library level, over a smaller suite slice, so
+//! a violation fails fast and close to the cause.
+
+use alberta_core::{ExecPolicy, ResilientCharacterization, RunMetrics, Scale, Suite};
+use alberta_report::{render_trace, SuiteReport, TraceMode};
+
+type Sweep = Vec<(ResilientCharacterization, Vec<RunMetrics>)>;
+
+/// The artifacts a sweep produces: per-run collapsed stacks, the
+/// canonical hot-path-annotated report, and the virtual timeline.
+fn artifacts(results: &Sweep) -> (Vec<String>, String, String) {
+    let folded = results
+        .iter()
+        .filter_map(|(r, _)| r.characterization.as_ref())
+        .flat_map(|c| c.runs.iter().map(|run| run.paths.folded()))
+        .collect();
+    let mut report = SuiteReport::from_resilient(Scale::Test, results);
+    report.embed_hot_paths(results, 5);
+    report.strip_telemetry();
+    let trace = render_trace(&report, TraceMode::Virtual { lanes: 4 }).expect("virtual trace");
+    (folded, report.to_json(), trace)
+}
+
+#[test]
+fn trace_artifacts_are_bit_identical_serial_vs_parallel() {
+    let sweep = |policy: ExecPolicy| -> Sweep {
+        Suite::new(Scale::Test)
+            .with_exec(policy)
+            .characterize_all_resilient_metered()
+    };
+    let (folded_s, report_s, trace_s) = artifacts(&sweep(ExecPolicy::serial()));
+    let (folded_p, report_p, trace_p) = artifacts(&sweep(ExecPolicy::with_jobs(4)));
+
+    assert!(!folded_s.is_empty(), "sweep produced collapsed stacks");
+    assert_eq!(folded_s, folded_p, "collapsed call stacks diverged");
+    assert_eq!(report_s, report_p, "hot-path reports diverged");
+    assert_eq!(trace_s, trace_p, "virtual timelines diverged");
+
+    // The stripped report still embeds hot paths — they come from the
+    // exact call tree, not from telemetry — and every surviving
+    // benchmark's hottest path carries real work.
+    let report = SuiteReport::parse(&report_s).expect("canonical report parses");
+    for bench in &report.benchmarks {
+        let hot = bench.hot_paths.as_ref().expect("hot paths embedded");
+        if bench.survived() > 0 {
+            assert!(!hot.is_empty(), "{}: no hot paths", bench.short_name);
+            assert!(hot[0].exclusive > 0, "{}: empty hot path", bench.short_name);
+            assert!(
+                hot.windows(2).all(|w| w[0].exclusive >= w[1].exclusive),
+                "{}: hot paths not sorted",
+                bench.short_name
+            );
+        }
+    }
+}
