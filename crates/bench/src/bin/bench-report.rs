@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p alberta-bench --bin bench-report \
-//!     [test|train|ref] [--jobs N] [--out PATH] [--telemetry]
+//!     [test|train|ref] [--jobs N] [--out PATH] [--telemetry] \
+//!     [--sample] [--sample-interval OPS] [--sample-k N] [--sample-seed SEED]
 //! ```
 //!
 //! Runs the resilient characterization pipeline over every benchmark
@@ -14,8 +15,15 @@
 //!
 //! Per-run failures cost a run, not the report: they land in the
 //! document as `degraded`/`failed` records and are echoed on stderr.
+//!
+//! `--sample` switches every run to phase-sampled measurement: the
+//! Top-Down numbers become clustered-interval estimates and each run
+//! record gains a `sampling` section with the pilot/cluster accounting.
+//! Sampled sweeps keep the serial-vs-parallel byte-identity guarantee.
 
-use alberta_bench::{exec_from_args, flag_from_args, scale_from_args, value_from_args};
+use alberta_bench::{
+    exec_from_args, flag_from_args, sampling_from_args, scale_from_args, value_from_args,
+};
 use alberta_core::Suite;
 use alberta_report::SuiteReport;
 use std::path::PathBuf;
@@ -35,7 +43,9 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", scale_name(scale))));
 
-    let suite = Suite::new(scale).with_exec(exec);
+    let suite = Suite::new(scale)
+        .with_exec(exec)
+        .with_sampling_policy(sampling_from_args());
     let results = suite.characterize_all_resilient_metered();
     for (r, _) in &results {
         for incident in r.incidents() {

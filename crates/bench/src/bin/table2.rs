@@ -1,7 +1,8 @@
 //! Regenerates Table II: the per-benchmark behaviour-variation summary.
 //!
 //! ```text
-//! cargo run --release -p alberta-bench --bin table2 [test|train|ref] [--keep-going] [--jobs N]
+//! cargo run --release -p alberta-bench --bin table2 \
+//!     [test|train|ref] [--keep-going] [--jobs N] [--sample]
 //! ```
 //!
 //! By default the first failing benchmark aborts the regeneration. With
@@ -13,15 +14,21 @@
 //! The table is rendered from a [`SuiteReport`] — the same structured
 //! document `bench-report` persists — so the terminal output and the
 //! JSON artifact share one source of truth.
+//!
+//! `--sample` (with the optional `--sample-interval`/`--sample-k`/
+//! `--sample-seed` overrides) regenerates the table from phase-sampled
+//! estimates instead of full measurement.
 
-use alberta_bench::{exec_from_args, flag_from_args, scale_from_args};
+use alberta_bench::{exec_from_args, flag_from_args, sampling_from_args, scale_from_args};
 use alberta_core::Suite;
 use alberta_report::{view, SuiteReport};
 
 fn main() {
     let scale = scale_from_args();
     let exec = exec_from_args();
-    let suite = Suite::new(scale).with_exec(exec);
+    let suite = Suite::new(scale)
+        .with_exec(exec)
+        .with_sampling_policy(sampling_from_args());
     let mut report = if flag_from_args("--keep-going") {
         let results = suite.characterize_all_resilient_metered();
         for (r, _) in &results {

@@ -1,7 +1,8 @@
 //! Internal tool: characterization wall time, serial vs parallel.
 //!
 //! ```text
-//! cargo run --release -p alberta-bench --bin timing [test|train|ref] [--jobs N]
+//! cargo run --release -p alberta-bench --bin timing \
+//!     [test|train|ref] [--jobs N] [--sample]
 //! ```
 //!
 //! Sweeps the whole suite once serially and once under the parallel
@@ -10,9 +11,11 @@
 //! per-run [`RunMetrics`](alberta_core::RunMetrics) telemetry — plus
 //! the wall-clock speedup. Both sweeps must produce bit-identical
 //! canonical reports; the binary asserts it on the serialized JSON, the
-//! same guarantee CI enforces on `bench-report` artifacts.
+//! same guarantee CI enforces on `bench-report` artifacts. With
+//! `--sample` both sweeps measure via phase sampling, so the assertion
+//! covers the sampled pipeline too.
 
-use alberta_bench::{exec_from_args, scale_from_args};
+use alberta_bench::{exec_from_args, sampling_from_args, scale_from_args};
 use alberta_core::{ExecPolicy, Suite};
 use std::time::{Duration, Instant};
 
@@ -25,7 +28,9 @@ fn main() {
         ExecPolicy::Serial => ExecPolicy::parallel(),
         parallel => parallel,
     };
-    let suite = Suite::new(scale).with_exec(ExecPolicy::serial());
+    let suite = Suite::new(scale)
+        .with_exec(ExecPolicy::serial())
+        .with_sampling_policy(sampling_from_args());
 
     let start = Instant::now();
     let serial_results = suite.characterize_all_metered().unwrap_or_else(|e| {

@@ -5,7 +5,7 @@
 //! choices. Silently mapping a typo (`Ref`, `tset`) to `Scale::Test`
 //! used to waste an entire sweep at the wrong scale.
 
-use alberta_core::ExecPolicy;
+use alberta_core::{ExecPolicy, PhaseSampling, SamplingPolicy};
 use alberta_workloads::Scale;
 
 /// Prints a usage error and terminates with exit code 2 — the code the
@@ -26,6 +26,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--out-dir",
     "--top-k",
     "--lanes",
+    "--sample-interval",
+    "--sample-k",
+    "--sample-seed",
+    "--bound",
 ];
 
 /// The positional (non-flag) arguments, with flag *values* excluded:
@@ -118,4 +122,43 @@ pub fn exec_from_args() -> ExecPolicy {
 /// True when the named `--flag` appears anywhere on the command line.
 pub fn flag_from_args(flag: &str) -> bool {
     std::env::args().skip(1).any(|a| a == flag)
+}
+
+/// Parses the phase-sampling flags into a [`SamplingPolicy`]. `--sample`
+/// enables phase-sampled measurement with default parameters;
+/// `--sample-interval OPS`, `--sample-k N`, and `--sample-seed SEED`
+/// override individual parameters (each implies `--sample`). With none
+/// of the flags present, every run is measured in full. Malformed or
+/// zero values terminate with a usage error (exit 2).
+pub fn sampling_from_args() -> SamplingPolicy {
+    let interval = value_from_args("--sample-interval");
+    let k = value_from_args("--sample-k");
+    let seed = value_from_args("--sample-seed");
+    if !flag_from_args("--sample") && interval.is_none() && k.is_none() && seed.is_none() {
+        return SamplingPolicy::Full;
+    }
+    let mut config = PhaseSampling::default();
+    if let Some(value) = interval {
+        config.interval_work = match value.parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => usage_error(&format!(
+                "--sample-interval expects a positive retired-op count, got {value:?}"
+            )),
+        };
+    }
+    if let Some(value) = k {
+        config.k = match value.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => usage_error(&format!(
+                "--sample-k expects a positive cluster count, got {value:?}"
+            )),
+        };
+    }
+    if let Some(value) = seed {
+        config.seed = match value.parse::<u64>() {
+            Ok(n) => n,
+            _ => usage_error(&format!("--sample-seed expects an integer, got {value:?}")),
+        };
+    }
+    SamplingPolicy::Phase(config)
 }

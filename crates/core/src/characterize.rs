@@ -6,9 +6,12 @@
 //! statistics into the Table II quantities `μg`, `σg`, `μg(V)`, `μg(M)`.
 
 use crate::exec::{run_indexed, ExecPolicy};
+use crate::sampling::{
+    detail_config, pilot_config, PhaseSampling, SamplePlan, SamplingPolicy, SamplingStats,
+};
 use crate::suite::CoreError;
-use alberta_benchmarks::{run_guarded, BenchError, Benchmark};
-use alberta_profile::{PathTable, Profiler, SampleConfig};
+use alberta_benchmarks::{run_guarded, BenchError, Benchmark, RunOutput};
+use alberta_profile::{PathTable, Profile, Profiler, SampleConfig};
 use alberta_stats::variation::TopDownRatios;
 use alberta_stats::{CoverageMatrix, CoverageSummary, TopDownSummary};
 use alberta_uarch::{TopDownModel, TopDownReport};
@@ -31,6 +34,9 @@ pub struct WorkloadRun {
     pub work: u64,
     /// Semantic output checksum.
     pub checksum: u64,
+    /// Phase-sampling accounting when the run was measured under
+    /// [`SamplingPolicy::Phase`]; `None` for fully measured runs.
+    pub sampling: Option<SamplingStats>,
 }
 
 /// A benchmark characterized across all of its workloads — one Table II
@@ -179,16 +185,7 @@ pub fn run_workload(
     model: &TopDownModel,
     sampling: SampleConfig,
 ) -> Result<WorkloadRun, BenchError> {
-    let mut profiler = Profiler::new(sampling);
-    let output = run_guarded(benchmark, workload, &mut profiler)?;
-    let profile = profiler.finish();
-    profile
-        .validate()
-        .map_err(|violation| BenchError::InvalidProfile {
-            benchmark: benchmark.name(),
-            workload: workload.to_owned(),
-            violation,
-        })?;
+    let (profile, output) = profiled_run(benchmark, workload, Profiler::new(sampling))?;
     let report = model.analyze(&profile);
     let coverage = profile.coverage_percent();
     let paths = profile.path_table();
@@ -199,6 +196,111 @@ pub fn run_workload(
         paths,
         work: output.work,
         checksum: output.checksum,
+        sampling: None,
+    })
+}
+
+/// [`run_workload`] under an explicit [`SamplingPolicy`] — the single-run
+/// unit every characterization entry point funnels through.
+///
+/// # Errors
+///
+/// Everything [`run_workload`] returns; under [`SamplingPolicy::Phase`]
+/// both the pilot and the detail pass are guarded and validated, so a
+/// failure in either surfaces as the same typed errors.
+pub fn run_workload_with(
+    benchmark: &dyn Benchmark,
+    workload: &str,
+    model: &TopDownModel,
+    sampling: SampleConfig,
+    policy: &SamplingPolicy,
+) -> Result<WorkloadRun, BenchError> {
+    match policy {
+        SamplingPolicy::Full => run_workload(benchmark, workload, model, sampling),
+        SamplingPolicy::Phase(config) => {
+            run_workload_sampled(benchmark, workload, model, sampling, config)
+        }
+    }
+}
+
+/// One guarded, validated profiler run of a workload.
+fn profiled_run(
+    benchmark: &dyn Benchmark,
+    workload: &str,
+    mut profiler: Profiler,
+) -> Result<(Profile, RunOutput), BenchError> {
+    let output = run_guarded(benchmark, workload, &mut profiler)?;
+    let profile = profiler.finish();
+    profile
+        .validate()
+        .map_err(|violation| BenchError::InvalidProfile {
+            benchmark: benchmark.name(),
+            workload: workload.to_owned(),
+            violation,
+        })?;
+    Ok((profile, output))
+}
+
+/// The phase-sampled measurement of one workload: pilot pass (counters +
+/// interval snapshots, tracing off), k-medoids clustering of the interval
+/// feature vectors, then a detail pass capturing the trace only inside
+/// the medoid windows, extrapolated to the whole run.
+///
+/// Runs too small to slice into more than `k` intervals fall back to full
+/// measurement and record the fallback in their [`SamplingStats`].
+fn run_workload_sampled(
+    benchmark: &dyn Benchmark,
+    workload: &str,
+    model: &TopDownModel,
+    sampling: SampleConfig,
+    config: &PhaseSampling,
+) -> Result<WorkloadRun, BenchError> {
+    let (pilot, output) = profiled_run(
+        benchmark,
+        workload,
+        Profiler::new(pilot_config(sampling, config)),
+    )?;
+    let Some(plan) = SamplePlan::from_pilot(&pilot, model, config) else {
+        // Too few intervals to sample: measure in full, keep the books.
+        let mut run = run_workload(benchmark, workload, model, sampling)?;
+        run.sampling = Some(SamplingStats::full(
+            config.interval_work,
+            pilot.intervals.len(),
+            pilot.totals.retired_ops,
+        ));
+        return Ok(run);
+    };
+    // The detail pass subsamples its windows at the retention stride a
+    // full run's (possibly decimated) trace would have — replayed rates
+    // are density-dependent — and sizes the trace so window capture can
+    // never decimate: decimation would retroactively rewrite the
+    // recorded trace-index ranges.
+    let (config_detail, stride) = detail_config(sampling, &plan, &pilot);
+    let (detail, _) = profiled_run(
+        benchmark,
+        workload,
+        Profiler::with_detail_windows(config_detail, &plan.windows, stride),
+    )?;
+    debug_assert_eq!(detail.trace.decimations(), 0, "capacity sized to windows");
+    let report = model.estimate(&detail, &plan.medoid_windows(&detail));
+    let coverage = plan.estimate_coverage(&pilot);
+    let stats = SamplingStats {
+        interval_work: config.interval_work,
+        intervals: pilot.intervals.len(),
+        clusters: plan.clustering.k(),
+        detailed_ops: plan.detailed_ops(),
+        total_ops: pilot.totals.retired_ops,
+    };
+    Ok(WorkloadRun {
+        workload: workload.to_owned(),
+        report,
+        coverage,
+        // The call-tree view stays exact: the pilot measures it at
+        // counter cost, like coverage's raw inputs.
+        paths: pilot.path_table(),
+        work: output.work,
+        checksum: output.checksum,
+        sampling: Some(stats),
     })
 }
 
@@ -270,17 +372,37 @@ pub fn characterize_benchmark_with(
     sampling: SampleConfig,
     policy: ExecPolicy,
 ) -> Result<Characterization, CoreError> {
+    characterize_benchmark_sampled(benchmark, model, sampling, policy, &SamplingPolicy::Full)
+}
+
+/// [`characterize_benchmark_with`] under an explicit [`SamplingPolicy`]:
+/// every workload is measured through [`run_workload_with`], so a
+/// [`SamplingPolicy::Phase`] sweep estimates each run from its medoid
+/// intervals instead of measuring it in full.
+///
+/// # Errors
+///
+/// Same contract as [`characterize_benchmark_with`].
+pub fn characterize_benchmark_sampled(
+    benchmark: &dyn Benchmark,
+    model: &TopDownModel,
+    sampling: SampleConfig,
+    policy: ExecPolicy,
+    sampling_policy: &SamplingPolicy,
+) -> Result<Characterization, CoreError> {
     let workloads = benchmark.workload_names();
     let runs = if policy.jobs() <= 1 {
         // Serial sweeps keep the seed behaviour of stopping at the first
         // failing workload instead of draining the queue.
         workloads
             .iter()
-            .map(|workload| run_workload(benchmark, workload, model, sampling))
+            .map(|workload| {
+                run_workload_with(benchmark, workload, model, sampling, sampling_policy)
+            })
             .collect::<Result<Vec<_>, _>>()?
     } else {
         run_indexed(policy, &workloads, |_, workload| {
-            run_workload(benchmark, workload, model, sampling)
+            run_workload_with(benchmark, workload, model, sampling, sampling_policy)
         })
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?

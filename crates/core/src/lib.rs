@@ -38,6 +38,7 @@ pub mod faults;
 pub mod figures;
 pub mod log;
 pub mod report;
+pub mod sampling;
 pub mod specdata;
 pub mod suite;
 pub mod tables;
@@ -48,6 +49,7 @@ pub use characterize::{
 pub use exec::{ExecPolicy, RunMetrics};
 pub use faults::{Fault, FaultKind, FaultPlan};
 pub use log::{LogLevel, LogRecord};
+pub use sampling::{PhaseSampling, SamplingPolicy, SamplingStats, PHASE_ERROR_BOUND_PCT};
 pub use suite::{CoreError, Suite};
 
 // Re-export the layers users need to drive the facade.

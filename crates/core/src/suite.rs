@@ -1,11 +1,12 @@
 //! The [`Suite`] orchestrator.
 
 use crate::characterize::{
-    characterize_benchmark_with, run_workload, summarize, Characterization,
+    characterize_benchmark_sampled, run_workload_with, summarize, Characterization,
     ResilientCharacterization, RunReport, RunStatus, WorkloadRun,
 };
 use crate::exec::{run_indexed, run_indexed_metered, ExecPolicy, RunMetrics};
 use crate::faults::{FaultKind, FaultPlan};
+use crate::sampling::SamplingPolicy;
 use crate::{log_debug, log_error, log_warn};
 use alberta_benchmarks::{panic_message, suite as build_benchmarks, BenchError, Benchmark};
 use alberta_profile::SampleConfig;
@@ -59,6 +60,7 @@ pub struct Suite {
     benchmarks: Vec<Box<dyn Benchmark>>,
     model: TopDownModel,
     sampling: SampleConfig,
+    policy: SamplingPolicy,
     scale: Scale,
     faults: FaultPlan,
     exec: ExecPolicy,
@@ -85,6 +87,7 @@ impl Suite {
             benchmarks: build_benchmarks(scale),
             model: TopDownModel::reference(),
             sampling: SampleConfig::default(),
+            policy: SamplingPolicy::Full,
             scale,
             faults: FaultPlan::default(),
             exec,
@@ -114,6 +117,20 @@ impl Suite {
     pub fn with_sampling(mut self, sampling: SampleConfig) -> Self {
         self.sampling = sampling;
         self
+    }
+
+    /// Overrides the measurement policy: full per-run measurement (the
+    /// default) or phase-sampled estimation from clustered intervals.
+    /// The policy applies to every characterization entry point,
+    /// including the resilient pipeline and its retries.
+    pub fn with_sampling_policy(mut self, policy: SamplingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The measurement policy characterizations run under.
+    pub fn sampling_policy(&self) -> SamplingPolicy {
+        self.policy
     }
 
     /// Installs a fault plan. Faults only apply to the resilient pipeline
@@ -160,7 +177,13 @@ impl Suite {
             .ok_or_else(|| CoreError::UnknownBenchmark {
                 name: name.to_owned(),
             })?;
-        characterize_benchmark_with(benchmark, &self.model, self.sampling, self.exec)
+        characterize_benchmark_sampled(
+            benchmark,
+            &self.model,
+            self.sampling,
+            self.exec,
+            &self.policy,
+        )
     }
 
     /// Characterizes the whole suite in Table II order.
@@ -183,22 +206,24 @@ impl Suite {
                 .benchmarks
                 .iter()
                 .map(|b| {
-                    characterize_benchmark_with(
+                    characterize_benchmark_sampled(
                         b.as_ref(),
                         &self.model,
                         self.sampling,
                         ExecPolicy::Serial,
+                        &self.policy,
                     )
                 })
                 .collect();
         }
         let tasks = run_pairs(&self.benchmarks);
         let results = run_indexed(self.exec, &tasks, |_, (bench_index, workload)| {
-            run_workload(
+            run_workload_with(
                 self.benchmarks[*bench_index].as_ref(),
                 workload,
                 &self.model,
                 self.sampling,
+                &self.policy,
             )
         });
         let mut results = results.into_iter();
@@ -232,11 +257,12 @@ impl Suite {
     ) -> Result<Vec<(Characterization, Vec<RunMetrics>)>, CoreError> {
         let tasks = run_pairs(&self.benchmarks);
         let results = run_indexed_metered(self.exec, &tasks, |_, (bench_index, workload)| {
-            run_workload(
+            run_workload_with(
                 self.benchmarks[*bench_index].as_ref(),
                 workload,
                 &self.model,
                 self.sampling,
+                &self.policy,
             )
         });
         let mut results = results.into_iter();
@@ -432,7 +458,7 @@ impl Suite {
             }
         }
         log_debug!("run", "{short_name}/{workload}: start");
-        match run_workload(benchmark, workload, &self.model, sampling) {
+        match run_workload_with(benchmark, workload, &self.model, sampling, &self.policy) {
             Ok(run) => {
                 log_debug!("run", "{short_name}/{workload}: ok");
                 (RunStatus::Ok, Some(run))
@@ -475,7 +501,14 @@ impl Suite {
     fn retry_run(&self, spec_id: &str, workload: &str, scale: Scale) -> Option<WorkloadRun> {
         let fresh = build_benchmarks(scale);
         let benchmark = fresh.iter().find(|b| b.name() == spec_id)?;
-        run_workload(benchmark.as_ref(), workload, &self.model, self.sampling).ok()
+        run_workload_with(
+            benchmark.as_ref(),
+            workload,
+            &self.model,
+            self.sampling,
+            &self.policy,
+        )
+        .ok()
     }
 
     /// Builds a deterministic plan of `count` faults scattered over

@@ -80,8 +80,25 @@ impl EventTrace {
     /// spread over the whole run. (Events are offered already downsampled
     /// by the profiler's per-kind interval.)
     pub fn push(&mut self, event: Event) -> bool {
+        self.push_diluted(event, 1)
+    }
+
+    /// Offers an event at `dilution`-times-coarser retention: only every
+    /// `weight() * dilution`-th offered event is kept, while the offer
+    /// phase advances exactly as for [`EventTrace::push`]. Window-gated
+    /// capture uses this outside its windows to record a thin *warming*
+    /// stream — enough to keep replayed predictor and cache state trained
+    /// across gaps — without perturbing which in-window offers land on the
+    /// retention lattice. Retained diluted events are a subset of the
+    /// events an undiluted trace at the same weight would keep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dilution` is zero.
+    pub fn push_diluted(&mut self, event: Event, dilution: u64) -> bool {
+        assert!(dilution > 0, "dilution must be positive");
         self.phase += 1;
-        if !self.phase.is_multiple_of(self.weight) {
+        if !self.phase.is_multiple_of(self.weight * dilution) {
             return false;
         }
         if self.events.len() == self.capacity {
@@ -120,6 +137,24 @@ impl EventTrace {
     /// Multiplicative weight of each retained event due to decimation.
     pub fn weight(&self) -> u64 {
         self.weight
+    }
+
+    /// Presets the retention weight, as if the trace had already been
+    /// decimated to it: only every `weight`-th offered event is retained
+    /// from the start. Used by window-gated capture to match the event
+    /// density a full run's decimated trace would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero or events were already offered — a
+    /// mid-run change would make the retained stride meaningless.
+    pub fn preset_weight(&mut self, weight: u64) {
+        assert!(weight > 0, "trace weight must be positive");
+        assert!(
+            self.phase == 0 && self.events.is_empty(),
+            "weight must be preset before any event is offered"
+        );
+        self.weight = weight;
     }
 
     /// How many times the buffer was decimated.

@@ -47,6 +47,6 @@ pub mod profiler;
 pub use calltree::{CallNode, CallTree, PathRow, PathTable};
 pub use event::{Event, EventTrace};
 pub use profiler::{
-    BudgetExceeded, FnId, FnMeta, InvariantViolation, Profile, Profiler, ProfilerFault,
-    SampleConfig, Totals,
+    BudgetExceeded, DetailWindow, FnId, FnMeta, IntervalSnapshot, InvariantViolation, Profile,
+    Profiler, ProfilerFault, SampleConfig, Totals, WARM_DILUTION,
 };

@@ -43,6 +43,12 @@ pub struct SampleConfig {
     /// this budget. Retired-op counting is deterministic, so the abort
     /// fires at the same count on every repetition of the same run.
     pub work_budget: Option<u64>,
+    /// Phase-sampling hook: when set, the run is sliced into fixed-work
+    /// intervals of (at least) this many retired ops, and the profiler
+    /// snapshots one [`IntervalSnapshot`] of exact counter deltas per
+    /// interval. Slicing is by the exact retired-op count, so interval
+    /// boundaries are deterministic per run.
+    pub interval_work: Option<u64>,
     /// Fault to inject into this run's event stream (testing hook for the
     /// degradation paths; `None` in normal operation).
     pub fault: Option<ProfilerFault>,
@@ -56,6 +62,7 @@ impl Default for SampleConfig {
             call_interval: 1,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             work_budget: None,
+            interval_work: None,
             fault: None,
         }
     }
@@ -83,6 +90,17 @@ impl SampleConfig {
     /// Returns the configuration with a fault installed.
     pub fn with_fault(mut self, fault: ProfilerFault) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Returns the configuration with fixed-work interval slicing enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_work` is zero.
+    pub fn with_interval_work(mut self, interval_work: u64) -> Self {
+        assert!(interval_work > 0, "interval work must be positive");
+        self.interval_work = Some(interval_work);
         self
     }
 }
@@ -216,6 +234,63 @@ pub struct Totals {
     pub calls: u64,
 }
 
+impl Totals {
+    /// Component-wise difference `self - earlier`, used to turn two
+    /// snapshots of the monotone counters into one interval's delta.
+    pub fn delta_since(&self, earlier: &Totals) -> Totals {
+        Totals {
+            retired_ops: self.retired_ops - earlier.retired_ops,
+            branches: self.branches - earlier.branches,
+            taken_branches: self.taken_branches - earlier.taken_branches,
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+            calls: self.calls - earlier.calls,
+        }
+    }
+}
+
+/// Exact counter deltas for one fixed-work interval of a run, snapshotted
+/// when [`SampleConfig::interval_work`] is set.
+///
+/// Intervals are cut the first time the retired-op count reaches the next
+/// multiple of `interval_work`, so a single large `retire` may produce an
+/// interval somewhat longer than the nominal size; boundaries are exact
+/// functions of the deterministic retired-op stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSnapshot {
+    /// Zero-based interval index in run order.
+    pub index: usize,
+    /// Retired-op count at the start of the interval (inclusive).
+    pub start_ops: u64,
+    /// Retired-op count at the end of the interval (exclusive).
+    pub end_ops: u64,
+    /// Counter deltas accumulated within the interval.
+    pub totals: Totals,
+    /// Per-function work delta within the interval, parallel to the
+    /// function table *as of the cut* (functions registered later are
+    /// implicitly zero — index with `get(i).unwrap_or(0)`).
+    pub fn_work: Vec<u64>,
+}
+
+/// One detail window of a re-run: the half-open retired-op range
+/// `[start_ops, end_ops)` during which the profiler captured trace events,
+/// plus the trace-index range those events landed in.
+///
+/// Trace indices are only meaningful while the trace has not decimated
+/// (`Profile::trace.decimations() == 0`); orchestrators size the capacity
+/// so detail runs never decimate and must check before slicing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetailWindow {
+    /// Retired-op count at which capture opens (inclusive).
+    pub start_ops: u64,
+    /// Retired-op count at which capture closes (exclusive).
+    pub end_ops: u64,
+    /// First trace index captured inside the window.
+    pub trace_start: usize,
+    /// One past the last trace index captured inside the window.
+    pub trace_end: usize,
+}
+
 /// The result of one instrumented run.
 #[derive(Debug, Clone)]
 pub struct Profile {
@@ -233,6 +308,12 @@ pub struct Profile {
     pub sampling: SampleConfig,
     /// Exact path-keyed call tree (unaffected by sampling).
     pub calltree: CallTree,
+    /// Fixed-work interval snapshots (empty unless
+    /// [`SampleConfig::interval_work`] was set).
+    pub intervals: Vec<IntervalSnapshot>,
+    /// Detail windows the trace capture was gated to (empty unless the
+    /// profiler was built with [`Profiler::with_detail_windows`]).
+    pub windows: Vec<DetailWindow>,
 }
 
 impl Profile {
@@ -340,6 +421,10 @@ struct Frame {
     /// `Return` is emitted iff it did, so the trace stays properly
     /// nested under any sampling interval.
     sampled: bool,
+    /// Whether the call phase hit for this scope at all (even while the
+    /// window gate was closed); its `Return` then advances the trace
+    /// phase so gated capture keeps full-run retention alignment.
+    offered: bool,
 }
 
 /// Collects instrumentation events from a mini-benchmark run.
@@ -360,11 +445,32 @@ pub struct Profiler {
     mem_phase: u32,
     call_phase: u32,
     events: u64,
+    /// Interval-slicing state (active iff `sampling.interval_work`).
+    intervals: Vec<IntervalSnapshot>,
+    interval_start: Totals,
+    interval_fn_work: Vec<u64>,
+    next_interval_end: u64,
+    /// Detail-window state. `trace_gated` is false for ordinary runs
+    /// (capture always on); for window runs `trace_on` tracks whether the
+    /// retired-op cursor is inside `windows[window_cursor]`.
+    windows: Vec<DetailWindow>,
+    window_cursor: usize,
+    trace_gated: bool,
+    trace_on: bool,
 }
+
+/// Dilution factor of the warming stream captured *outside* detail
+/// windows: one event is retained per `stride * WARM_DILUTION` offered,
+/// versus one per `stride` inside a window. Replay consumers feed these
+/// inter-window events through predictor/cache state without counting
+/// their outcomes, so state stays trained across window gaps at a small
+/// fraction of in-window capture volume.
+pub const WARM_DILUTION: u64 = 2;
 
 impl Profiler {
     /// Creates a profiler with the given sampling configuration.
     pub fn new(sampling: SampleConfig) -> Self {
+        let next_interval_end = sampling.interval_work.unwrap_or(u64::MAX);
         Profiler {
             functions: Vec::new(),
             name_index: HashMap::new(),
@@ -379,7 +485,116 @@ impl Profiler {
             mem_phase: 0,
             call_phase: 0,
             events: 0,
+            intervals: Vec::new(),
+            interval_start: Totals::default(),
+            interval_fn_work: Vec::new(),
+            next_interval_end,
+            windows: Vec::new(),
+            window_cursor: 0,
+            trace_gated: false,
+            trace_on: true,
         }
+    }
+
+    /// Creates a profiler whose trace capture is gated to the given
+    /// half-open retired-op windows `[start, end)`, retaining only every
+    /// `stride`-th offered event.
+    ///
+    /// Windows are sorted and empty ones dropped; overlapping windows are
+    /// a caller bug (the gate would close at the first `end`). Counters,
+    /// per-function work, and the call tree remain exact over the whole
+    /// run. Outside the windows the trace still retains a warming stream
+    /// diluted by [`WARM_DILUTION`], so replay can keep
+    /// microarchitectural state trained across the gaps. The produced
+    /// [`Profile::windows`] records, per window, the trace index range
+    /// captured inside it.
+    ///
+    /// The stride mirrors the retention a *full* run's decimated trace
+    /// would have: the offer phase advances on gated-off and diluted
+    /// events too, so in-window retention picks the same one-in-`stride`
+    /// global stream positions a decimated full trace converges to. Pass
+    /// 1 to retain every in-window offered event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn with_detail_windows(
+        sampling: SampleConfig,
+        windows: &[(u64, u64)],
+        stride: u64,
+    ) -> Self {
+        let mut sorted: Vec<(u64, u64)> = windows.iter().copied().filter(|(s, e)| e > s).collect();
+        sorted.sort_unstable();
+        let mut p = Profiler::new(sampling);
+        p.trace.preset_weight(stride);
+        p.windows = sorted
+            .iter()
+            .map(|&(start_ops, end_ops)| DetailWindow {
+                start_ops,
+                end_ops,
+                trace_start: 0,
+                trace_end: 0,
+            })
+            .collect();
+        p.trace_gated = true;
+        p.trace_on = false;
+        p.update_windows();
+        p
+    }
+
+    /// Advances the window gate after the retired-op cursor moved.
+    /// Windows that were jumped over entirely get an empty trace range.
+    #[inline]
+    fn update_windows(&mut self) {
+        if !self.trace_gated {
+            return;
+        }
+        let ops = self.totals.retired_ops;
+        loop {
+            let Some(window) = self.windows.get_mut(self.window_cursor) else {
+                self.trace_on = false;
+                return;
+            };
+            if ops < window.start_ops {
+                self.trace_on = false;
+                return;
+            }
+            if ops < window.end_ops {
+                if !self.trace_on {
+                    self.trace_on = true;
+                    window.trace_start = self.trace.len();
+                }
+                return;
+            }
+            // Cursor is at or past this window's end: close it.
+            let at = self.trace.len();
+            if !self.trace_on {
+                window.trace_start = at;
+            }
+            window.trace_end = at;
+            self.trace_on = false;
+            self.window_cursor += 1;
+        }
+    }
+
+    /// Cuts the current fixed-work interval at the present counter state.
+    fn cut_interval(&mut self) {
+        let totals = self.totals.delta_since(&self.interval_start);
+        let fn_work: Vec<u64> = self
+            .fn_work
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w - self.interval_fn_work.get(i).copied().unwrap_or(0))
+            .collect();
+        self.intervals.push(IntervalSnapshot {
+            index: self.intervals.len(),
+            start_ops: self.interval_start.retired_ops,
+            end_ops: self.totals.retired_ops,
+            totals,
+            fn_work,
+        });
+        self.interval_start = self.totals;
+        self.interval_fn_work.clone_from(&self.fn_work);
     }
 
     /// Advances the event counter and applies any injected fault. Called
@@ -419,6 +634,15 @@ impl Profiler {
             self.fn_work[frame.id.0 as usize] += n;
         }
         self.calltree.retire(n);
+        if self.totals.retired_ops >= self.next_interval_end {
+            // interval_work is Some here: the boundary is u64::MAX otherwise.
+            let iw = self.sampling.interval_work.unwrap_or(u64::MAX);
+            self.cut_interval();
+            self.next_interval_end = (self.totals.retired_ops / iw + 1).saturating_mul(iw);
+        }
+        if self.trace_gated {
+            self.update_windows();
+        }
     }
 
     /// Instrumentation events recorded so far (for tests and fault
@@ -463,12 +687,22 @@ impl Profiler {
         self.totals.calls += 1;
         self.calltree.descend(id);
         self.call_phase += 1;
-        let sampled = self.call_phase >= self.sampling.call_interval;
-        if sampled {
+        let phase_hit = self.call_phase >= self.sampling.call_interval;
+        if phase_hit {
             self.call_phase = 0;
-            self.trace.push(Event::Call { callee: id });
         }
-        self.stack.push(Frame { id, sampled });
+        let sampled = phase_hit && self.trace_on;
+        if sampled {
+            self.trace.push(Event::Call { callee: id });
+        } else if phase_hit && self.trace_gated {
+            self.trace
+                .push_diluted(Event::Call { callee: id }, WARM_DILUTION);
+        }
+        self.stack.push(Frame {
+            id,
+            sampled,
+            offered: phase_hit,
+        });
     }
 
     /// Leaves the current function.
@@ -487,6 +721,8 @@ impl Profiler {
         // happened most recently).
         if frame.sampled {
             self.trace.push(Event::Return);
+        } else if frame.offered && self.trace_gated {
+            self.trace.push_diluted(Event::Return, WARM_DILUTION);
         }
     }
 
@@ -516,7 +752,12 @@ impl Profiler {
         self.branch_phase += 1;
         if self.branch_phase >= self.sampling.branch_interval {
             self.branch_phase = 0;
-            self.trace.push(Event::Branch { site, taken });
+            if self.trace_on {
+                self.trace.push(Event::Branch { site, taken });
+            } else if self.trace_gated {
+                self.trace
+                    .push_diluted(Event::Branch { site, taken }, WARM_DILUTION);
+            }
         }
     }
 
@@ -529,7 +770,11 @@ impl Profiler {
         self.mem_phase += 1;
         if self.mem_phase >= self.sampling.mem_interval {
             self.mem_phase = 0;
-            self.trace.push(Event::Load { addr });
+            if self.trace_on {
+                self.trace.push(Event::Load { addr });
+            } else if self.trace_gated {
+                self.trace.push_diluted(Event::Load { addr }, WARM_DILUTION);
+            }
         }
     }
 
@@ -542,7 +787,12 @@ impl Profiler {
         self.mem_phase += 1;
         if self.mem_phase >= self.sampling.mem_interval {
             self.mem_phase = 0;
-            self.trace.push(Event::Store { addr });
+            if self.trace_on {
+                self.trace.push(Event::Store { addr });
+            } else if self.trace_gated {
+                self.trace
+                    .push_diluted(Event::Store { addr }, WARM_DILUTION);
+            }
         }
     }
 
@@ -557,12 +807,28 @@ impl Profiler {
     ///
     /// Panics if any function scope is still open — an unbalanced
     /// enter/exit pair is an instrumentation bug in the benchmark.
-    pub fn finish(self) -> Profile {
+    pub fn finish(mut self) -> Profile {
         assert!(
             self.stack.is_empty(),
             "profiler finished with {} open scopes",
             self.stack.len()
         );
+        // Flush the trailing partial interval so every retired op belongs
+        // to exactly one snapshot.
+        if self.sampling.interval_work.is_some()
+            && self.totals.retired_ops > self.interval_start.retired_ops
+        {
+            self.cut_interval();
+        }
+        // Close any window still open (or never reached) at end of run.
+        let at = self.trace.len();
+        for window in &mut self.windows[self.window_cursor..] {
+            if !self.trace_on {
+                window.trace_start = at;
+            }
+            window.trace_end = at;
+            self.trace_on = false;
+        }
         let mut calltree = self.calltree;
         calltree.seal();
         Profile {
@@ -573,6 +839,8 @@ impl Profiler {
             trace: self.trace,
             sampling: self.sampling,
             calltree,
+            intervals: self.intervals,
+            windows: self.windows,
         }
     }
 }
@@ -838,6 +1106,113 @@ mod tests {
         let mut p = Profiler::default();
         p.retire(u64::MAX / 2);
         assert_eq!(p.finish().totals.retired_ops, u64::MAX / 2);
+    }
+
+    #[test]
+    fn interval_snapshots_partition_the_run() {
+        let mut p = Profiler::new(SampleConfig::default().with_interval_work(100));
+        let f = p.register_function("f", 8);
+        let g = p.register_function("g", 8);
+        p.enter(f);
+        for i in 0..120u64 {
+            p.branch(0, i % 2 == 0);
+            p.load(i * 8);
+            p.retire(2);
+        }
+        p.enter(g);
+        p.retire(55);
+        p.exit();
+        p.exit();
+        let profile = p.finish();
+        assert!(profile.intervals.len() >= 4, "{}", profile.intervals.len());
+        // Interval deltas must partition the exact totals.
+        let sum_retired: u64 = profile.intervals.iter().map(|s| s.totals.retired_ops).sum();
+        let sum_branches: u64 = profile.intervals.iter().map(|s| s.totals.branches).sum();
+        let sum_loads: u64 = profile.intervals.iter().map(|s| s.totals.loads).sum();
+        assert_eq!(sum_retired, profile.totals.retired_ops);
+        assert_eq!(sum_branches, profile.totals.branches);
+        assert_eq!(sum_loads, profile.totals.loads);
+        // Boundaries are contiguous, start at zero, end at the run total.
+        assert_eq!(profile.intervals[0].start_ops, 0);
+        for pair in profile.intervals.windows(2) {
+            assert_eq!(pair[0].end_ops, pair[1].start_ops);
+        }
+        assert_eq!(
+            profile.intervals.last().unwrap().end_ops,
+            profile.totals.retired_ops
+        );
+        // Per-function work deltas partition the flat work vector.
+        for (i, &total) in profile.fn_work.iter().enumerate() {
+            let sliced: u64 = profile
+                .intervals
+                .iter()
+                .map(|s| s.fn_work.get(i).copied().unwrap_or(0))
+                .sum();
+            assert_eq!(sliced, total, "function {i}");
+        }
+    }
+
+    #[test]
+    fn interval_snapshots_are_deterministic() {
+        let run = || {
+            let mut p = Profiler::new(SampleConfig::default().with_interval_work(64));
+            let f = p.register_function("f", 8);
+            p.enter(f);
+            for i in 0..500u64 {
+                p.branch((i % 5) as u32, i % 3 == 0);
+                p.retire(1 + i % 4);
+            }
+            p.exit();
+            p.finish()
+        };
+        assert_eq!(run().intervals, run().intervals);
+    }
+
+    #[test]
+    fn detail_windows_gate_trace_capture() {
+        let body = |p: &mut Profiler| {
+            let f = p.register_function("f", 8);
+            p.enter(f);
+            for i in 0..300u64 {
+                p.load(i * 8); // one retired op each → op counter == i + 1
+            }
+            p.exit();
+        };
+        let mut full = Profiler::default();
+        body(&mut full);
+        let full = full.finish();
+
+        let mut gated =
+            Profiler::with_detail_windows(SampleConfig::default(), &[(50, 100), (200, 250)], 1);
+        body(&mut gated);
+        let gated = gated.finish();
+
+        // Counters stay exact; only the trace shrinks.
+        assert_eq!(gated.totals, full.totals);
+        assert!(gated.trace.len() < full.trace.len());
+        assert_eq!(gated.windows.len(), 2);
+        for w in &gated.windows {
+            assert!(w.trace_end >= w.trace_start);
+            let captured = w.trace_end - w.trace_start;
+            // ~50 ops per window, one load per op, full sampling.
+            assert!((45..=55).contains(&captured), "captured {captured}");
+            for event in &gated.trace.events()[w.trace_start..w.trace_end] {
+                let Event::Load { addr } = event else {
+                    panic!("unexpected event {event:?}");
+                };
+                let op = addr / 8 + 1; // op counter after this load retires
+                assert!(
+                    op >= w.start_ops && op <= w.end_ops + 1,
+                    "op {op} outside {w:?}"
+                );
+            }
+        }
+        // Windows never reached or jumped over end up empty, not bogus.
+        let mut empty =
+            Profiler::with_detail_windows(SampleConfig::default(), &[(10_000, 10_100)], 1);
+        body(&mut empty);
+        let empty = empty.finish();
+        assert_eq!(empty.windows[0].trace_start, empty.windows[0].trace_end);
     }
 
     #[test]

@@ -31,8 +31,8 @@ pub mod view;
 
 pub use diff::{DiffOptions, ReportDiff};
 pub use schema::{
-    BenchmarkReport, CategoryRecord, HotPathRecord, MeasureRecord, RunRecord, StatusKind,
-    SuiteReport, SummaryRecord, SCHEMA_VERSION,
+    BenchmarkReport, CategoryRecord, HotPathRecord, MeasureRecord, RunRecord, SamplingRecord,
+    StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
 };
 pub use trace::{render_trace, TraceMode, DEFAULT_LANES};
 

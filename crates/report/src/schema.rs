@@ -152,6 +152,77 @@ pub struct RunRecord {
     pub worker: Option<u64>,
     /// The measured behaviour; absent for `failed` runs.
     pub measures: Option<MeasureRecord>,
+    /// Phase-sampling accounting — present only for runs measured under
+    /// a sampled policy. Ignored by the diff layer, so sampled and full
+    /// reports stay diff-comparable.
+    pub sampling: Option<SamplingRecord>,
+}
+
+/// Phase-sampling accounting for one run: how the estimate was built and
+/// (optionally) how far it landed from full-measurement ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingRecord {
+    /// Nominal retired ops per pilot interval.
+    pub interval_work: u64,
+    /// Intervals the pilot pass sliced the run into.
+    pub intervals: u64,
+    /// Phase clusters formed (equals `intervals` on full fallback).
+    pub clusters: u64,
+    /// Retired ops covered by detailed (traced + replayed) measurement.
+    pub detailed_ops: u64,
+    /// Exact retired ops of the whole run.
+    pub total_ops: u64,
+    /// Largest absolute Top-Down fraction error versus a full-measurement
+    /// baseline — embedded by [`SuiteReport::embed_estimate_errors`],
+    /// absent otherwise.
+    pub estimate_error: Option<f64>,
+}
+
+impl SamplingRecord {
+    /// Detailed-measurement work saved: `total_ops / detailed_ops`.
+    pub fn work_saved(&self) -> f64 {
+        if self.detailed_ops == 0 {
+            1.0
+        } else {
+            self.total_ops as f64 / self.detailed_ops as f64
+        }
+    }
+
+    fn from_stats(stats: &alberta_core::SamplingStats) -> Self {
+        SamplingRecord {
+            interval_work: stats.interval_work,
+            intervals: stats.intervals as u64,
+            clusters: stats.clusters as u64,
+            detailed_ops: stats.detailed_ops,
+            total_ops: stats.total_ops,
+            estimate_error: None,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("interval_work".to_owned(), Value::UInt(self.interval_work)),
+            ("intervals".to_owned(), Value::UInt(self.intervals)),
+            ("clusters".to_owned(), Value::UInt(self.clusters)),
+            ("detailed_ops".to_owned(), Value::UInt(self.detailed_ops)),
+            ("total_ops".to_owned(), Value::UInt(self.total_ops)),
+        ];
+        if let Some(error) = self.estimate_error {
+            fields.push(("estimate_error".to_owned(), Value::Float(error)));
+        }
+        Value::Object(fields)
+    }
+
+    fn from_value(value: &Value) -> Result<Self, ReportError> {
+        Ok(SamplingRecord {
+            interval_work: require_u64(value, "interval_work")?,
+            intervals: require_u64(value, "intervals")?,
+            clusters: require_u64(value, "clusters")?,
+            detailed_ops: require_u64(value, "detailed_ops")?,
+            total_ops: require_u64(value, "total_ops")?,
+            estimate_error: optional_f64(value, "estimate_error")?,
+        })
+    }
 }
 
 /// One hot call path of a benchmark: collapsed-stack notation with the
@@ -276,6 +347,7 @@ impl SuiteReport {
                         start_nanos: Some(m.start_nanos),
                         worker: Some(m.worker as u64),
                         measures: Some(MeasureRecord::from_run(run)),
+                        sampling: run.sampling.as_ref().map(SamplingRecord::from_stats),
                     })
                     .collect();
                 BenchmarkReport {
@@ -319,11 +391,10 @@ impl SuiteReport {
                                 (StatusKind::Failed, Some(error.to_string()), None)
                             }
                         };
-                        let measures = r
+                        let run = r
                             .characterization
                             .as_ref()
-                            .and_then(|c| c.run(&report.workload))
-                            .map(MeasureRecord::from_run);
+                            .and_then(|c| c.run(&report.workload));
                         RunRecord {
                             workload: report.workload.clone(),
                             status,
@@ -334,7 +405,10 @@ impl SuiteReport {
                             wall_nanos: Some(m.wall_nanos),
                             start_nanos: Some(m.start_nanos),
                             worker: Some(m.worker as u64),
-                            measures,
+                            measures: run.map(MeasureRecord::from_run),
+                            sampling: run
+                                .and_then(|r| r.sampling.as_ref())
+                                .map(SamplingRecord::from_stats),
                         }
                     })
                     .collect();
@@ -372,6 +446,35 @@ impl SuiteReport {
                 run.wall_nanos = None;
                 run.start_nanos = None;
                 run.worker = None;
+            }
+        }
+    }
+
+    /// Embeds per-run estimation errors into the sampling sections by
+    /// comparing against a full-measurement baseline of the same sweep:
+    /// for each sampled run whose baseline counterpart also survived, the
+    /// largest absolute Top-Down fraction difference is recorded. Runs
+    /// without a sampling section, or without a matching baseline run,
+    /// are left untouched.
+    pub fn embed_estimate_errors(&mut self, baseline: &SuiteReport) {
+        for benchmark in &mut self.benchmarks {
+            let Some(base) = baseline.benchmark(&benchmark.spec_id) else {
+                continue;
+            };
+            for run in &mut benchmark.runs {
+                let (Some(sampling), Some(measures)) = (&mut run.sampling, &run.measures) else {
+                    continue;
+                };
+                let Some(truth) = base.run(&run.workload).and_then(|r| r.measures.as_ref()) else {
+                    continue;
+                };
+                let error = measures
+                    .ratios
+                    .iter()
+                    .zip(&truth.ratios)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                sampling.estimate_error = Some(error);
             }
         }
     }
@@ -582,6 +685,9 @@ impl RunRecord {
         if let Some(measures) = &self.measures {
             fields.push(("measures".to_owned(), measures.to_value()));
         }
+        if let Some(sampling) = &self.sampling {
+            fields.push(("sampling".to_owned(), sampling.to_value()));
+        }
         Value::Object(fields)
     }
 
@@ -627,6 +733,10 @@ impl RunRecord {
             start_nanos: optional_u64(value, "start_nanos")?,
             worker: optional_u64(value, "worker")?,
             measures,
+            sampling: value
+                .get("sampling")
+                .map(SamplingRecord::from_value)
+                .transpose()?,
         })
     }
 }

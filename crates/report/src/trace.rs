@@ -277,6 +277,7 @@ mod tests {
                 checksum: 1,
                 coverage: BTreeMap::new(),
             }),
+            sampling: None,
         }
     }
 

@@ -10,8 +10,8 @@
 //! the baselines.
 
 use alberta_report::{
-    BenchmarkReport, CategoryRecord, HotPathRecord, MeasureRecord, RunRecord, StatusKind,
-    SuiteReport, SummaryRecord, SCHEMA_VERSION,
+    BenchmarkReport, CategoryRecord, HotPathRecord, MeasureRecord, RunRecord, SamplingRecord,
+    StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
 };
 use alberta_workloads::Scale;
 use std::collections::BTreeMap;
@@ -19,9 +19,9 @@ use std::collections::BTreeMap;
 const GOLDEN: &str = include_str!("golden/two_bench.json");
 
 /// A small report exercising every schema feature: ok / degraded /
-/// failed runs, telemetry present and absent, a lost summary, exact
-/// `u64` checksums above 2^53, and floats that render without a
-/// decimal point.
+/// failed runs, telemetry present and absent, a phase-sampling section,
+/// a lost summary, exact `u64` checksums above 2^53, and floats that
+/// render without a decimal point.
 fn sample_report() -> SuiteReport {
     let coverage: BTreeMap<String, f64> = [
         ("mcf::price_out_impl".to_owned(), 61.25),
@@ -55,6 +55,7 @@ fn sample_report() -> SuiteReport {
                             checksum: 18131782674069289258,
                             coverage: coverage.clone(),
                         }),
+                        sampling: None,
                     },
                     RunRecord {
                         workload: "refrate".to_owned(),
@@ -76,6 +77,14 @@ fn sample_report() -> SuiteReport {
                             work: 9000,
                             checksum: 42,
                             coverage,
+                        }),
+                        sampling: Some(SamplingRecord {
+                            interval_work: 4096,
+                            intervals: 18,
+                            clusters: 4,
+                            detailed_ops: 16384,
+                            total_ops: 72872,
+                            estimate_error: Some(0.0125),
                         }),
                     },
                 ],
@@ -132,6 +141,7 @@ fn sample_report() -> SuiteReport {
                     start_nanos: None,
                     worker: None,
                     measures: None,
+                    sampling: None,
                 }],
                 summary: None,
                 hot_paths: Some(vec![]),

@@ -11,7 +11,7 @@
 
 use alberta_report::{
     BenchmarkReport, CategoryRecord, DiffOptions, HotPathRecord, MeasureRecord, ReportDiff,
-    ReportError, RunRecord, StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
+    ReportError, RunRecord, SamplingRecord, StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
 };
 use alberta_workloads::Scale;
 use proptest::prelude::*;
@@ -96,6 +96,14 @@ fn arb_run(rng: &mut TestRng, index: usize) -> RunRecord {
             StatusKind::Degraded => (rng.below(2) == 0).then(|| arb_measures(rng)),
             StatusKind::Failed => None,
         },
+        sampling: (rng.below(3) == 0).then(|| SamplingRecord {
+            interval_work: rng.below(1 << 20).max(1),
+            intervals: rng.below(512),
+            clusters: rng.below(16),
+            detailed_ops: rng.next_u64(),
+            total_ops: rng.next_u64(),
+            estimate_error: (rng.below(2) == 0).then(|| rng.unit() * 0.25),
+        }),
     }
 }
 

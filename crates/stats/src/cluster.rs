@@ -1,0 +1,314 @@
+//! Seeded, deterministic k-medoids clustering for phase sampling.
+//!
+//! SimPoint-style phase analysis groups fixed-work execution intervals by
+//! the similarity of their feature vectors and then measures only one
+//! representative per group. K-medoids (rather than k-means) is used so
+//! the representative of every cluster is an *actual interval* that can be
+//! re-executed; the cluster size becomes its weight.
+//!
+//! The implementation is fully deterministic: medoids are initialized by
+//! seeded farthest-point traversal, the PAM-style alternation breaks ties
+//! toward the lowest index, and no ambient randomness is consulted — the
+//! same `(points, k, seed)` always yields the same [`Clustering`], which
+//! the suite's serial-vs-parallel byte-identity invariant depends on.
+
+use crate::StatsError;
+
+/// Maximum assign/update alternations before declaring convergence. The
+/// alternation monotonically decreases total intra-cluster distance, so it
+/// terminates on its own; the cap only bounds pathological cycling through
+/// equal-cost configurations.
+const MAX_ITERATIONS: usize = 64;
+
+/// The result of a k-medoids run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Indices (into the input points) of the chosen medoids, sorted
+    /// ascending.
+    pub medoids: Vec<usize>,
+    /// For each input point, the position in `medoids` of its cluster.
+    pub assignment: Vec<usize>,
+    /// Number of member points per cluster, parallel to `medoids`. Sizes
+    /// sum to the number of points; every cluster contains its medoid, so
+    /// no size is zero.
+    pub sizes: Vec<usize>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.medoids.len()
+    }
+}
+
+/// Squared Euclidean distance; monotone in the true distance, so argmin
+/// comparisons are unaffected and the square root is never needed.
+fn distance2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
+}
+
+/// SplitMix64 step — a tiny deterministic mixer used only to turn the seed
+/// into a starting index (no external RNG dependency).
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Clusters `points` into (at most) `k` groups around medoid points.
+///
+/// `k` is clamped to the number of points. Initialization is seeded
+/// farthest-point: the first medoid is picked from the seed, each later
+/// medoid is the point farthest from the chosen set (ties to the lowest
+/// index). A PAM-style alternation then reassigns points to their nearest
+/// medoid and moves each medoid to the member minimizing the cluster's
+/// total distance, until fixed point.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for zero points or zero `k`,
+/// [`StatsError::LengthMismatch`] if the points have differing dimensions,
+/// and [`StatsError::NotFinite`] if any coordinate is NaN or infinite.
+pub fn k_medoids(points: &[Vec<f64>], k: usize, seed: u64) -> Result<Clustering, StatsError> {
+    if points.is_empty() || k == 0 {
+        return Err(StatsError::Empty);
+    }
+    let dim = points[0].len();
+    for (index, p) in points.iter().enumerate() {
+        if p.len() != dim {
+            return Err(StatsError::LengthMismatch {
+                left: dim,
+                right: p.len(),
+            });
+        }
+        if p.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NotFinite { index });
+        }
+    }
+    let n = points.len();
+    let k = k.min(n);
+
+    // Seeded farthest-point initialization.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    medoids.push((splitmix64(seed) % n as u64) as usize);
+    // Distance from each point to its nearest already-chosen medoid.
+    let mut nearest: Vec<f64> = points
+        .iter()
+        .map(|p| distance2(p, &points[medoids[0]]))
+        .collect();
+    while medoids.len() < k {
+        let mut far = 0;
+        for i in 1..n {
+            if nearest[i] > nearest[far] {
+                far = i;
+            }
+        }
+        // All remaining points coincide with a medoid: fewer distinct
+        // points than k. Reuse duplicates anyway (callers asked for k
+        // clusters; empty growth would loop forever), picking the lowest
+        // unused index.
+        if nearest[far] == 0.0 {
+            if let Some(unused) = (0..n).find(|i| !medoids.contains(i)) {
+                far = unused;
+            } else {
+                break;
+            }
+        }
+        medoids.push(far);
+        for i in 0..n {
+            let d = distance2(&points[i], &points[far]);
+            if d < nearest[i] {
+                nearest[i] = d;
+            }
+        }
+    }
+    medoids.sort_unstable();
+
+    let mut assignment = vec![0usize; n];
+    for _ in 0..MAX_ITERATIONS {
+        // Assign: nearest medoid, ties to the lowest medoid position.
+        for i in 0..n {
+            let mut best = 0;
+            let mut best_d = distance2(&points[i], &points[medoids[0]]);
+            for (c, &m) in medoids.iter().enumerate().skip(1) {
+                let d = distance2(&points[i], &points[m]);
+                if d < best_d {
+                    best = c;
+                    best_d = d;
+                }
+            }
+            assignment[i] = best;
+        }
+        // Update: each medoid becomes the member minimizing the summed
+        // distance to its cluster, ties to the lowest index.
+        let mut changed = false;
+        for (c, medoid) in medoids.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
+            let mut best = *medoid;
+            let mut best_cost = f64::INFINITY;
+            for &candidate in &members {
+                let cost: f64 = members
+                    .iter()
+                    .map(|&m| distance2(&points[candidate], &points[m]))
+                    .sum();
+                if cost < best_cost || (cost == best_cost && candidate < best) {
+                    best = candidate;
+                    best_cost = cost;
+                }
+            }
+            if best != *medoid {
+                *medoid = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        medoids.sort_unstable();
+    }
+
+    // Final assignment against the settled medoids.
+    for i in 0..n {
+        let mut best = 0;
+        let mut best_d = distance2(&points[i], &points[medoids[0]]);
+        for (c, &m) in medoids.iter().enumerate().skip(1) {
+            let d = distance2(&points[i], &points[m]);
+            if d < best_d {
+                best = c;
+                best_d = d;
+            }
+        }
+        assignment[i] = best;
+    }
+    // Medoids always belong to their own cluster (distance 0 ties break
+    // toward the lowest medoid position, which for a medoid is itself
+    // unless two medoids coincide — then both map to the first, and the
+    // later duplicate cluster would be empty; drop such duplicates).
+    let mut sizes = vec![0usize; medoids.len()];
+    for &c in &assignment {
+        sizes[c] += 1;
+    }
+    if sizes.contains(&0) {
+        let keep: Vec<usize> = (0..medoids.len()).filter(|&c| sizes[c] > 0).collect();
+        let remap: Vec<Option<usize>> = {
+            let mut r = vec![None; medoids.len()];
+            for (new, &old) in keep.iter().enumerate() {
+                r[old] = Some(new);
+            }
+            r
+        };
+        medoids = keep.iter().map(|&c| medoids[c]).collect();
+        sizes = keep.iter().map(|&c| sizes[c]).collect();
+        for a in &mut assignment {
+            *a = remap[*a].expect("non-empty clusters retain their points");
+        }
+    }
+    Ok(Clustering {
+        medoids,
+        assignment,
+        sizes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: f64, count: usize) -> Vec<Vec<f64>> {
+        (0..count)
+            .map(|i| vec![center + (i as f64) * 0.01, center - (i as f64) * 0.01])
+            .collect()
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let mut points = blob(0.0, 5);
+        points.extend(blob(10.0, 5));
+        points.extend(blob(20.0, 5));
+        let c = k_medoids(&points, 3, 42).unwrap();
+        assert_eq!(c.k(), 3);
+        assert_eq!(c.sizes, vec![5, 5, 5]);
+        // Every blob maps to a single cluster.
+        for chunk in [0..5, 5..10, 10..15] {
+            let first = c.assignment[chunk.start];
+            assert!(chunk.clone().all(|i| c.assignment[i] == first));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let points: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let x = splitmix64(i as u64) as f64 / u64::MAX as f64;
+                let y = splitmix64(i as u64 ^ 0xdead) as f64 / u64::MAX as f64;
+                vec![x, y]
+            })
+            .collect();
+        let a = k_medoids(&points, 7, 123).unwrap();
+        let b = k_medoids(&points, 7, 123).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn medoids_are_members_and_sizes_sum() {
+        let points: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let c = k_medoids(&points, 4, 7).unwrap();
+        assert_eq!(c.sizes.iter().sum::<usize>(), 20);
+        for (pos, &m) in c.medoids.iter().enumerate() {
+            assert_eq!(c.assignment[m], pos, "medoid {m} in its own cluster");
+        }
+        assert!(!c.sizes.contains(&0));
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let points = vec![vec![1.0], vec![2.0]];
+        let c = k_medoids(&points, 10, 0).unwrap();
+        assert_eq!(c.k(), 2);
+        assert_eq!(c.sizes, vec![1, 1]);
+    }
+
+    #[test]
+    fn duplicate_points_collapse_without_empty_clusters() {
+        let points = vec![vec![5.0]; 6];
+        let c = k_medoids(&points, 3, 9).unwrap();
+        assert!(!c.sizes.contains(&0));
+        assert_eq!(c.sizes.iter().sum::<usize>(), 6);
+        for &a in &c.assignment {
+            assert!(a < c.k());
+        }
+    }
+
+    #[test]
+    fn single_point_single_cluster() {
+        let c = k_medoids(&[vec![3.0, 4.0]], 1, 99).unwrap();
+        assert_eq!(c.medoids, vec![0]);
+        assert_eq!(c.assignment, vec![0]);
+        assert_eq!(c.sizes, vec![1]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(k_medoids(&[], 2, 0), Err(StatsError::Empty));
+        assert_eq!(k_medoids(&[vec![1.0]], 0, 0), Err(StatsError::Empty));
+        assert!(matches!(
+            k_medoids(&[vec![1.0], vec![1.0, 2.0]], 1, 0),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            k_medoids(&[vec![f64::NAN]], 1, 0),
+            Err(StatsError::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn seed_changes_only_selection_not_validity() {
+        let mut points = blob(0.0, 8);
+        points.extend(blob(50.0, 8));
+        for seed in 0..10u64 {
+            let c = k_medoids(&points, 2, seed).unwrap();
+            assert_eq!(c.sizes, vec![8, 8], "seed {seed}");
+        }
+    }
+}

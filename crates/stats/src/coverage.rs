@@ -14,7 +14,7 @@
 
 use crate::geometric::{geometric_mean, geometric_std};
 use crate::StatsError;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Threshold (in percent) below which a method is folded into `others`
 /// when it stays below it for every workload.
@@ -43,7 +43,8 @@ impl CoverageMatrix {
     /// Adds one workload's coverage row.
     ///
     /// `percentages` maps method name → percent of execution time. Rows need
-    /// not mention every method; missing methods are treated as 0%.
+    /// not mention every method; missing methods are treated as 0%. A method
+    /// listed more than once has its percentages accumulated.
     ///
     /// # Errors
     ///
@@ -62,7 +63,7 @@ impl CoverageMatrix {
             if pct < 0.0 {
                 return Err(StatsError::NonPositive { index });
             }
-            row.insert(name.into(), pct);
+            *row.entry(name.into()).or_insert(0.0) += pct;
         }
         self.rows.push((workload.to_owned(), row));
         Ok(())
@@ -101,25 +102,32 @@ impl CoverageMatrix {
     /// Folds methods below [`OTHERS_THRESHOLD_PERCENT`] in every workload
     /// into a single [`OTHERS`] column, returning the reduced matrix.
     pub fn fold_others(&self) -> CoverageMatrix {
-        let mut significant: Vec<&str> = Vec::new();
-        for method in self.method_names() {
-            let col = self.column(method);
-            if col.iter().any(|&p| p >= OTHERS_THRESHOLD_PERCENT) {
-                significant.push(method);
-            }
-        }
+        // Compute the method union once: it allocates and sorts every
+        // method name, so recomputing it per workload row is quadratic in
+        // the matrix size.
+        let all_methods = self.method_names();
+        let significant: BTreeSet<&str> = all_methods
+            .iter()
+            .copied()
+            .filter(|method| {
+                self.column(method)
+                    .iter()
+                    .any(|&p| p >= OTHERS_THRESHOLD_PERCENT)
+            })
+            .collect();
+        let any_folded = significant.len() < all_methods.len();
         let mut folded = CoverageMatrix::new();
         for (workload, row) in &self.rows {
             let mut new_row: BTreeMap<String, f64> = BTreeMap::new();
             let mut others = 0.0;
             for (method, pct) in row {
-                if significant.contains(&method.as_str()) {
+                if significant.contains(method.as_str()) {
                     new_row.insert(method.clone(), *pct);
                 } else {
                     others += pct;
                 }
             }
-            if others > 0.0 || significant.len() < self.method_names().len() {
+            if others > 0.0 || any_folded {
                 new_row.insert(OTHERS.to_owned(), others);
             }
             folded.rows.push((workload.clone(), new_row));
@@ -275,6 +283,32 @@ mod tests {
         for mv in &s.methods {
             assert!((mv.geo_std - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn duplicate_methods_accumulate_instead_of_overwriting() {
+        // Regression: `row.insert` silently dropped the earlier value when
+        // one row listed the same method twice (e.g. coverage assembled
+        // from call-tree paths sharing a leaf function).
+        let mut m = CoverageMatrix::new();
+        m.push_workload("w0", [("f", 30.0), ("g", 40.0), ("f", 30.0)])
+            .unwrap();
+        assert_eq!(m.column("f"), vec![60.0]);
+        assert_eq!(m.column("g"), vec![40.0]);
+    }
+
+    #[test]
+    fn fold_others_folds_duplicate_accumulated_methods_consistently() {
+        // An insignificant method split across duplicate entries must be
+        // judged by its accumulated total, not its last fragment.
+        let mut m = CoverageMatrix::new();
+        m.push_workload("w0", [("hot", 99.9), ("tiny", 0.03), ("tiny", 0.03)])
+            .unwrap();
+        let folded = m.fold_others();
+        assert!(
+            folded.method_names().contains(&"tiny"),
+            "0.06% accumulated is above the 0.05% threshold"
+        );
     }
 
     #[test]

@@ -27,11 +27,13 @@
 //! # }
 //! ```
 
+pub mod cluster;
 pub mod coverage;
 pub mod geometric;
 pub mod summary;
 pub mod variation;
 
+pub use cluster::{k_medoids, Clustering};
 pub use coverage::{CoverageMatrix, CoverageSummary};
 pub use geometric::{geometric_mean, geometric_std, proportional_variation};
 pub use summary::Summary;

@@ -46,4 +46,4 @@ pub mod topdown;
 
 pub use cache::{Cache, CacheConfig, CacheStats, MemoryHierarchy, MemoryOutcome, Tlb};
 pub use predictor::{Bimodal, BranchPredictor, Gshare, PredictorKind, StaticTaken, Tournament};
-pub use topdown::{MachineConfig, TopDownModel, TopDownReport};
+pub use topdown::{MachineConfig, MedoidWindow, TopDownModel, TopDownReport};

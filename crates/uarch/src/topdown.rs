@@ -18,8 +18,8 @@
 //! totals — the ablation benchmark `sampling` quantifies this.
 
 use crate::cache::{Cache, CacheConfig, MemoryHierarchy, MemoryOutcome};
-use crate::predictor::PredictorKind;
-use alberta_profile::{Event, Profile};
+use crate::predictor::{BranchPredictor, PredictorKind};
+use alberta_profile::{Event, Profile, Totals};
 use alberta_stats::variation::TopDownRatios;
 
 /// Latencies and widths of the modelled machine.
@@ -123,6 +123,129 @@ pub struct TopDownReport {
     pub predictor: &'static str,
 }
 
+/// One representative execution window for phase-sampled estimation: a
+/// cluster medoid's captured trace slice plus the exact counter deltas of
+/// *every* interval the cluster contains.
+///
+/// The pilot pass measures exact per-interval counter deltas for the whole
+/// run, so only the replay-derived rates (mispredictions, cache misses,
+/// I-cache pressure) are extrapolated from the medoid to its cluster; all
+/// event counts stay exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MedoidWindow {
+    /// Summed exact counter deltas over all member intervals of the
+    /// cluster this medoid represents.
+    pub cluster_totals: Totals,
+    /// Half-open trace-index range of the medoid's events in the detail
+    /// run's (non-decimated) trace. Trace entries *between* consecutive
+    /// windows' ranges are treated as a warming stream: replayed for
+    /// state, never counted.
+    pub trace_range: (usize, usize),
+}
+
+/// Sampled event counts from replaying one event slice.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReplayCounts {
+    branches: u64,
+    mispredicts: u64,
+    mem: u64,
+    l2_hits: u64,
+    mem_hits: u64,
+    tlb_misses: u64,
+    fetch_probes: u64,
+    icache_misses: u64,
+    calls: u64,
+}
+
+/// Absolute (rescaled) event estimates feeding the cycle composition.
+#[derive(Debug, Clone, Copy, Default)]
+struct AbsoluteEstimates {
+    mispredicts: f64,
+    l2_hits: f64,
+    mem_accesses: f64,
+    tlb_misses: f64,
+    fetch_probes: f64,
+    icache_misses: f64,
+}
+
+/// The microarchitectural structures a replay drives. One state is
+/// shared across every window of an [`TopDownModel::estimate`] call so
+/// later windows start warm, the way a full-trace replay would reach
+/// them.
+struct ReplayState {
+    predictor: Box<dyn BranchPredictor>,
+    hierarchy: MemoryHierarchy,
+    icache: Cache,
+}
+
+impl ReplayState {
+    fn new(cfg: &MachineConfig, predictor: PredictorKind) -> Self {
+        ReplayState {
+            predictor: predictor.build(),
+            hierarchy: MemoryHierarchy::with_configs(cfg.l1d, cfg.l2, cfg.dtlb_entries),
+            icache: Cache::new(cfg.icache),
+        }
+    }
+
+    /// Replays one event slice, mutating the shared state, and returns
+    /// the slice's outcome counts.
+    fn replay(
+        &mut self,
+        cfg: &MachineConfig,
+        profile: &Profile,
+        events: &[Event],
+        fn_base: &[u64],
+    ) -> ReplayCounts {
+        let line = cfg.icache.line_bytes;
+        let mut counts = ReplayCounts::default();
+        for event in events {
+            match *event {
+                Event::Branch { site, taken } => {
+                    counts.branches += 1;
+                    if !self.predictor.observe(site, taken) {
+                        counts.mispredicts += 1;
+                    }
+                }
+                Event::Load { addr } | Event::Store { addr } => {
+                    counts.mem += 1;
+                    let (outcome, tlb_miss) = self.hierarchy.access(addr);
+                    match outcome {
+                        MemoryOutcome::L1 => {}
+                        MemoryOutcome::L2 => counts.l2_hits += 1,
+                        MemoryOutcome::Memory => counts.mem_hits += 1,
+                    }
+                    counts.tlb_misses += tlb_miss as u64;
+                }
+                Event::Call { callee } => {
+                    counts.calls += 1;
+                    let base = fn_base[callee.0 as usize];
+                    let len = (profile.functions[callee.0 as usize].code_bytes as u64)
+                        .min(cfg.fetch_probe_bytes)
+                        .max(1);
+                    let mut offset = 0;
+                    while offset < len {
+                        counts.fetch_probes += 1;
+                        if !self.icache.access(base + offset) {
+                            counts.icache_misses += 1;
+                        }
+                        offset += line;
+                    }
+                }
+                Event::Return => {}
+            }
+        }
+        counts
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 /// Analytical Top-Down analyzer; create once, reuse across runs.
 #[derive(Debug, Clone)]
 pub struct TopDownModel {
@@ -147,16 +270,104 @@ impl TopDownModel {
     }
 
     /// Analyzes one profile into a Top-Down report.
+    ///
+    /// Equivalent to [`TopDownModel::estimate`] over a single window
+    /// spanning the whole trace with the run's exact totals.
     pub fn analyze(&self, profile: &Profile) -> TopDownReport {
-        let cfg = &self.config;
-        let mut predictor = self.predictor.build();
-        let mut hierarchy = MemoryHierarchy::with_configs(cfg.l1d, cfg.l2, cfg.dtlb_entries);
-        let mut icache = Cache::new(cfg.icache);
+        let window = MedoidWindow {
+            cluster_totals: profile.totals,
+            trace_range: (0, profile.trace.len()),
+        };
+        self.estimate(profile, &[window])
+    }
 
-        // Synthetic code layout: functions placed back to back, line-aligned,
-        // in registration order. Registration order is deterministic per
-        // benchmark, so layout is stable across workloads.
-        let line = cfg.icache.line_bytes;
+    /// Estimates a whole-run Top-Down report from representative windows.
+    ///
+    /// Each [`MedoidWindow`] pairs a captured trace slice (the medoid
+    /// interval of one phase cluster) with the exact counter deltas summed
+    /// over *all* intervals of that cluster. The slice is replayed through
+    /// fresh predictor/cache state to obtain per-window event *rates*,
+    /// which are rescaled by the cluster's exact counts — so the only
+    /// estimated quantities are the microarchitectural rates; event totals
+    /// stay exact when the windows' cluster totals partition the run.
+    pub fn estimate(&self, profile: &Profile, windows: &[MedoidWindow]) -> TopDownReport {
+        let fn_base = self.code_layout(profile);
+        let trace = profile.trace.events();
+        let mut abs = AbsoluteEstimates::default();
+        let mut totals = Totals::default();
+        // One replay state shared across windows: the windows are
+        // time-ordered slices of the same run, so carrying predictor and
+        // cache contents forward approximates the warm state a full
+        // replay would have — resetting per window would charge every
+        // window a cold-start miss storm and bias the rates upward.
+        let mut state = ReplayState::new(&self.config, self.predictor);
+        let mut cursor = 0usize;
+        for window in windows {
+            let (start, end) = window.trace_range;
+            let end = end.min(trace.len());
+            let start = start.min(end);
+            // The trace between windows holds the profiler's diluted
+            // warming stream. Feed it through the shared state without
+            // counting its outcomes: a full replay reaching this window
+            // would have trained on everything in the gap, and skipping
+            // the gap entirely leaves predictor and caches stale enough
+            // to read mispredict and miss rates high.
+            let _ = state.replay(
+                &self.config,
+                profile,
+                &trace[cursor.min(start)..start],
+                &fn_base,
+            );
+            let counts = state.replay(&self.config, profile, &trace[start..end], &fn_base);
+            cursor = end;
+            let t = &window.cluster_totals;
+            totals.retired_ops += t.retired_ops;
+            totals.branches += t.branches;
+            totals.taken_branches += t.taken_branches;
+            totals.loads += t.loads;
+            totals.stores += t.stores;
+            totals.calls += t.calls;
+            let mem_total = (t.loads + t.stores) as f64;
+            abs.mispredicts += ratio(counts.mispredicts, counts.branches) * t.branches as f64;
+            abs.l2_hits += ratio(counts.l2_hits, counts.mem) * mem_total;
+            abs.mem_accesses += ratio(counts.mem_hits, counts.mem) * mem_total;
+            abs.tlb_misses += ratio(counts.tlb_misses, counts.mem) * mem_total;
+            let probes = ratio(counts.fetch_probes, counts.calls) * t.calls as f64;
+            abs.fetch_probes += probes;
+            abs.icache_misses += ratio(counts.icache_misses, counts.fetch_probes) * probes;
+        }
+        self.compose(&abs, &totals)
+    }
+
+    /// Cheap per-interval phase signature for clustering: approximate
+    /// Top-Down category *pressures* derived from exact counter deltas
+    /// alone — no trace replay — so the pilot pass can compute one per
+    /// interval at negligible cost.
+    ///
+    /// Components are per-retired-op event rates scaled by the machine's
+    /// penalty weights (mispredict penalty for the branch mix, fetch
+    /// bubbles for taken branches, memory latency for the access mix,
+    /// I-cache penalty for the call mix), normalized by the issue width so
+    /// magnitudes are comparable across components. Intervals with similar
+    /// signatures stress the machine similarly even before replay.
+    pub fn phase_signature(&self, totals: &Totals) -> [f64; 4] {
+        let cfg = &self.config;
+        let ops = (totals.retired_ops.max(1)) as f64;
+        let scale = cfg.issue_width.max(1.0);
+        [
+            totals.branches as f64 / ops * cfg.mispredict_penalty / scale,
+            totals.taken_branches as f64 / ops * cfg.taken_branch_bubble,
+            (totals.loads + totals.stores) as f64 / ops * cfg.memory_latency
+                / (cfg.memory_parallelism * scale),
+            totals.calls as f64 / ops * cfg.icache_penalty / scale,
+        ]
+    }
+
+    /// Synthetic code layout: functions placed back to back, line-aligned,
+    /// in registration order. Registration order is deterministic per
+    /// benchmark, so layout is stable across workloads.
+    fn code_layout(&self, profile: &Profile) -> Vec<u64> {
+        let line = self.config.icache.line_bytes;
         let mut fn_base = Vec::with_capacity(profile.functions.len());
         let mut cursor = 0u64;
         for meta in &profile.functions {
@@ -164,87 +375,26 @@ impl TopDownModel {
             let len = (meta.code_bytes as u64).max(1);
             cursor += len.div_ceil(line) * line;
         }
+        fn_base
+    }
 
-        // Replay the sampled event stream.
-        let mut sampled_branches = 0u64;
-        let mut sampled_mispredicts = 0u64;
-        let mut sampled_mem = 0u64;
-        let mut sampled_l2_hits = 0u64;
-        let mut sampled_mem_hits = 0u64;
-        let mut sampled_tlb_misses = 0u64;
-        let mut fetch_probes = 0u64;
-        let mut icache_misses = 0u64;
-        let mut sampled_calls = 0u64;
-        for event in &profile.trace {
-            match *event {
-                Event::Branch { site, taken } => {
-                    sampled_branches += 1;
-                    if !predictor.observe(site, taken) {
-                        sampled_mispredicts += 1;
-                    }
-                }
-                Event::Load { addr } | Event::Store { addr } => {
-                    sampled_mem += 1;
-                    let (outcome, tlb_miss) = hierarchy.access(addr);
-                    match outcome {
-                        MemoryOutcome::L1 => {}
-                        MemoryOutcome::L2 => sampled_l2_hits += 1,
-                        MemoryOutcome::Memory => sampled_mem_hits += 1,
-                    }
-                    sampled_tlb_misses += tlb_miss as u64;
-                }
-                Event::Call { callee } => {
-                    sampled_calls += 1;
-                    let base = fn_base[callee.0 as usize];
-                    let len = (profile.functions[callee.0 as usize].code_bytes as u64)
-                        .min(cfg.fetch_probe_bytes)
-                        .max(1);
-                    let mut offset = 0;
-                    while offset < len {
-                        fetch_probes += 1;
-                        if !icache.access(base + offset) {
-                            icache_misses += 1;
-                        }
-                        offset += line;
-                    }
-                }
-                Event::Return => {}
-            }
-        }
-
-        let ratio = |num: u64, den: u64| {
-            if den == 0 {
-                0.0
-            } else {
-                num as f64 / den as f64
-            }
-        };
-        let mispredict_rate = ratio(sampled_mispredicts, sampled_branches);
-        let l2_hit_rate = ratio(sampled_l2_hits, sampled_mem);
-        let mem_rate = ratio(sampled_mem_hits, sampled_mem);
-        let tlb_rate = ratio(sampled_tlb_misses, sampled_mem);
-        let icache_miss_ratio = ratio(icache_misses, fetch_probes);
-        let probes_per_call = ratio(fetch_probes, sampled_calls);
-
-        // Rescale sampled rates by the exact totals.
-        let totals = &profile.totals;
+    /// Composes the cycle accounting from absolute event estimates and
+    /// (exact or estimated) run totals.
+    fn compose(&self, abs: &AbsoluteEstimates, totals: &Totals) -> TopDownReport {
+        let cfg = &self.config;
         let mem_total = (totals.loads + totals.stores) as f64;
-        let mispredicts = mispredict_rate * totals.branches as f64;
-        let l2_hits = l2_hit_rate * mem_total;
-        let mem_accesses = mem_rate * mem_total;
-        let tlb_misses = tlb_rate * mem_total;
-        let icache_miss_total = icache_miss_ratio * probes_per_call * totals.calls as f64;
+        let fratio = |num: f64, den: f64| if den == 0.0 { 0.0 } else { num / den };
 
         let retired = totals.retired_ops as f64 * cfg.uops_per_unit;
         let base_cycles = retired / cfg.issue_width;
         let bad_spec_cycles =
-            mispredicts * cfg.mispredict_penalty + base_cycles * cfg.baseline_badspec;
-        let front_end_cycles = icache_miss_total * cfg.icache_penalty
+            abs.mispredicts * cfg.mispredict_penalty + base_cycles * cfg.baseline_badspec;
+        let front_end_cycles = abs.icache_misses * cfg.icache_penalty
             + totals.taken_branches as f64 * cfg.taken_branch_bubble
             + base_cycles * cfg.baseline_frontend;
-        let back_end_cycles = (l2_hits * cfg.l2_latency
-            + mem_accesses * cfg.memory_latency
-            + tlb_misses * cfg.tlb_penalty)
+        let back_end_cycles = (abs.l2_hits * cfg.l2_latency
+            + abs.mem_accesses * cfg.memory_latency
+            + abs.tlb_misses * cfg.tlb_penalty)
             / cfg.memory_parallelism
             + base_cycles * cfg.baseline_backend;
         let cycles = (base_cycles + bad_spec_cycles + front_end_cycles + back_end_cycles).max(1.0);
@@ -273,20 +423,16 @@ impl TopDownModel {
             cycles,
             retired_ops: totals.retired_ops,
             ipc: retired / cycles,
-            mispredict_rate,
+            mispredict_rate: fratio(abs.mispredicts, totals.branches as f64),
             mispredicts_per_kops: if retired == 0.0 {
                 0.0
             } else {
-                mispredicts / retired * 1000.0
+                abs.mispredicts / retired * 1000.0
             },
-            l1d_miss_ratio: l2_hit_rate + mem_rate,
-            l2_miss_ratio: if sampled_l2_hits + sampled_mem_hits == 0 {
-                0.0
-            } else {
-                sampled_mem_hits as f64 / (sampled_l2_hits + sampled_mem_hits) as f64
-            },
-            dtlb_miss_ratio: tlb_rate,
-            icache_miss_ratio,
+            l1d_miss_ratio: fratio(abs.l2_hits + abs.mem_accesses, mem_total),
+            l2_miss_ratio: fratio(abs.mem_accesses, abs.l2_hits + abs.mem_accesses),
+            dtlb_miss_ratio: fratio(abs.tlb_misses, mem_total),
+            icache_miss_ratio: fratio(abs.icache_misses, abs.fetch_probes),
             predictor: self.predictor.build().name(),
         }
     }
@@ -440,6 +586,108 @@ mod tests {
         for (a, b) in d.iter().zip(s.iter()) {
             assert!((a - b).abs() < 0.1, "dense {d:?} sparse {s:?}");
         }
+    }
+
+    #[test]
+    fn estimate_over_full_window_matches_analyze() {
+        let mut p = Profiler::default();
+        let f = p.register_function("mix", 512);
+        p.enter(f);
+        for i in 0..50_000u64 {
+            p.branch((i % 17) as u32, (i / 5) % 3 != 0);
+            p.load((i * 712) % (1 << 22));
+            p.retire(3);
+        }
+        p.exit();
+        let profile = p.finish();
+        let m = model();
+        let full = m.analyze(&profile);
+        let windowed = m.estimate(
+            &profile,
+            &[MedoidWindow {
+                cluster_totals: profile.totals,
+                trace_range: (0, profile.trace.len()),
+            }],
+        );
+        assert_eq!(full, windowed);
+    }
+
+    #[test]
+    fn estimate_from_representative_windows_approximates_full_run() {
+        // A homogeneous run: any contiguous slice is representative, so
+        // replaying one quarter of the trace with the whole run's exact
+        // totals should land near the full analysis.
+        let mut p = Profiler::default();
+        let f = p.register_function("steady", 512);
+        p.enter(f);
+        for i in 0..80_000u64 {
+            p.branch((i % 7) as u32, i % 3 == 0);
+            p.load((i * 328) % (1 << 20));
+            p.retire(2);
+        }
+        p.exit();
+        let profile = p.finish();
+        let m = model();
+        let full = m.analyze(&profile);
+        let quarter = profile.trace.len() / 4;
+        let est = m.estimate(
+            &profile,
+            &[MedoidWindow {
+                cluster_totals: profile.totals,
+                trace_range: (quarter, 2 * quarter),
+            }],
+        );
+        assert_eq!(est.retired_ops, full.retired_ops, "counts stay exact");
+        for (a, b) in full
+            .ratios
+            .as_array()
+            .iter()
+            .zip(est.ratios.as_array().iter())
+        {
+            assert!((a - b).abs() < 0.05, "full {full:?} est {est:?}");
+        }
+    }
+
+    #[test]
+    fn estimate_with_no_windows_degenerates() {
+        let mut p = Profiler::default();
+        let f = p.register_function("f", 64);
+        p.enter(f);
+        p.retire(100);
+        p.exit();
+        let profile = p.finish();
+        let est = model().estimate(&profile, &[]);
+        assert_eq!(est.retired_ops, 0);
+        assert_eq!(est.ratios.retiring, 1.0);
+    }
+
+    #[test]
+    fn phase_signature_separates_different_mixes() {
+        let m = model();
+        let compute = Totals {
+            retired_ops: 1000,
+            ..Totals::default()
+        };
+        let memory = Totals {
+            retired_ops: 1000,
+            loads: 400,
+            stores: 100,
+            ..Totals::default()
+        };
+        let branchy = Totals {
+            retired_ops: 1000,
+            branches: 500,
+            taken_branches: 250,
+            ..Totals::default()
+        };
+        let sig = |t: &Totals| m.phase_signature(t);
+        let dist =
+            |a: [f64; 4], b: [f64; 4]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
+        assert!(dist(sig(&compute), sig(&memory)) > 0.1);
+        assert!(dist(sig(&compute), sig(&branchy)) > 0.1);
+        assert!(dist(sig(&memory), sig(&branchy)) > 0.1);
+        // Signatures are pure functions of the deltas.
+        assert_eq!(sig(&memory), sig(&memory));
     }
 
     #[test]
