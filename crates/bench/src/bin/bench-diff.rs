@@ -33,6 +33,10 @@ fn load(path: &str) -> SuiteReport {
 }
 
 fn main() {
+    // Under --exec processes the supervisor re-executes this binary in
+    // a hidden worker mode; that must be intercepted before any
+    // argument parsing sees the worker flag.
+    alberta_bench::maybe_worker();
     let operands = operands_from_args();
     let [base_path, new_path] = operands.as_slice() else {
         usage_error("expected exactly two reports: bench-diff BASELINE.json NEW.json");

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p alberta-bench --bin bench-report \
-//!     [test|train|ref] [--jobs N] [--out PATH] [--telemetry] \
+//!     [test|train|ref] [--exec serial|threads|processes] [--jobs N] \
+//!     [--out PATH] [--telemetry] [--chaos N] [--chaos-seed SEED] \
 //!     [--sample] [--sample-interval OPS] [--sample-k N] [--sample-seed SEED]
 //! ```
 //!
@@ -20,9 +21,18 @@
 //! Top-Down numbers become clustered-interval estimates and each run
 //! record gains a `sampling` section with the pilot/cluster accounting.
 //! Sampled sweeps keep the serial-vs-parallel byte-identity guarantee.
+//!
+//! `--exec processes` fans the runs out to supervised worker
+//! subprocesses (crash isolation, heartbeats, bounded redispatch); the
+//! canonical document stays byte-identical to a serial sweep. `--chaos N
+//! --chaos-seed S` scatters `N` seeded process faults (worker crashes,
+//! hangs, corrupt result lines) over the sweep to exercise the
+//! supervisor's recovery — single-shot faults are absorbed by
+//! redispatch, so the chaos report still matches the clean one.
 
 use alberta_bench::{
-    exec_from_args, flag_from_args, sampling_from_args, scale_from_args, value_from_args,
+    chaos_from_args, exec_from_args, flag_from_args, sampling_from_args, scale_from_args,
+    value_from_args,
 };
 use alberta_core::Suite;
 use alberta_report::SuiteReport;
@@ -37,6 +47,10 @@ fn scale_name(scale: alberta_workloads::Scale) -> &'static str {
 }
 
 fn main() {
+    // Under --exec processes the supervisor re-executes this binary in
+    // a hidden worker mode; that must be intercepted before any
+    // argument parsing sees the worker flag.
+    alberta_bench::maybe_worker();
     let scale = scale_from_args();
     let exec = exec_from_args();
     let out = value_from_args("--out")
@@ -46,6 +60,14 @@ fn main() {
     let suite = Suite::new(scale)
         .with_exec(exec)
         .with_sampling_policy(sampling_from_args());
+    let suite = match chaos_from_args() {
+        None => suite,
+        Some((count, seed)) => {
+            let plan = suite.scattered_process_faults(seed, count);
+            eprintln!("bench-report: chaos plan: {count} process fault(s), seed {seed}");
+            suite.with_faults(plan)
+        }
+    };
     let results = suite.characterize_all_resilient_metered();
     for (r, _) in &results {
         for incident in r.incidents() {

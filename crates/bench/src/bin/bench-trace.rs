@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p alberta-bench --bin bench-trace \
-//!     [test|train|ref] [--jobs N] [--out-dir DIR] [--top-k K] \
+//!     [test|train|ref] [--exec serial|threads|processes] [--jobs N] [--out-dir DIR] [--top-k K] \
 //!     [--lanes N] [--telemetry]
 //! ```
 //!
@@ -59,6 +59,10 @@ fn write_artifact(path: &Path, contents: &str) {
 }
 
 fn main() {
+    // Under --exec processes the supervisor re-executes this binary in
+    // a hidden worker mode; that must be intercepted before any
+    // argument parsing sees the worker flag.
+    alberta_bench::maybe_worker();
     let scale = scale_from_args();
     let exec = exec_from_args();
     let top_k = count_arg("--top-k", 10);

@@ -12,6 +12,10 @@ use alberta_fdo::FdoPipeline;
 use alberta_workloads::Named;
 
 fn main() {
+    // Under --exec processes the supervisor re-executes this binary in
+    // a hidden worker mode; that must be intercepted before any
+    // argument parsing sees the worker flag.
+    alberta_bench::maybe_worker();
     let source = classifier_program(4, &[1, 4, 20, 48]);
     let pipeline = FdoPipeline::new(&source).expect("program compiles");
     let named = |name: &str, dist, seed| {

@@ -2,7 +2,7 @@
 //! `531.deepsjeng_r` (left) and `557.xz_r` (right).
 //!
 //! ```text
-//! cargo run --release -p alberta-bench --bin fig2 [test|train|ref] [--jobs N]
+//! cargo run --release -p alberta-bench --bin fig2 [test|train|ref] [--exec serial|threads|processes] [--jobs N]
 //! ```
 //!
 //! Runs through the resilient pipeline: a failing workload costs one row,
@@ -19,6 +19,10 @@ use alberta_core::Suite;
 use alberta_report::{view, SuiteReport};
 
 fn main() {
+    // Under --exec processes the supervisor re-executes this binary in
+    // a hidden worker mode; that must be intercepted before any
+    // argument parsing sees the worker flag.
+    alberta_bench::maybe_worker();
     let scale = scale_from_args();
     let exec = exec_from_args();
     let suite = Suite::new(scale).with_exec(exec);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p alberta-bench --bin sample-eval \
-//!     [test|train|ref] [--jobs N] [--bound PCT] [--out PATH] \
+//!     [test|train|ref] [--exec serial|threads|processes] [--jobs N] [--bound PCT] [--out PATH] \
 //!     [--sample-interval OPS] [--sample-k N] [--sample-seed SEED]
 //! ```
 //!
@@ -27,6 +27,10 @@ use alberta_report::SuiteReport;
 use std::path::PathBuf;
 
 fn main() {
+    // Under --exec processes the supervisor re-executes this binary in
+    // a hidden worker mode; that must be intercepted before any
+    // argument parsing sees the worker flag.
+    alberta_bench::maybe_worker();
     let scale = scale_from_args();
     let exec = exec_from_args();
     let policy = match sampling_from_args() {

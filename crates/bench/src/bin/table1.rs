@@ -2,7 +2,7 @@
 //! mini-benchmark refrate cycles as the measured column.
 //!
 //! ```text
-//! cargo run --release -p alberta-bench --bin table1 [test|train|ref] [--jobs N]
+//! cargo run --release -p alberta-bench --bin table1 [test|train|ref] [--exec serial|threads|processes] [--jobs N]
 //! ```
 //!
 //! The measured column is rendered from a [`SuiteReport`] — the same
@@ -16,6 +16,10 @@ use alberta_core::{tables, Suite};
 use alberta_report::{view, SuiteReport};
 
 fn main() {
+    // Under --exec processes the supervisor re-executes this binary in
+    // a hidden worker mode; that must be intercepted before any
+    // argument parsing sees the worker flag.
+    alberta_bench::maybe_worker();
     let scale = scale_from_args();
     let exec = exec_from_args();
     let suite = Suite::new(scale).with_exec(exec);

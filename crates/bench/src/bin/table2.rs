@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! cargo run --release -p alberta-bench --bin table2 \
-//!     [test|train|ref] [--keep-going] [--jobs N] [--sample]
+//!     [test|train|ref] [--keep-going] [--exec serial|threads|processes] [--jobs N] [--sample]
 //! ```
 //!
 //! By default the first failing benchmark aborts the regeneration. With
 //! `--keep-going` the resilient pipeline runs instead: per-run failures
 //! are reported on stderr, and the table is emitted over the surviving
-//! runs with `n of m` workload annotations. `--jobs N` fans the runs out
+//! runs with `n of m` workload annotations. `--jobs N` (with `--exec threads|processes`) fans the runs out
 //! to N worker threads; the table is bit-identical either way.
 //!
 //! The table is rendered from a [`SuiteReport`] — the same structured
@@ -24,6 +24,10 @@ use alberta_core::Suite;
 use alberta_report::{view, SuiteReport};
 
 fn main() {
+    // Under --exec processes the supervisor re-executes this binary in
+    // a hidden worker mode; that must be intercepted before any
+    // argument parsing sees the worker flag.
+    alberta_bench::maybe_worker();
     let scale = scale_from_args();
     let exec = exec_from_args();
     let suite = Suite::new(scale)

@@ -8,6 +8,12 @@
 use alberta_core::{ExecPolicy, PhaseSampling, SamplingPolicy};
 use alberta_workloads::Scale;
 
+// Re-exported so every binary can hook the hidden worker mode with one
+// `alberta_bench::maybe_worker()` call at the top of `main` — under
+// `--exec processes` the supervisor re-executes the *current* binary,
+// so each binary must be able to come up as a worker.
+pub use alberta_core::maybe_worker;
+
 /// Prints a usage error and terminates with exit code 2 — the code the
 /// binaries reserve for "the invocation was wrong" as opposed to "the
 /// comparison found a regression" (1).
@@ -21,6 +27,9 @@ pub fn usage_error(message: &str) -> ! {
 /// value into the positionals and be misread as a scale.
 const VALUE_FLAGS: &[&str] = &[
     "--jobs",
+    "--exec",
+    "--chaos",
+    "--chaos-seed",
     "--out",
     "--threshold",
     "--out-dir",
@@ -87,9 +96,11 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
-/// Parses `--jobs N` / `--jobs=N` into an execution policy, falling back
-/// to the `ALBERTA_JOBS` environment variable and then to serial. A
-/// malformed count terminates with an error. Call this *before*
+/// Parses `--exec serial|threads|processes` and `--jobs N` into an
+/// execution policy, falling back to the `ALBERTA_JOBS` environment
+/// variable and then to serial. A malformed or zero worker count
+/// terminates with a usage error — `--jobs 0` used to silently collapse
+/// to serial, masking the typo. Call this *before*
 /// [`Suite::new`](alberta_core::Suite::new) so a malformed environment
 /// surfaces as a usage error rather than a panic.
 pub fn exec_from_args() -> ExecPolicy {
@@ -99,24 +110,73 @@ pub fn exec_from_args() -> ExecPolicy {
         Ok(policy) => policy,
         Err(message) => usage_error(&message),
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let value =
-            if arg == "--jobs" {
-                Some(args.next().unwrap_or_else(|| {
-                    usage_error("--jobs requires a thread count, e.g. --jobs 4")
-                }))
-            } else {
-                arg.strip_prefix("--jobs=").map(str::to_owned)
-            };
-        if let Some(value) = value {
-            return match value.parse::<usize>() {
-                Ok(n) => ExecPolicy::with_jobs(n),
-                Err(_) => usage_error(&format!("--jobs expects a thread count, got {value:?}")),
-            };
+    let jobs = value_from_args("--jobs").map(|value| match value.parse::<usize>() {
+        Ok(0) => usage_error(&format!(
+            "--jobs expects a positive worker count, got {value:?} \
+             (zero workers cannot execute anything)"
+        )),
+        Ok(n) => n,
+        Err(_) => usage_error(&format!(
+            "--jobs expects a positive worker count, got {value:?}"
+        )),
+    });
+    match value_from_args("--exec").as_deref() {
+        None => match jobs {
+            Some(n) => ExecPolicy::with_jobs(n),
+            None => env_policy.unwrap_or_default(),
+        },
+        Some("serial") => {
+            if let Some(n) = jobs.filter(|&n| n > 1) {
+                usage_error(&format!(
+                    "--exec serial runs one task at a time; --jobs {n} conflicts \
+                     (use --exec threads or --exec processes for parallelism)"
+                ));
+            }
+            ExecPolicy::serial()
         }
+        Some("threads") => match jobs.or(env_policy.map(|p| p.jobs())) {
+            Some(n) => ExecPolicy::with_jobs(n),
+            None => ExecPolicy::parallel(),
+        },
+        Some("processes") => match jobs.or(env_policy.map(|p| p.jobs())) {
+            Some(n) => ExecPolicy::processes_with_jobs(n),
+            None => ExecPolicy::processes(),
+        },
+        Some(other) => usage_error(&format!(
+            "unknown execution policy {other:?}; valid policies are: serial, threads, processes"
+        )),
     }
-    env_policy.unwrap_or_default()
+}
+
+/// Parses the chaos-injection flags of `bench-report`: `--chaos N`
+/// scatters `N` seeded process faults (worker crashes, hangs, corrupt
+/// results) over the sweep, `--chaos-seed SEED` picks the scatter
+/// (default 0). Returns `None` when chaos is not requested; malformed
+/// values, or `--chaos-seed` without `--chaos`, terminate with a usage
+/// error.
+pub fn chaos_from_args() -> Option<(usize, u64)> {
+    let count = value_from_args("--chaos");
+    let seed = value_from_args("--chaos-seed");
+    let Some(count) = count else {
+        if seed.is_some() {
+            usage_error("--chaos-seed without --chaos N has nothing to seed");
+        }
+        return None;
+    };
+    let count = match count.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => usage_error(&format!(
+            "--chaos expects a positive fault count, got {count:?}"
+        )),
+    };
+    let seed = match seed {
+        None => 0,
+        Some(value) => match value.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => usage_error(&format!("--chaos-seed expects an integer, got {value:?}")),
+        },
+    };
+    Some((count, seed))
 }
 
 /// True when the named `--flag` appears anywhere on the command line.

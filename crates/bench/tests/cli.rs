@@ -66,6 +66,56 @@ fn bench_diff_accepts_valid_threshold_and_clean_diff_exits_0() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+fn bench_report() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench-report"))
+}
+
+/// Worker-count and executor flags are validated before any sweep
+/// starts: `--jobs 0` used to silently collapse to serial and must now
+/// be a usage error, in every binary that takes the flag.
+#[test]
+fn bench_report_rejects_bad_exec_flags_with_exit_2() {
+    let cases: &[&[&str]] = &[
+        &["test", "--jobs", "0"],
+        &["test", "--jobs", "many"],
+        &["test", "--exec", "fibers"],
+        &["test", "--exec", "serial", "--jobs", "4"],
+        &["test", "--chaos", "0"],
+        &["test", "--chaos", "some"],
+        &["test", "--chaos-seed", "7"],
+    ];
+    for args in cases {
+        let status = bench_report()
+            .args(*args)
+            .status()
+            .expect("spawn bench-report");
+        assert_eq!(status.code(), Some(2), "args {args:?} must exit 2");
+    }
+}
+
+/// A malformed `ALBERTA_JOBS` environment is reported with the
+/// offending value as a usage error, not a panic mid-sweep.
+#[test]
+fn bench_report_rejects_malformed_jobs_env_with_exit_2() {
+    for bad in ["0", "-3", "lots"] {
+        let output = bench_report()
+            .args(["test"])
+            .env("ALBERTA_JOBS", bad)
+            .output()
+            .expect("spawn bench-report");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "ALBERTA_JOBS={bad:?} must exit 2"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(bad),
+            "the error must name the offending value, got: {stderr}"
+        );
+    }
+}
+
 /// Wrong operand counts are usage errors.
 #[test]
 fn bench_diff_rejects_wrong_operand_count_with_exit_2() {

@@ -118,6 +118,23 @@ pub enum BenchError {
         /// [`Error::source`]).
         violation: InvariantViolation,
     },
+    /// An error that happened in a worker subprocess and crossed the
+    /// pipe protocol as rendered text, or was synthesized by the
+    /// supervisor itself (worker crash, hang, garbled result). The
+    /// message is the complete rendered error — [`fmt::Display`] prints
+    /// it verbatim so a report built from a remote status matches the
+    /// in-process rendering byte for byte.
+    Remote {
+        /// The benchmark the task belonged to.
+        benchmark: &'static str,
+        /// Whether the originating error was retryable
+        /// ([`BenchError::is_retryable`] on the worker side), or — for
+        /// supervisor-synthesized errors — whether redispatching the
+        /// task may clear it.
+        retryable: bool,
+        /// The fully rendered error text.
+        message: String,
+    },
 }
 
 impl fmt::Display for BenchError {
@@ -156,6 +173,7 @@ impl fmt::Display for BenchError {
                 f,
                 "benchmark {benchmark} produced an inconsistent profile on {workload:?}: {violation}"
             ),
+            BenchError::Remote { message, .. } => f.write_str(message),
         }
     }
 }
@@ -167,7 +185,8 @@ impl Error for BenchError {
             BenchError::UnknownWorkload { .. }
             | BenchError::InvalidInput { .. }
             | BenchError::Panicked { .. }
-            | BenchError::BudgetExceeded { .. } => None,
+            | BenchError::BudgetExceeded { .. }
+            | BenchError::Remote { .. } => None,
         }
     }
 }
@@ -180,17 +199,21 @@ impl BenchError {
             | BenchError::InvalidInput { benchmark, .. }
             | BenchError::Panicked { benchmark, .. }
             | BenchError::BudgetExceeded { benchmark, .. }
-            | BenchError::InvalidProfile { benchmark, .. } => benchmark,
+            | BenchError::InvalidProfile { benchmark, .. }
+            | BenchError::Remote { benchmark, .. } => benchmark,
         }
     }
 
     /// True for errors a retry at reduced scale may clear (resource
     /// overruns), false for errors deterministic in the input itself.
+    /// Remote errors carry the verdict their originating error had on
+    /// the worker side.
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
-            BenchError::BudgetExceeded { .. } | BenchError::Panicked { .. }
-        )
+        match self {
+            BenchError::BudgetExceeded { .. } | BenchError::Panicked { .. } => true,
+            BenchError::Remote { retryable, .. } => *retryable,
+            _ => false,
+        }
     }
 }
 

@@ -3,10 +3,13 @@
 //! The paper's methodology is embarrassingly parallel: every
 //! `(benchmark, workload)` run is independent of every other. This module
 //! supplies the machinery the [`Suite`](crate::Suite) entry points use to
-//! exploit that — an [`ExecPolicy`] selecting serial or multi-threaded
-//! execution, and a deterministic run-queue that fans indexed tasks out
-//! to `std::thread` workers and reassembles the results in submission
-//! order.
+//! exploit that — an [`ExecPolicy`] selecting serial, multi-threaded, or
+//! multi-process execution, and a deterministic run-queue that fans
+//! indexed tasks out to `std::thread` workers and reassembles the
+//! results in submission order. The multi-process scheduler itself —
+//! supervisor, worker protocol, heartbeats, crash recovery — lives in
+//! [`crate::process`]; this module only defines the policy and the
+//! shared metrics record.
 //!
 //! # Determinism
 //!
@@ -50,6 +53,13 @@ use std::time::Instant;
 ///   [`budget_consumed`](RunMetrics::budget_consumed) depend only on the
 ///   run's inputs (scale, fault plan, sampling configuration), so they
 ///   are safe to publish and diff across commits.
+///
+/// [`dispatches`](RunMetrics::dispatches) sits in between: it is
+/// deterministic given a fault plan and supervisor configuration, but it
+/// describes the *scheduling* of the run rather than the run itself, so
+/// report serialization treats it as telemetry and strips it by default
+/// — a chaos sweep that recovers every task publishes the same artifact
+/// as a clean one.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunMetrics {
     /// Wall-clock duration of the run in nanoseconds (volatile).
@@ -58,8 +68,8 @@ pub struct RunMetrics {
     /// began — lets trace exporters place runs on a shared timeline
     /// (volatile).
     pub start_nanos: u64,
-    /// Index of the worker thread that executed the run; 0 under
-    /// [`ExecPolicy::Serial`] (volatile).
+    /// Index of the worker thread (or worker process slot) that executed
+    /// the run; 0 under [`ExecPolicy::Serial`] (volatile).
     pub worker: usize,
     /// Retry attempts made for this run (0 for a clean first run). Only
     /// the resilient pipeline retries, and it retries at most once.
@@ -69,6 +79,22 @@ pub struct RunMetrics {
     /// For a failed run this is the count at the abort when known
     /// (budget overruns report it) and 0 otherwise.
     pub budget_consumed: u64,
+    /// Times the task was handed to an executor: always 1 for
+    /// in-process execution, and the number of dispatch attempts
+    /// (first dispatch plus redispatches after crashes, hangs, or
+    /// garbled results) under [`ExecPolicy::Processes`].
+    pub dispatches: u32,
+}
+
+impl RunMetrics {
+    /// Total executions attempted for this run: dispatch attempts plus
+    /// in-run retries. A clean strict run reports 1; a degraded
+    /// resilient run (one retry) reports 2; a process task that crashed
+    /// once and succeeded on redispatch reports 2. Consistent across
+    /// the strict, resilient, and process paths.
+    pub fn attempts(&self) -> u32 {
+        self.dispatches.max(1).saturating_add(self.retries)
+    }
 }
 
 /// How suite characterization executes its independent runs.
@@ -82,6 +108,20 @@ pub enum ExecPolicy {
     /// bit-identical to [`ExecPolicy::Serial`].
     Parallel {
         /// Number of worker threads.
+        jobs: NonZeroUsize,
+    },
+    /// Runs fan out to supervised worker *subprocesses* (self-execs of
+    /// the current binary in a hidden worker mode) over a line-delimited
+    /// canonical-JSON pipe. Results are reassembled in canonical order,
+    /// so a clean sweep is bit-identical to [`ExecPolicy::Serial`]; on
+    /// top of that the supervisor adds crash isolation, heartbeat-based
+    /// hang detection, and bounded redispatch — see [`crate::process`].
+    ///
+    /// Only the [`Suite`](crate::Suite) entry points can execute under
+    /// this policy (a subprocess needs the full suite configuration to
+    /// rebuild the run); generic closures fall back to the thread pool.
+    Processes {
+        /// Number of worker processes.
         jobs: NonZeroUsize,
     },
 }
@@ -110,23 +150,42 @@ impl ExecPolicy {
         }
     }
 
+    /// The process-pool policy with one worker subprocess per available
+    /// hardware thread (falling back to one worker when the parallelism
+    /// cannot be determined).
+    pub fn processes() -> Self {
+        let jobs = std::thread::available_parallelism()
+            .unwrap_or(NonZeroUsize::new(1).expect("1 is non-zero"));
+        ExecPolicy::Processes { jobs }
+    }
+
+    /// The process-pool policy with exactly `jobs` worker subprocesses
+    /// (clamped up to 1 — even a single supervised worker buys crash
+    /// isolation, unlike a single thread).
+    pub fn processes_with_jobs(jobs: usize) -> Self {
+        let jobs = NonZeroUsize::new(jobs.max(1)).expect("clamped to >= 1");
+        ExecPolicy::Processes { jobs }
+    }
+
     /// The policy requested by the `ALBERTA_JOBS` environment variable:
     /// `None` when the variable is unset or empty, otherwise
     /// `Some(with_jobs(n))`.
     ///
     /// # Errors
     ///
-    /// A set-but-unparseable value is a configuration error, reported
-    /// rather than silently mapped to a default.
+    /// A set-but-unparseable or zero value is a configuration error,
+    /// reported (with the offending value) rather than silently mapped
+    /// to a default.
     pub fn from_env() -> Result<Option<Self>, String> {
         match std::env::var("ALBERTA_JOBS") {
             Err(_) => Ok(None),
             Ok(v) if v.trim().is_empty() => Ok(None),
-            Ok(v) => v
-                .trim()
-                .parse::<usize>()
-                .map(|n| Some(ExecPolicy::with_jobs(n)))
-                .map_err(|_| format!("ALBERTA_JOBS must be a thread count, got {v:?}")),
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(0) | Err(_) => Err(format!(
+                    "ALBERTA_JOBS must be a positive thread count, got {v:?}"
+                )),
+                Ok(n) => Ok(Some(ExecPolicy::with_jobs(n))),
+            },
         }
     }
 
@@ -134,7 +193,7 @@ impl ExecPolicy {
     pub fn jobs(&self) -> usize {
         match self {
             ExecPolicy::Serial => 1,
-            ExecPolicy::Parallel { jobs } => jobs.get(),
+            ExecPolicy::Parallel { jobs } | ExecPolicy::Processes { jobs } => jobs.get(),
         }
     }
 }
@@ -154,6 +213,12 @@ impl ExecPolicy {
 /// task panics anyway, the panic is propagated to the caller after all
 /// workers have drained — never swallowed, and never left as a poisoned
 /// queue.
+///
+/// [`ExecPolicy::Processes`] degrades to the thread pool here: an
+/// arbitrary closure cannot cross a process boundary, so only the
+/// suite-level entry points (whose tasks are fully described by the
+/// suite configuration) get true process execution via
+/// [`crate::process`].
 pub(crate) fn run_indexed<T, R, F>(policy: ExecPolicy, tasks: &[T], task: F) -> Vec<R>
 where
     T: Sync,
@@ -199,6 +264,7 @@ where
             wall_nanos: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
             start_nanos,
             worker,
+            dispatches: 1,
             ..RunMetrics::default()
         };
         (result, metrics, capture.finish())
@@ -261,6 +327,45 @@ mod tests {
         assert_eq!(ExecPolicy::with_jobs(0), ExecPolicy::Serial);
         assert_eq!(ExecPolicy::with_jobs(1), ExecPolicy::Serial);
         assert_eq!(ExecPolicy::with_jobs(4).jobs(), 4);
+    }
+
+    #[test]
+    fn processes_with_jobs_keeps_single_worker() {
+        // One supervised subprocess still buys crash isolation, so the
+        // process policy never clamps down to Serial.
+        assert_eq!(ExecPolicy::processes_with_jobs(0).jobs(), 1);
+        assert_eq!(ExecPolicy::processes_with_jobs(1).jobs(), 1);
+        assert_eq!(ExecPolicy::processes_with_jobs(4).jobs(), 4);
+        assert!(matches!(
+            ExecPolicy::processes_with_jobs(4),
+            ExecPolicy::Processes { .. }
+        ));
+    }
+
+    #[test]
+    fn attempts_counts_first_run_plus_retries() {
+        // Strict clean run: one dispatch, no retries.
+        let strict = RunMetrics {
+            dispatches: 1,
+            ..RunMetrics::default()
+        };
+        assert_eq!(strict.attempts(), 1);
+        // Resilient degraded run: one dispatch, one in-run retry.
+        let degraded = RunMetrics {
+            dispatches: 1,
+            retries: 1,
+            ..RunMetrics::default()
+        };
+        assert_eq!(degraded.attempts(), 2);
+        // Process task redispatched after a crash, then retried in-run.
+        let redispatched = RunMetrics {
+            dispatches: 2,
+            retries: 1,
+            ..RunMetrics::default()
+        };
+        assert_eq!(redispatched.attempts(), 3);
+        // A default (never-executed) record still reports one attempt.
+        assert_eq!(RunMetrics::default().attempts(), 1);
     }
 
     #[test]

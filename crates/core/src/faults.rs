@@ -19,6 +19,24 @@
 //!   run's needs → deterministic `BudgetExceeded` abort;
 //! * [`FaultKind::CorruptEvents`] corrupts the profiler's event counters
 //!   → `Profile::validate` fails and the run reports `InvalidProfile`.
+//!
+//! The process-level kinds sabotage the *executor* instead of the run,
+//! and only fire under `ExecPolicy::Processes` (the worker injects them
+//! before touching the benchmark; in-process executors ignore them):
+//!
+//! * [`FaultKind::WorkerCrash`] aborts the worker subprocess (or makes
+//!   it exit cleanly without a result, with `clean: true`) → the
+//!   supervisor detects the death and redispatches;
+//! * [`FaultKind::WorkerHang`] stalls the worker and its heartbeat →
+//!   the supervisor times out, kills the child, and redispatches;
+//! * [`FaultKind::ResultCorrupt`] garbles the result line mid-message →
+//!   the supervisor's framing layer rejects it and redispatches.
+//!
+//! Each carries an `attempts` bound: the fault fires while the task's
+//! dispatch attempt is `<= attempts`, so `attempts: 1` is a recoverable
+//! chaos fault (first dispatch dies, redispatch succeeds) and
+//! `attempts: u32::MAX` is persistent (the task exhausts its dispatch
+//! budget and degrades to a failed status).
 
 use alberta_profile::ProfilerFault;
 
@@ -42,6 +60,40 @@ pub enum FaultKind {
         /// 1-based event index of the corruption.
         at: u64,
     },
+    /// Kill the worker subprocess before it runs the task.
+    WorkerCrash {
+        /// Fire while the dispatch attempt is `<= attempts`.
+        attempts: u32,
+        /// `false`: abort (non-zero exit, the OOM/`abort()` shape).
+        /// `true`: exit 0 without emitting a result (the silent-death
+        /// shape).
+        clean: bool,
+    },
+    /// Stall the worker — and its heartbeat — until the supervisor's
+    /// hang detector kills it.
+    WorkerHang {
+        /// Fire while the dispatch attempt is `<= attempts`.
+        attempts: u32,
+    },
+    /// Emit a truncated, unparseable result line instead of the real
+    /// result, then die.
+    ResultCorrupt {
+        /// Fire while the dispatch attempt is `<= attempts`.
+        attempts: u32,
+    },
+}
+
+impl FaultKind {
+    /// True for the kinds that sabotage the process executor rather
+    /// than the run itself. In-process execution ignores them.
+    pub fn is_process_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::WorkerCrash { .. }
+                | FaultKind::WorkerHang { .. }
+                | FaultKind::ResultCorrupt { .. }
+        )
+    }
 }
 
 /// One targeted fault.
@@ -122,7 +174,11 @@ impl FaultPlan {
         match kind {
             FaultKind::PanicAtEvent(n) => Some(ProfilerFault::PanicAtEvent(n)),
             FaultKind::CorruptEvents { at } => Some(ProfilerFault::CorruptEvents { at }),
-            FaultKind::MalformedWorkload | FaultKind::ExhaustBudget { .. } => None,
+            FaultKind::MalformedWorkload
+            | FaultKind::ExhaustBudget { .. }
+            | FaultKind::WorkerCrash { .. }
+            | FaultKind::WorkerHang { .. }
+            | FaultKind::ResultCorrupt { .. } => None,
         }
     }
 }
@@ -186,5 +242,22 @@ mod tests {
             FaultPlan::profiler_fault(FaultKind::ExhaustBudget { budget: 1 }),
             None
         );
+        assert_eq!(
+            FaultPlan::profiler_fault(FaultKind::WorkerHang { attempts: 1 }),
+            None
+        );
+    }
+
+    #[test]
+    fn process_fault_classification() {
+        assert!(FaultKind::WorkerCrash {
+            attempts: 1,
+            clean: false
+        }
+        .is_process_fault());
+        assert!(FaultKind::WorkerHang { attempts: 2 }.is_process_fault());
+        assert!(FaultKind::ResultCorrupt { attempts: 1 }.is_process_fault());
+        assert!(!FaultKind::MalformedWorkload.is_process_fault());
+        assert!(!FaultKind::PanicAtEvent(1).is_process_fault());
     }
 }

@@ -1,4 +1,5 @@
-//! A minimal, dependency-free JSON layer for the report schema.
+//! A minimal, dependency-free JSON layer shared by the report schema
+//! and the worker pipe protocol.
 //!
 //! The workspace builds fully offline, so this crate hand-rolls the
 //! small slice of JSON it needs instead of pulling `serde_json`:
@@ -10,6 +11,8 @@
 //!   Floats are written with Rust's shortest round-trip formatting,
 //!   which is stable under re-parsing (the shortest representation of
 //!   the parsed value is the string it was parsed from);
+//! * [`Value::render_compact`] — the same document on a single line,
+//!   used for the line-delimited supervisor/worker pipe protocol;
 //! * [`parse`] — a strict recursive-descent parser reporting byte
 //!   offsets on malformed input.
 //!
@@ -99,6 +102,49 @@ impl Value {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Renders the document on a single line with no whitespace — the
+    /// framing for the line-delimited worker pipe protocol. String
+    /// escaping guarantees the output itself contains no raw newline.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(x) => write_f64(out, *x),
+            Value::Str(s) => write_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, depth: usize) {
@@ -505,6 +551,21 @@ mod tests {
         assert_eq!(parse("7.5").unwrap(), Value::Float(7.5));
         assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
         assert!(parse("1e999").is_err(), "overflow to infinity rejected");
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_round_trips() {
+        let doc = obj(vec![
+            ("type", Value::Str("result".into())),
+            ("id", Value::UInt(3)),
+            ("text", Value::Str("line one\nline two".into())),
+            ("items", Value::Array(vec![Value::UInt(1), Value::Null])),
+            ("empty", Value::Object(Vec::new())),
+        ]);
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'), "compact form must stay on one line");
+        assert_eq!(parse(&line).unwrap(), doc);
+        assert_eq!(parse(&line).unwrap().render(), doc.render());
     }
 
     #[test]

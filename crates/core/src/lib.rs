@@ -36,7 +36,10 @@ pub mod characterize;
 pub mod exec;
 pub mod faults;
 pub mod figures;
+pub mod json;
 pub mod log;
+pub mod process;
+pub mod protocol;
 pub mod report;
 pub mod sampling;
 pub mod specdata;
@@ -49,6 +52,7 @@ pub use characterize::{
 pub use exec::{ExecPolicy, RunMetrics};
 pub use faults::{Fault, FaultKind, FaultPlan};
 pub use log::{LogLevel, LogRecord};
+pub use process::{maybe_worker, ProcessConfig};
 pub use sampling::{PhaseSampling, SamplingPolicy, SamplingStats, PHASE_ERROR_BOUND_PCT};
 pub use suite::{CoreError, Suite};
 

@@ -6,6 +6,8 @@ use crate::characterize::{
 };
 use crate::exec::{run_indexed, run_indexed_metered, ExecPolicy, RunMetrics};
 use crate::faults::{FaultKind, FaultPlan};
+use crate::process::{run_process_sweep, ProcessConfig, TaskOutcome};
+use crate::protocol::{WorkerConfig, WorkerMode};
 use crate::sampling::SamplingPolicy;
 use crate::{log_debug, log_error, log_warn};
 use alberta_benchmarks::{panic_message, suite as build_benchmarks, BenchError, Benchmark};
@@ -64,6 +66,7 @@ pub struct Suite {
     scale: Scale,
     faults: FaultPlan,
     exec: ExecPolicy,
+    process: ProcessConfig,
 }
 
 impl Suite {
@@ -91,6 +94,30 @@ impl Suite {
             scale,
             faults: FaultPlan::default(),
             exec,
+            process: ProcessConfig::default(),
+        }
+    }
+
+    /// Assembles a suite from explicit measurement parts — the worker
+    /// side of the process executor rebuilding the supervisor's
+    /// configuration. Always executes serially: a worker is itself one
+    /// unit of a larger sweep.
+    pub(crate) fn assemble(
+        scale: Scale,
+        model: TopDownModel,
+        sampling: SampleConfig,
+        policy: SamplingPolicy,
+        faults: FaultPlan,
+    ) -> Self {
+        Suite {
+            benchmarks: build_benchmarks(scale),
+            model,
+            sampling,
+            policy,
+            scale,
+            faults,
+            exec: ExecPolicy::Serial,
+            process: ProcessConfig::default(),
         }
     }
 
@@ -105,6 +132,19 @@ impl Suite {
     /// The execution policy characterizations run under.
     pub fn exec(&self) -> ExecPolicy {
         self.exec
+    }
+
+    /// Overrides the process-pool supervisor configuration (heartbeat
+    /// timeout, dispatch budget, backoff, deterministic deadline). Only
+    /// consulted under [`ExecPolicy::Processes`].
+    pub fn with_process_config(mut self, process: ProcessConfig) -> Self {
+        self.process = process;
+        self
+    }
+
+    /// The process-pool supervisor configuration.
+    pub fn process_config(&self) -> ProcessConfig {
+        self.process
     }
 
     /// Overrides the microarchitecture model (predictor/latency ablations).
@@ -172,13 +212,31 @@ impl Suite {
     /// Returns [`CoreError::UnknownBenchmark`] for an unknown name or
     /// [`CoreError::Run`] when a workload fails.
     pub fn characterize(&self, name: &str) -> Result<Characterization, CoreError> {
-        let benchmark = self
-            .benchmark(name)
+        let index = self
+            .benchmarks
+            .iter()
+            .position(|b| b.short_name() == name || b.name() == name)
             .ok_or_else(|| CoreError::UnknownBenchmark {
                 name: name.to_owned(),
             })?;
+        if matches!(self.exec, ExecPolicy::Processes { .. }) {
+            let set = &self.benchmarks[index..=index];
+            let outcomes = run_process_sweep(
+                set,
+                self.worker_config(WorkerMode::Strict),
+                self.exec.jobs(),
+                &self.process,
+            );
+            let runs = outcomes
+                .into_iter()
+                .map(strict_outcome)
+                .collect::<Result<Vec<_>, _>>()?;
+            let benchmark = self.benchmarks[index].as_ref();
+            return Ok(summarize(benchmark.name(), benchmark.short_name(), runs)
+                .expect("benchmarks have at least one workload"));
+        }
         characterize_benchmark_sampled(
-            benchmark,
+            self.benchmarks[index].as_ref(),
             &self.model,
             self.sampling,
             self.exec,
@@ -199,6 +257,13 @@ impl Suite {
     /// Returns the first failure in canonical order — the same error a
     /// serial sweep stops at.
     pub fn characterize_all(&self) -> Result<Vec<Characterization>, CoreError> {
+        if matches!(self.exec, ExecPolicy::Processes { .. }) {
+            return Ok(self
+                .characterize_all_metered()?
+                .into_iter()
+                .map(|(c, _)| c)
+                .collect());
+        }
         if self.exec.jobs() <= 1 {
             // Serial sweeps keep the seed behaviour of stopping at the
             // first failing workload instead of draining the queue.
@@ -255,6 +320,32 @@ impl Suite {
     pub fn characterize_all_metered(
         &self,
     ) -> Result<Vec<(Characterization, Vec<RunMetrics>)>, CoreError> {
+        if matches!(self.exec, ExecPolicy::Processes { .. }) {
+            let outcomes = run_process_sweep(
+                &self.benchmarks,
+                self.worker_config(WorkerMode::Strict),
+                self.exec.jobs(),
+                &self.process,
+            );
+            let mut results = outcomes.into_iter();
+            let mut out = Vec::with_capacity(self.benchmarks.len());
+            for benchmark in &self.benchmarks {
+                let mut runs = Vec::new();
+                let mut metrics = Vec::new();
+                for _ in 0..benchmark.workload_names().len() {
+                    let outcome = results.next().expect("one outcome per task");
+                    let m = outcome.metrics;
+                    runs.push(strict_outcome(outcome)?);
+                    metrics.push(m);
+                }
+                out.push((
+                    summarize(benchmark.name(), benchmark.short_name(), runs)
+                        .expect("benchmarks have at least one workload"),
+                    metrics,
+                ));
+            }
+            return Ok(out);
+        }
         let tasks = run_pairs(&self.benchmarks);
         let results = run_indexed_metered(self.exec, &tasks, |_, (bench_index, workload)| {
             run_workload_with(
@@ -312,6 +403,11 @@ impl Suite {
     pub fn characterize_all_resilient_metered(
         &self,
     ) -> Vec<(ResilientCharacterization, Vec<RunMetrics>)> {
+        if matches!(self.exec, ExecPolicy::Processes { .. }) {
+            // Workers rebuild and corrupt their own benchmark sets; the
+            // supervisor only needs the pristine set for task names.
+            return self.characterize_resilient_set(&self.benchmarks);
+        }
         match self.malformed_benchmarks() {
             // Corruption mutates workloads, so it runs on a rebuilt
             // suite — the stored benchmarks stay pristine for later
@@ -363,7 +459,7 @@ impl Suite {
     /// When the fault plan corrupts stored workloads, rebuilds the suite
     /// and applies the corruption; otherwise `None` — the pristine
     /// stored benchmarks can be shared as-is.
-    fn malformed_benchmarks(&self) -> Option<Vec<Box<dyn Benchmark>>> {
+    pub(crate) fn malformed_benchmarks(&self) -> Option<Vec<Box<dyn Benchmark>>> {
         self.faults
             .faults()
             .iter()
@@ -394,6 +490,44 @@ impl Suite {
         &self,
         benchmarks: &[Box<dyn Benchmark>],
     ) -> Vec<(ResilientCharacterization, Vec<RunMetrics>)> {
+        if matches!(self.exec, ExecPolicy::Processes { .. }) {
+            let outcomes = run_process_sweep(
+                benchmarks,
+                self.worker_config(WorkerMode::Resilient),
+                self.exec.jobs(),
+                &self.process,
+            );
+            let mut results = outcomes.into_iter();
+            let mut out = Vec::with_capacity(benchmarks.len());
+            for benchmark in benchmarks {
+                let mut statuses = Vec::new();
+                let mut survivors = Vec::new();
+                let mut metrics = Vec::new();
+                for workload in benchmark.workload_names() {
+                    let outcome = results.next().expect("one outcome per task");
+                    metrics.push(outcome.metrics);
+                    survivors.extend(outcome.run);
+                    statuses.push(RunReport {
+                        workload,
+                        status: outcome.status,
+                    });
+                }
+                out.push((
+                    ResilientCharacterization {
+                        spec_id: benchmark.name().to_owned(),
+                        short_name: benchmark.short_name().to_owned(),
+                        statuses,
+                        characterization: summarize(
+                            benchmark.name(),
+                            benchmark.short_name(),
+                            survivors,
+                        ),
+                    },
+                    metrics,
+                ));
+            }
+            return out;
+        }
         let tasks = run_pairs(benchmarks);
         let mut results = run_indexed_metered(self.exec, &tasks, |_, (bench_index, workload)| {
             let benchmark = benchmarks[*bench_index].as_ref();
@@ -439,10 +573,44 @@ impl Suite {
         out
     }
 
+    /// One strict workload run under this suite's measurement
+    /// configuration — the unit a strict process worker executes.
+    pub(crate) fn strict_run(
+        &self,
+        benchmark: &dyn Benchmark,
+        workload: &str,
+    ) -> Result<WorkloadRun, BenchError> {
+        run_workload_with(
+            benchmark,
+            workload,
+            &self.model,
+            self.sampling,
+            &self.policy,
+        )
+    }
+
+    /// The worker-side configuration describing this suite's runs — what
+    /// the process supervisor ships to each worker subprocess. The
+    /// supervisor fills in the scheduling fields (deadline, heartbeat
+    /// interval) from its [`ProcessConfig`].
+    fn worker_config(&self, mode: WorkerMode) -> WorkerConfig {
+        WorkerConfig {
+            mode,
+            scale: self.scale,
+            sampling: self.sampling,
+            policy: self.policy,
+            machine: *self.model.config(),
+            predictor: self.model.predictor(),
+            faults: self.faults.clone(),
+            deadline_work: None,
+            beat_ms: 0,
+        }
+    }
+
     /// One workload's resilient run: apply any planned per-run fault,
     /// run, and retry retryable failures once at reduced scale. Returns
     /// the run's fate and, for survivors, its measurements.
-    fn resilient_run(
+    pub(crate) fn resilient_run(
         &self,
         benchmark: &dyn Benchmark,
         workload: &str,
@@ -559,6 +727,50 @@ impl Suite {
         }
         plan
     }
+
+    /// Builds a deterministic plan of `count` *recoverable* process-level
+    /// faults — worker crashes, hangs, and garbled results with
+    /// `attempts: 1`, so each fires on the first dispatch of its run and
+    /// the redispatch succeeds — scattered over distinct runs of this
+    /// suite. A resilient process sweep under such a plan exercises
+    /// every supervisor recovery path yet still publishes the same
+    /// report artifact as a clean sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the number of runs in the suite.
+    pub fn scattered_process_faults(&self, seed: u64, count: usize) -> FaultPlan {
+        let mut targets: Vec<(String, String)> = Vec::new();
+        for b in &self.benchmarks {
+            for w in b.workload_names() {
+                targets.push((b.short_name().to_owned(), w));
+            }
+        }
+        assert!(
+            count <= targets.len(),
+            "cannot scatter {count} faults over {} runs",
+            targets.len()
+        );
+        let mut rng = SeededRng::new(seed);
+        rng.shuffle(&mut targets);
+        let mut plan = FaultPlan::new(seed);
+        for (kind_index, (benchmark, workload)) in targets.into_iter().take(count).enumerate() {
+            let kinds = [
+                FaultKind::WorkerCrash {
+                    attempts: 1,
+                    clean: false,
+                },
+                FaultKind::WorkerHang { attempts: 1 },
+                FaultKind::ResultCorrupt { attempts: 1 },
+                FaultKind::WorkerCrash {
+                    attempts: 1,
+                    clean: true,
+                },
+            ];
+            plan = plan.inject(benchmark, workload, kinds[kind_index % kinds.len()]);
+        }
+        plan
+    }
 }
 
 impl fmt::Debug for Suite {
@@ -575,7 +787,7 @@ impl fmt::Debug for Suite {
 /// from its fate: retry attempts made, and the retired-op budget the run
 /// consumed. A `Failed` run with a retryable error *was* retried (the
 /// retry just failed too), so it counts one retry.
-fn run_accounting(status: &RunStatus, run: Option<&WorkloadRun>) -> (u32, u64) {
+pub(crate) fn run_accounting(status: &RunStatus, run: Option<&WorkloadRun>) -> (u32, u64) {
     let retries = match status {
         RunStatus::Ok => 0,
         RunStatus::Degraded { .. } => 1,
@@ -589,6 +801,18 @@ fn run_accounting(status: &RunStatus, run: Option<&WorkloadRun>) -> (u32, u64) {
         }
     });
     (retries, consumed)
+}
+
+/// Converts a strict process-sweep outcome into the strict pipeline's
+/// `Result`: `Failed` (the only non-`Ok` fate a strict worker reports)
+/// becomes the run's error.
+fn strict_outcome(outcome: TaskOutcome) -> Result<WorkloadRun, CoreError> {
+    match outcome.status {
+        RunStatus::Failed { error } => Err(CoreError::Run(error)),
+        RunStatus::Ok | RunStatus::Degraded { .. } => Ok(outcome
+            .run
+            .expect("surviving strict runs carry measurements")),
+    }
 }
 
 /// Flattens a benchmark set into its `(benchmark index, workload)` run

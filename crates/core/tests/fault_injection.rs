@@ -62,6 +62,13 @@ fn k_faults_yield_exactly_k_non_ok_statuses() {
                     "{status:?}"
                 )
             }
+            // `scattered_faults` only plans in-process faults; the
+            // process-executor kinds live in `scattered_process_faults`.
+            FaultKind::WorkerCrash { .. }
+            | FaultKind::WorkerHang { .. }
+            | FaultKind::ResultCorrupt { .. } => {
+                panic!("process fault in an in-process plan: {:?}", fault.kind)
+            }
         }
         // Retryable faults are salvaged by the reduced-scale retry; the
         // deterministic-input ones are terminal.
@@ -71,6 +78,11 @@ fn k_faults_yield_exactly_k_non_ok_statuses() {
             }
             FaultKind::CorruptEvents { .. } | FaultKind::MalformedWorkload => {
                 assert!(matches!(status, RunStatus::Failed { .. }), "{status:?}")
+            }
+            FaultKind::WorkerCrash { .. }
+            | FaultKind::WorkerHang { .. }
+            | FaultKind::ResultCorrupt { .. } => {
+                panic!("process fault in an in-process plan: {:?}", fault.kind)
             }
         }
     }

@@ -3,7 +3,7 @@
 //! the strict pipeline, and for the resilient pipeline under an injected
 //! fault plan (including the `RunStatus` sequence).
 
-use alberta_core::{Characterization, ExecPolicy, Scale, Suite};
+use alberta_core::{Characterization, ExecPolicy, FaultKind, FaultPlan, RunStatus, Scale, Suite};
 
 fn assert_bit_identical(serial: &Characterization, parallel: &Characterization) {
     assert_eq!(serial.spec_id, parallel.spec_id);
@@ -98,4 +98,48 @@ fn parallel_resilient_sweep_matches_serial_under_faults() {
     // The plan actually bit: some statuses are non-Ok in both sweeps.
     let incidents: usize = serial.iter().map(|r| r.incidents().count()).sum();
     assert_eq!(incidents, 6);
+}
+
+/// `RunMetrics::attempts` regression guard: first run plus retries,
+/// identically accounted across the strict and resilient in-process
+/// pipelines (the process executor's dispatch accounting is covered by
+/// the `process_exec` harness).
+#[test]
+fn attempt_accounting_is_consistent_across_pipelines() {
+    // Strict metered sweep: every run is one dispatch, zero retries.
+    let strict = Suite::new(Scale::Test)
+        .with_exec(ExecPolicy::with_jobs(4))
+        .characterize_all_metered()
+        .expect("strict sweep");
+    for (c, metrics) in &strict {
+        for m in metrics {
+            assert_eq!(m.dispatches, 1, "{}: strict dispatches", c.short_name);
+            assert_eq!(m.retries, 0, "{}: strict retries", c.short_name);
+            assert_eq!(m.attempts(), 1, "{}: strict attempts", c.short_name);
+        }
+    }
+
+    // Resilient pipeline: a retryable in-run fault is salvaged by one
+    // retry, so the degraded run accounts two attempts — one dispatch
+    // plus one retry — while untouched runs stay at one.
+    let plan = FaultPlan::new(3).inject("mcf", "train", FaultKind::ExhaustBudget { budget: 64 });
+    let (result, metrics) = Suite::new(Scale::Test)
+        .with_faults(plan)
+        .characterize_resilient_metered("mcf")
+        .expect("mcf exists");
+    for (report, m) in result.statuses.iter().zip(&metrics) {
+        if report.workload == "train" {
+            assert!(
+                matches!(report.status, RunStatus::Degraded { .. }),
+                "mcf/train: expected a salvaged run, got {:?}",
+                report.status
+            );
+            assert_eq!(m.dispatches, 1, "mcf/train: resilient dispatches");
+            assert_eq!(m.retries, 1, "mcf/train: resilient retries");
+            assert_eq!(m.attempts(), 2, "mcf/train: resilient attempts");
+        } else {
+            assert_eq!(m.retries, 0, "mcf/{}: retries", report.workload);
+            assert_eq!(m.attempts(), 1, "mcf/{}: attempts", report.workload);
+        }
+    }
 }

@@ -229,6 +229,14 @@ pub struct PathTable {
 }
 
 impl PathTable {
+    /// Rebuilds a table from externally supplied rows (e.g. decoded
+    /// from a worker's pipe message), restoring the lexicographic
+    /// order invariant.
+    pub fn from_rows(mut rows: Vec<PathRow>) -> Self {
+        rows.sort_unstable_by(|a, b| a.path.cmp(&b.path));
+        PathTable { rows }
+    }
+
     /// The rows, sorted lexicographically by path.
     pub fn rows(&self) -> &[PathRow] {
         &self.rows

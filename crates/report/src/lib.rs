@@ -8,7 +8,8 @@
 //!
 //! * [`json`] — a deterministic, dependency-free JSON model: ordered
 //!   objects, exact `u64`s, shortest-round-trip floats, and a strict
-//!   parser whose output re-emits byte-identically;
+//!   parser whose output re-emits byte-identically (re-exported from
+//!   `alberta_core`, which also uses it for the worker pipe protocol);
 //! * [`schema`] — the versioned [`SuiteReport`] document built from a
 //!   metered sweep ([`Suite::characterize_all_metered`] or its
 //!   resilient sibling), carrying per-run status, accounting, and
@@ -24,7 +25,7 @@
 //! [`Suite::characterize_all_metered`]: alberta_core::Suite::characterize_all_metered
 
 pub mod diff;
-pub mod json;
+pub use alberta_core::json;
 pub mod schema;
 pub mod trace;
 pub mod view;

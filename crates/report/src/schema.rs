@@ -150,6 +150,11 @@ pub struct RunRecord {
     /// Executing worker id — volatile telemetry, absent in canonical
     /// reports.
     pub worker: Option<u64>,
+    /// Dispatch attempts the process executor made for this run (first
+    /// dispatch plus crash/hang redispatches) — scheduling telemetry,
+    /// absent in canonical reports so chaos and clean sweeps stay
+    /// byte-comparable.
+    pub dispatches: Option<u32>,
     /// The measured behaviour; absent for `failed` runs.
     pub measures: Option<MeasureRecord>,
     /// Phase-sampling accounting — present only for runs measured under
@@ -346,6 +351,7 @@ impl SuiteReport {
                         wall_nanos: Some(m.wall_nanos),
                         start_nanos: Some(m.start_nanos),
                         worker: Some(m.worker as u64),
+                        dispatches: Some(m.dispatches.max(1)),
                         measures: Some(MeasureRecord::from_run(run)),
                         sampling: run.sampling.as_ref().map(SamplingRecord::from_stats),
                     })
@@ -405,6 +411,7 @@ impl SuiteReport {
                             wall_nanos: Some(m.wall_nanos),
                             start_nanos: Some(m.start_nanos),
                             worker: Some(m.worker as u64),
+                            dispatches: Some(m.dispatches.max(1)),
                             measures: run.map(MeasureRecord::from_run),
                             sampling: run
                                 .and_then(|r| r.sampling.as_ref())
@@ -446,6 +453,7 @@ impl SuiteReport {
                 run.wall_nanos = None;
                 run.start_nanos = None;
                 run.worker = None;
+                run.dispatches = None;
             }
         }
     }
@@ -682,6 +690,9 @@ impl RunRecord {
         if let Some(worker) = self.worker {
             fields.push(("worker".to_owned(), Value::UInt(worker)));
         }
+        if let Some(dispatches) = self.dispatches {
+            fields.push(("dispatches".to_owned(), Value::UInt(u64::from(dispatches))));
+        }
         if let Some(measures) = &self.measures {
             fields.push(("measures".to_owned(), measures.to_value()));
         }
@@ -732,6 +743,12 @@ impl RunRecord {
             wall_nanos: optional_u64(value, "wall_nanos")?,
             start_nanos: optional_u64(value, "start_nanos")?,
             worker: optional_u64(value, "worker")?,
+            dispatches: match optional_u64(value, "dispatches")? {
+                None => None,
+                Some(n) => Some(u32::try_from(n).map_err(|_| ReportError::Schema {
+                    message: "dispatches out of range".to_owned(),
+                })?),
+            },
             measures,
             sampling: value
                 .get("sampling")

@@ -268,6 +268,7 @@ mod tests {
             wall_nanos: None,
             start_nanos: None,
             worker: None,
+            dispatches: None,
             measures: cycles.map(|cycles| MeasureRecord {
                 ratios: [0.25, 0.25, 0.25, 0.25],
                 cycles,

@@ -46,6 +46,7 @@ fn sample_report() -> SuiteReport {
                         wall_nanos: None,
                         start_nanos: None,
                         worker: None,
+                        dispatches: None,
                         measures: Some(MeasureRecord {
                             ratios: [0.125, 0.25, 0.0625, 0.5625],
                             cycles: 3341.5,
@@ -69,6 +70,7 @@ fn sample_report() -> SuiteReport {
                         wall_nanos: Some(1_250_000),
                         start_nanos: Some(4_000_000),
                         worker: Some(3),
+                        dispatches: Some(2),
                         measures: Some(MeasureRecord {
                             ratios: [0.1, 0.3, 0.1, 0.5],
                             cycles: 72872.0,
@@ -140,6 +142,7 @@ fn sample_report() -> SuiteReport {
                     wall_nanos: None,
                     start_nanos: None,
                     worker: None,
+                    dispatches: None,
                     measures: None,
                     sampling: None,
                 }],

@@ -89,6 +89,7 @@ fn arb_run(rng: &mut TestRng, index: usize) -> RunRecord {
         wall_nanos: telemetry.then(|| rng.next_u64()),
         start_nanos: telemetry.then(|| rng.next_u64()),
         worker: telemetry.then(|| rng.below(64)),
+        dispatches: telemetry.then(|| 1 + (rng.below(3) as u32)),
         // The schema requires measures for ok runs, forbids nothing for
         // degraded ones, and failed runs have nothing to measure.
         measures: match status {

@@ -269,6 +269,11 @@ impl TopDownModel {
         &self.config
     }
 
+    /// The branch-predictor kind.
+    pub fn predictor(&self) -> PredictorKind {
+        self.predictor
+    }
+
     /// Analyzes one profile into a Top-Down report.
     ///
     /// Equivalent to [`TopDownModel::estimate`] over a single window
