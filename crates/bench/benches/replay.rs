@@ -1,0 +1,75 @@
+//! Replay-engine microbenchmark: the scalar reference engine vs the
+//! batched struct-of-arrays engine over the same synthetic trace.
+//!
+//! This is the wall-clock view of the speed gate (`timing
+//! --speed-only`); the equivalence assertion lives in
+//! [`alberta_bench::speed::measure`] and in the shadow-model tests.
+
+use alberta_bench::speed::synthetic_profile;
+use alberta_profile::EventChunks;
+use alberta_uarch::{MachineConfig, PredictorKind, ReplayState, TopDownModel};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const EVENTS: usize = 1 << 18;
+
+fn bench_replay(c: &mut Criterion) {
+    let profile = synthetic_profile(EVENTS);
+    let cfg = MachineConfig::default();
+    let predictor = PredictorKind::Gshare { bits: 12 };
+    let model = TopDownModel::new(cfg, predictor);
+    let fn_base = model.code_layout(&profile);
+    let probe_counts = model.probe_table(&profile);
+
+    let mut group = c.benchmark_group("replay");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut state = ReplayState::new(&cfg, predictor);
+            black_box(state.replay(&cfg, &profile, profile.trace.events(), &fn_base))
+        })
+    });
+
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut state = ReplayState::new(&cfg, predictor);
+            black_box(state.replay_batched(
+                &profile.chunks,
+                (0, profile.chunks.len()),
+                &probe_counts,
+                &fn_base,
+            ))
+        })
+    });
+
+    // The capture-time transposition, for context: paid once per run at
+    // `Profiler::finish`, not on the replay path.
+    group.bench_function("transpose", |b| {
+        b.iter(|| black_box(EventChunks::from_trace(&profile.trace)))
+    });
+
+    // Per-kind kernels in isolation, for attributing batched time.
+    let slices = profile.chunks.kind_ranges(0, profile.chunks.len());
+    group.bench_function("kernel_branches", |b| {
+        b.iter(|| {
+            let mut p = predictor.build();
+            black_box(p.observe_batch(slices.branch_sites, slices.branch_takens))
+        })
+    });
+    group.bench_function("kernel_memory", |b| {
+        b.iter(|| {
+            let mut h =
+                alberta_uarch::MemoryHierarchy::with_configs(cfg.l1d, cfg.l2, cfg.dtlb_entries);
+            black_box(h.access_many(slices.mem_addrs))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

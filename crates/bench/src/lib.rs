@@ -8,6 +8,8 @@
 use alberta_core::{ExecPolicy, PhaseSampling, SamplingPolicy};
 use alberta_workloads::Scale;
 
+pub mod speed;
+
 // Re-exported so every binary can hook the hidden worker mode with one
 // `alberta_bench::maybe_worker()` call at the top of `main` — under
 // `--exec processes` the supervisor re-executes the *current* binary,
@@ -39,6 +41,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--sample-k",
     "--sample-seed",
     "--bound",
+    "--speed-out",
 ];
 
 /// The positional (non-flag) arguments, with flag *values* excluded:

@@ -22,16 +22,30 @@ use std::fmt::Write as _;
 /// Index of the synthetic root node of every [`CallTree`].
 pub const ROOT: u32 = 0;
 
+/// Sentinel for "no node" in the intrusive sibling links.
+const NONE: u32 = u32::MAX;
+
 /// One node of a [`CallTree`]: a distinct call path, identified by the
 /// function it ends in and the node of the path one frame shorter.
+///
+/// Nodes live in one arena (`CallTree::nodes`) and link their children
+/// intrusively (`first_child`/`next_sibling` indices) instead of each
+/// carrying a `Vec<u32>`: a tree of N paths is exactly one allocation,
+/// and `descend` on the hot enter path touches only the arena.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallNode {
     /// The function this path ends in; `None` only for the root.
     pub func: Option<FnId>,
     /// Parent node index ([`ROOT`]'s parent is itself).
     pub parent: u32,
-    /// Child node indices, in first-call order.
-    pub children: Vec<u32>,
+    /// First child in first-call order (`u32::MAX` when childless).
+    first_child: u32,
+    /// Last child in first-call order (`u32::MAX` when childless);
+    /// kept so appending a new child is O(1).
+    last_child: u32,
+    /// Next sibling in the parent's first-call order (`u32::MAX` at
+    /// the end of the sibling chain).
+    next_sibling: u32,
     /// Times this exact path was entered.
     pub calls: u64,
     /// Work retired while this path was the innermost open scope.
@@ -39,6 +53,21 @@ pub struct CallNode {
     /// Work retired on this path or any extension of it. Computed by
     /// [`CallTree::seal`]; zero until then.
     pub inclusive: u64,
+}
+
+impl CallNode {
+    fn fresh(func: Option<FnId>, parent: u32) -> Self {
+        CallNode {
+            func,
+            parent,
+            first_child: NONE,
+            last_child: NONE,
+            next_sibling: NONE,
+            calls: 0,
+            exclusive: 0,
+            inclusive: 0,
+        }
+    }
 }
 
 /// A path-keyed aggregation of one run's call activity.
@@ -57,14 +86,7 @@ impl CallTree {
     /// Creates a tree holding only the root.
     pub fn new() -> Self {
         CallTree {
-            nodes: vec![CallNode {
-                func: None,
-                parent: ROOT,
-                children: Vec::new(),
-                calls: 0,
-                exclusive: 0,
-                inclusive: 0,
-            }],
+            nodes: vec![CallNode::fresh(None, ROOT)],
             cursor: ROOT,
         }
     }
@@ -85,32 +107,39 @@ impl CallTree {
         self.nodes.len() - 1
     }
 
+    /// Child node indices of `node` in first-call order.
+    pub fn children(&self, node: u32) -> impl Iterator<Item = u32> + '_ {
+        let mut cursor = self.nodes[node as usize].first_child;
+        std::iter::from_fn(move || {
+            if cursor == NONE {
+                return None;
+            }
+            let current = cursor;
+            cursor = self.nodes[cursor as usize].next_sibling;
+            Some(current)
+        })
+    }
+
     /// Descends into `func`: reuses the child path if this path was
     /// seen before, creates it otherwise. Called by the profiler on
     /// every `enter`.
     pub(crate) fn descend(&mut self, func: FnId) {
         let parent = self.cursor;
-        let existing = self.nodes[parent as usize]
-            .children
-            .iter()
-            .copied()
-            .find(|&c| self.nodes[c as usize].func == Some(func));
-        let node = match existing {
-            Some(node) => node,
-            None => {
-                let node = u32::try_from(self.nodes.len()).expect("call tree exceeds u32 paths");
-                self.nodes.push(CallNode {
-                    func: Some(func),
-                    parent,
-                    children: Vec::new(),
-                    calls: 0,
-                    exclusive: 0,
-                    inclusive: 0,
-                });
-                self.nodes[parent as usize].children.push(node);
-                node
+        let mut node = self.nodes[parent as usize].first_child;
+        while node != NONE && self.nodes[node as usize].func != Some(func) {
+            node = self.nodes[node as usize].next_sibling;
+        }
+        if node == NONE {
+            node = u32::try_from(self.nodes.len()).expect("call tree exceeds u32 paths");
+            self.nodes.push(CallNode::fresh(Some(func), parent));
+            let tail = self.nodes[parent as usize].last_child;
+            if tail == NONE {
+                self.nodes[parent as usize].first_child = node;
+            } else {
+                self.nodes[tail as usize].next_sibling = node;
             }
-        };
+            self.nodes[parent as usize].last_child = node;
+        }
         self.nodes[node as usize].calls += 1;
         self.cursor = node;
     }
@@ -175,19 +204,32 @@ impl CallTree {
     /// Resolves the tree against a function-name table into a
     /// [`PathTable`] — the self-contained, name-keyed view the report
     /// and trace layers consume.
+    ///
+    /// Path keys are built incrementally: nodes are created on first
+    /// entry of their path, so every parent precedes its children and
+    /// one forward sweep can extend each parent's already-rendered key
+    /// by one `;name` segment — O(total key bytes) rather than
+    /// re-walking to the root per node.
     pub fn resolve(&self, names: &[impl AsRef<str>]) -> PathTable {
+        let mut keys: Vec<String> = Vec::with_capacity(self.nodes.len());
+        keys.push(String::new()); // the root is not a path
         let mut rows: Vec<PathRow> = self
             .nodes
             .iter()
             .enumerate()
-            .skip(1) // the root is not a path
+            .skip(1)
             .map(|(index, node)| {
-                let path = self
-                    .path_of(index as u32)
-                    .into_iter()
-                    .map(|id| names[id.0 as usize].as_ref().to_owned())
-                    .collect::<Vec<_>>()
-                    .join(";");
+                let name =
+                    names[node.func.expect("non-root nodes carry a function").0 as usize].as_ref();
+                let parent_key = &keys[node.parent as usize];
+                let mut path = String::with_capacity(parent_key.len() + 1 + name.len());
+                if !parent_key.is_empty() {
+                    path.push_str(parent_key);
+                    path.push(';');
+                }
+                path.push_str(name);
+                keys.push(path.clone());
+                debug_assert_eq!(keys.len(), index + 1);
                 PathRow {
                     path,
                     calls: node.calls,
@@ -420,6 +462,26 @@ mod tests {
         assert!(table.is_empty());
         assert_eq!(table.folded(), "");
         assert!(table.hot_paths(5).is_empty());
+    }
+
+    #[test]
+    fn children_iterate_in_first_call_order() {
+        let profile = sample_profile();
+        let tree = &profile.calltree;
+        let roots: Vec<u32> = tree.children(ROOT).collect();
+        assert_eq!(roots.len(), 1, "main is the only top-level path");
+        let main = roots[0];
+        let names: Vec<&str> = tree
+            .children(main)
+            .map(|c| {
+                let id = tree.nodes()[c as usize].func.unwrap();
+                ["main", "kernel", "helper"][id.0 as usize]
+            })
+            .collect();
+        // kernel was entered before helper under main.
+        assert_eq!(names, vec!["kernel", "helper"]);
+        let leaf = tree.children(main).next().unwrap();
+        assert_eq!(tree.children(leaf).count(), 1, "kernel;helper");
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Struct-of-arrays event chunks for batched replay.
+//!
+//! The detailed-measurement hot path replays every retained trace event
+//! through the microarchitectural models. Walking a `&[Event]` pays a
+//! per-event enum dispatch whose arm is data-dependent — on an
+//! interleaved branch/memory/call stream the *host's* branch predictor
+//! mispredicts the match continuously — plus a virtual predictor call
+//! per branch. [`EventChunks`] transposes the interleaved stream once
+//! into per-kind parallel arrays so replay engines can run one tight,
+//! dispatch-free kernel loop per kind.
+//!
+//! Order preservation: the three microarchitectural state machines a
+//! replay drives are *disjoint* — branch events touch only the
+//! predictor, load/store events only the data hierarchy, call events
+//! only the instruction cache — so replaying each kind's sub-stream in
+//! its own order is exactly equivalent to replaying the interleaved
+//! stream. Each kind additionally records the original trace index of
+//! every entry, so any half-open trace range `[start, end)` (a medoid
+//! window, a warming gap) maps to one contiguous sub-range per kind via
+//! binary search; within a range, per-kind order is the trace order.
+
+use crate::event::{Event, EventTrace};
+use crate::profiler::FnId;
+
+/// Per-kind parallel arrays transposed from one event stream.
+///
+/// Built once per replay (or reused across windows of the same trace);
+/// sliced per window with [`EventChunks::kind_ranges`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventChunks {
+    /// Original trace indices of the branch events, ascending.
+    branch_pos: Vec<usize>,
+    /// Static branch sites, parallel to `branch_pos`.
+    branch_sites: Vec<u32>,
+    /// Branch outcomes, parallel to `branch_pos`.
+    branch_takens: Vec<bool>,
+    /// Original trace indices of the load/store events, ascending.
+    /// Loads and stores drive the data hierarchy identically, so they
+    /// share one stream.
+    mem_pos: Vec<usize>,
+    /// Accessed byte addresses, parallel to `mem_pos`.
+    mem_addrs: Vec<u64>,
+    /// Original trace indices of the call events, ascending.
+    call_pos: Vec<usize>,
+    /// Entered functions, parallel to `call_pos`.
+    call_callees: Vec<FnId>,
+    /// Total events transposed, including `Return`s (which carry no
+    /// microarchitectural state and get no array).
+    len: usize,
+}
+
+/// Per-kind slices of an [`EventChunks`] restricted to one trace range.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkSlices<'a> {
+    /// Branch sites within the range, in trace order.
+    pub branch_sites: &'a [u32],
+    /// Branch outcomes, parallel to `branch_sites`.
+    pub branch_takens: &'a [bool],
+    /// Load/store addresses within the range, in trace order.
+    pub mem_addrs: &'a [u64],
+    /// Called functions within the range, in trace order.
+    pub call_callees: &'a [FnId],
+}
+
+impl EventChunks {
+    /// Transposes an event slice into per-kind arrays.
+    pub fn from_events(events: &[Event]) -> Self {
+        // Counting pass first: exact reservations keep the transposition
+        // at one allocation per array with no growth copies.
+        let (mut branches, mut mems, mut calls) = (0usize, 0usize, 0usize);
+        for event in events {
+            match event {
+                Event::Branch { .. } => branches += 1,
+                Event::Load { .. } | Event::Store { .. } => mems += 1,
+                Event::Call { .. } => calls += 1,
+                Event::Return => {}
+            }
+        }
+        let mut chunks = EventChunks {
+            branch_pos: Vec::with_capacity(branches),
+            branch_sites: Vec::with_capacity(branches),
+            branch_takens: Vec::with_capacity(branches),
+            mem_pos: Vec::with_capacity(mems),
+            mem_addrs: Vec::with_capacity(mems),
+            call_pos: Vec::with_capacity(calls),
+            call_callees: Vec::with_capacity(calls),
+            len: events.len(),
+        };
+        for (index, event) in events.iter().enumerate() {
+            match *event {
+                Event::Branch { site, taken } => {
+                    chunks.branch_pos.push(index);
+                    chunks.branch_sites.push(site);
+                    chunks.branch_takens.push(taken);
+                }
+                Event::Load { addr } | Event::Store { addr } => {
+                    chunks.mem_pos.push(index);
+                    chunks.mem_addrs.push(addr);
+                }
+                Event::Call { callee } => {
+                    chunks.call_pos.push(index);
+                    chunks.call_callees.push(callee);
+                }
+                Event::Return => {}
+            }
+        }
+        chunks
+    }
+
+    /// Transposes a captured trace (its retained events, in order).
+    pub fn from_trace(trace: &EventTrace) -> Self {
+        Self::from_events(trace.events())
+    }
+
+    /// Number of events transposed (including `Return`s).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the source stream was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of branch events.
+    pub fn branches(&self) -> usize {
+        self.branch_pos.len()
+    }
+
+    /// Number of load/store events.
+    pub fn mem_accesses(&self) -> usize {
+        self.mem_pos.len()
+    }
+
+    /// Number of call events.
+    pub fn calls(&self) -> usize {
+        self.call_pos.len()
+    }
+
+    /// The per-kind slices covering trace indices `[start, end)`.
+    ///
+    /// Positions are ascending, so each kind's sub-range is found by two
+    /// binary searches; the returned slices preserve trace order within
+    /// the range.
+    pub fn kind_ranges(&self, start: usize, end: usize) -> ChunkSlices<'_> {
+        let sub = |pos: &[usize]| {
+            let lo = pos.partition_point(|&p| p < start);
+            let hi = pos.partition_point(|&p| p < end);
+            (lo, hi)
+        };
+        let (b_lo, b_hi) = sub(&self.branch_pos);
+        let (m_lo, m_hi) = sub(&self.mem_pos);
+        let (c_lo, c_hi) = sub(&self.call_pos);
+        ChunkSlices {
+            branch_sites: &self.branch_sites[b_lo..b_hi],
+            branch_takens: &self.branch_takens[b_lo..b_hi],
+            mem_addrs: &self.mem_addrs[m_lo..m_hi],
+            call_callees: &self.call_callees[c_lo..c_hi],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_events() -> Vec<Event> {
+        let mut events = Vec::new();
+        for i in 0..100u64 {
+            events.push(Event::Branch {
+                site: (i % 7) as u32,
+                taken: i % 3 == 0,
+            });
+            events.push(Event::Load { addr: i * 64 });
+            if i % 5 == 0 {
+                events.push(Event::Call {
+                    callee: FnId((i % 4) as u32),
+                });
+                events.push(Event::Store { addr: i * 8 });
+                events.push(Event::Return);
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn transposition_partitions_every_kind() {
+        let events = mixed_events();
+        let chunks = EventChunks::from_events(&events);
+        assert_eq!(chunks.len(), events.len());
+        assert_eq!(chunks.branches(), 100);
+        assert_eq!(chunks.mem_accesses(), 120, "100 loads + 20 stores");
+        assert_eq!(chunks.calls(), 20);
+        let full = chunks.kind_ranges(0, events.len());
+        assert_eq!(full.branch_sites.len(), 100);
+        assert_eq!(full.mem_addrs.len(), 120);
+        assert_eq!(full.call_callees.len(), 20);
+    }
+
+    #[test]
+    fn kind_ranges_match_scalar_filtering() {
+        let events = mixed_events();
+        let chunks = EventChunks::from_events(&events);
+        for (start, end) in [(0, events.len()), (10, 200), (37, 38), (50, 50)] {
+            let slices = chunks.kind_ranges(start, end);
+            let branches: Vec<(u32, bool)> = events[start..end]
+                .iter()
+                .filter_map(|e| match *e {
+                    Event::Branch { site, taken } => Some((site, taken)),
+                    _ => None,
+                })
+                .collect();
+            let got: Vec<(u32, bool)> = slices
+                .branch_sites
+                .iter()
+                .copied()
+                .zip(slices.branch_takens.iter().copied())
+                .collect();
+            assert_eq!(got, branches, "range {start}..{end}");
+            let mems: Vec<u64> = events[start..end]
+                .iter()
+                .filter_map(|e| match *e {
+                    Event::Load { addr } | Event::Store { addr } => Some(addr),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(slices.mem_addrs, &mems[..], "range {start}..{end}");
+            let calls: Vec<FnId> = events[start..end]
+                .iter()
+                .filter_map(|e| match *e {
+                    Event::Call { callee } => Some(callee),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(slices.call_callees, &calls[..], "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_ranges_clamp_to_empty() {
+        let chunks = EventChunks::from_events(&mixed_events());
+        let past = chunks.kind_ranges(chunks.len() + 10, chunks.len() + 20);
+        assert!(past.branch_sites.is_empty());
+        assert!(past.mem_addrs.is_empty());
+        assert!(past.call_callees.is_empty());
+        let empty = EventChunks::from_events(&[]);
+        assert!(empty.is_empty());
+        assert!(empty.kind_ranges(0, 0).branch_sites.is_empty());
+    }
+}

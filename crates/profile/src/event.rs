@@ -78,7 +78,9 @@ impl EventTrace {
     /// every `weight()`-th offered event is retained, so the buffer fills
     /// at a geometrically decreasing rate and the retained samples stay
     /// spread over the whole run. (Events are offered already downsampled
-    /// by the profiler's per-kind interval.)
+    /// by the profiler's per-kind interval.) The retained set is always
+    /// exactly the offers at phases `{k · weight()}`: decimation keeps the
+    /// survivors on the same lattice the go-forward retention uses.
     pub fn push(&mut self, event: Event) -> bool {
         self.push_diluted(event, 1)
     }
@@ -98,19 +100,42 @@ impl EventTrace {
     pub fn push_diluted(&mut self, event: Event, dilution: u64) -> bool {
         assert!(dilution > 0, "dilution must be positive");
         self.phase += 1;
+        // Decimate *before* the retention check: the weight must double
+        // first so the triggering offer is itself judged against the
+        // post-decimation lattice. (Decimating after the check retained
+        // the trigger unconditionally, leaving one event off-lattice.)
+        // `>=` rather than `==` so the buffer can never exceed capacity
+        // even if a decimation frees no room.
+        if self.events.len() >= self.capacity {
+            self.decimate();
+        }
         if !self.phase.is_multiple_of(self.weight * dilution) {
             return false;
         }
-        if self.events.len() == self.capacity {
-            self.decimate();
-        }
         self.events.push(event);
+        debug_assert!(self.events.len() <= self.capacity);
         true
     }
 
+    /// Halves the buffer by keeping *odd* indices and doubles the weight.
+    ///
+    /// A full buffer at weight `w` holds the events offered at phases
+    /// `w, 2w, 3w, …` (index `i` ↔ phase `(i + 1)·w`), so odd indices are
+    /// exactly the phases `2w, 4w, …` — the multiples of the doubled
+    /// weight. Post-decimation retention keeps `phase % 2w == 0`, so the
+    /// survivors and the go-forward stream sit on the same lattice, and
+    /// the retained set stays "every multiple of the current weight": the
+    /// documented subset relation against a [`preset_weight`] trace at
+    /// equal weight holds exactly. (Keeping *even* indices — the old
+    /// behaviour — kept the odd multiples of `w` instead, misaligning
+    /// every pre-decimation survivor with everything retained later.)
+    /// Halving a 1-element buffer keeps nothing, so capacity 1 stays
+    /// bounded rather than overshooting forever.
+    ///
+    /// [`preset_weight`]: EventTrace::preset_weight
     fn decimate(&mut self) {
         let mut keep = 0;
-        for i in (0..self.events.len()).step_by(2) {
+        for i in (1..self.events.len()).step_by(2) {
             self.events[keep] = self.events[i];
             keep += 1;
         }
@@ -208,10 +233,13 @@ mod tests {
     #[test]
     fn decimation_halves_and_doubles_weight() {
         let mut t = EventTrace::with_capacity(8);
-        for i in 0..9 {
+        for i in 0..10 {
             t.push(load(i));
         }
-        // After overflow: kept events 0,2,4,6 then appended 8.
+        // Offer 9 (addr 8) triggers decimation: survivors are the odd
+        // indices — offer phases 2,4,6,8 (addrs 1,3,5,7) — and the
+        // trigger itself (phase 9) is off the doubled lattice, so it is
+        // dropped; offer 10 (addr 9, phase 10) lands on it.
         assert_eq!(t.len(), 5);
         assert_eq!(t.weight(), 2);
         assert_eq!(t.decimations(), 1);
@@ -222,7 +250,60 @@ mod tests {
                 _ => unreachable!(),
             })
             .collect();
-        assert_eq!(addrs, vec![0, 2, 4, 6, 8]);
+        assert_eq!(addrs, vec![1, 3, 5, 7, 9]);
+    }
+
+    /// Every retained event sits at an offer phase that is a multiple of
+    /// the *current* weight — survivors of decimation and later retains
+    /// share one lattice, so a `preset_weight(w)` trace over the same
+    /// stream retains a superset (event.rs's windowed-replay invariant).
+    #[test]
+    fn decimation_keeps_survivors_on_the_final_lattice() {
+        for capacity in [4usize, 8, 16, 32] {
+            let mut t = EventTrace::with_capacity(capacity);
+            for phase in 1..=2000u64 {
+                t.push(load(phase)); // addr == offer phase
+            }
+            let w = t.weight();
+            assert!(t.decimations() > 0, "capacity {capacity} must decimate");
+            let phases: Vec<u64> = t
+                .iter()
+                .map(|e| match e {
+                    Event::Load { addr } => *addr,
+                    _ => unreachable!(),
+                })
+                .collect();
+            for &p in &phases {
+                assert_eq!(p % w, 0, "phase {p} off the weight-{w} lattice");
+            }
+            // And they are *consecutive* multiples: the retained set is
+            // exactly what a preset-weight trace would have kept.
+            for pair in phases.windows(2) {
+                assert_eq!(pair[1] - pair[0], w, "gap in {phases:?}");
+            }
+        }
+    }
+
+    /// Regression: tiny capacities must stay bounded. A 1-element buffer
+    /// used to free no room on decimation (keeping even indices keeps
+    /// index 0), overshoot, and then never satisfy the `==` fullness
+    /// check again — growing without bound.
+    #[test]
+    fn tiny_capacities_stay_bounded() {
+        for capacity in [1usize, 2, 3] {
+            let mut t = EventTrace::with_capacity(capacity);
+            for i in 0..10_000u64 {
+                t.push(load(i));
+                assert!(
+                    t.len() <= capacity,
+                    "capacity {capacity} overshot to {} at push {i}",
+                    t.len()
+                );
+            }
+            // (A capacity-1 buffer may be transiently empty right after
+            // a decimation; boundedness is the invariant, not fullness.)
+            assert!(t.decimations() > 0, "capacity {capacity} never decimated");
+        }
     }
 
     #[test]

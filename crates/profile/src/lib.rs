@@ -41,10 +41,12 @@
 //! ```
 
 pub mod calltree;
+pub mod chunks;
 pub mod event;
 pub mod profiler;
 
 pub use calltree::{CallNode, CallTree, PathRow, PathTable};
+pub use chunks::{ChunkSlices, EventChunks};
 pub use event::{Event, EventTrace};
 pub use profiler::{
     BudgetExceeded, DetailWindow, FnId, FnMeta, IntervalSnapshot, InvariantViolation, Profile,

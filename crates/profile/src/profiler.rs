@@ -1,6 +1,7 @@
 //! The [`Profiler`] and its outputs.
 
 use crate::calltree::{CallTree, PathTable};
+use crate::chunks::EventChunks;
 use crate::event::{Event, EventTrace, DEFAULT_TRACE_CAPACITY};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -304,6 +305,10 @@ pub struct Profile {
     pub totals: Totals,
     /// Sampled event trace for microarchitectural replay.
     pub trace: EventTrace,
+    /// Per-kind struct-of-arrays transposition of `trace`, built once
+    /// at [`Profiler::finish`] so batched replay engines never pay the
+    /// transposition on the measurement hot path.
+    pub chunks: EventChunks,
     /// The sampling configuration the trace was captured with.
     pub sampling: SampleConfig,
     /// Exact path-keyed call tree (unaffected by sampling).
@@ -836,6 +841,7 @@ impl Profiler {
             fn_work: self.fn_work,
             fn_calls: self.fn_calls,
             totals: self.totals,
+            chunks: EventChunks::from_trace(&self.trace),
             trace: self.trace,
             sampling: self.sampling,
             calltree,

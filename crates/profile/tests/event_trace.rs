@@ -1,0 +1,111 @@
+//! Property-based tests for [`EventTrace`] retention invariants.
+//!
+//! The decimating buffer makes three promises the Top-Down pipeline
+//! leans on: it never exceeds its capacity (the capacity-1 overshoot
+//! was a real bug), the retained offers always sit on the lattice of
+//! multiples of the current weight (the off-lattice trigger event was
+//! another), and presetting a weight reproduces exactly the density a
+//! decimated full run would have. Each test encodes the offer phase in
+//! the event payload so the retained set can be checked against the
+//! lattice directly.
+
+use alberta_profile::{Event, EventTrace};
+use proptest::prelude::*;
+
+/// Load whose address is the 1-based offer phase, so retained events
+/// identify which offers survived.
+fn tagged(phase: u64) -> Event {
+    Event::Load { addr: phase }
+}
+
+fn phases(trace: &EventTrace) -> Vec<u64> {
+    trace
+        .events()
+        .iter()
+        .map(|e| match e {
+            Event::Load { addr } => *addr,
+            other => panic!("unexpected event {other:?}"),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The buffer is bounded by its capacity after every single offer —
+    /// including capacity 1, where decimation (halving an odd-length
+    /// buffer keeps the odd indices: none) frees no slot and used to let
+    /// the buffer grow without bound.
+    #[test]
+    fn retained_never_exceeds_capacity(
+        capacity in 1usize..48,
+        offers in 1u64..3000,
+    ) {
+        let mut trace = EventTrace::with_capacity(capacity);
+        for phase in 1..=offers {
+            trace.push(tagged(phase));
+            prop_assert!(trace.len() <= capacity,
+                "len {} > capacity {capacity} after offer {phase}", trace.len());
+        }
+        prop_assert_eq!(trace.weight(), 1u64 << trace.decimations());
+    }
+
+    /// Whatever mix of decimations and go-forward filtering happened,
+    /// the survivors are *exactly* the offers at phases `{k · weight()}`
+    /// for the final weight — the lattice is contiguous from the first
+    /// multiple, with no off-lattice stragglers and no gaps.
+    #[test]
+    fn retained_offers_sit_exactly_on_the_weight_lattice(
+        capacity in 1usize..48,
+        offers in 1u64..3000,
+    ) {
+        let mut trace = EventTrace::with_capacity(capacity);
+        for phase in 1..=offers {
+            trace.push(tagged(phase));
+        }
+        let weight = trace.weight();
+        let lattice: Vec<u64> = (1..=offers / weight).map(|k| k * weight).collect();
+        prop_assert_eq!(phases(&trace), lattice);
+    }
+
+    /// A trace preset to the final weight of a decimated run retains the
+    /// same events from the same offer stream: window-gated capture can
+    /// match a full run's density without replaying its decimations.
+    #[test]
+    fn preset_weight_reproduces_decimated_retention(
+        capacity in 1usize..48,
+        offers in 1u64..3000,
+    ) {
+        let mut decimated = EventTrace::with_capacity(capacity);
+        for phase in 1..=offers {
+            decimated.push(tagged(phase));
+        }
+        let mut preset = EventTrace::with_capacity(offers as usize);
+        preset.preset_weight(decimated.weight());
+        for phase in 1..=offers {
+            preset.push(tagged(phase));
+        }
+        prop_assert_eq!(preset.decimations(), 0);
+        prop_assert_eq!(phases(&preset), phases(&decimated));
+    }
+
+    /// Without capacity pressure, dilution alone coarsens retention to
+    /// every `dilution`-th offer, and those survivors are a subset of
+    /// what an undiluted trace retains — the warming-stream contract.
+    #[test]
+    fn dilution_retains_every_nth_offer(
+        dilution in 1u64..16,
+        offers in 1u64..2000,
+    ) {
+        let mut diluted = EventTrace::with_capacity(offers as usize);
+        let mut full = EventTrace::with_capacity(offers as usize);
+        for phase in 1..=offers {
+            diluted.push_diluted(tagged(phase), dilution);
+            full.push(tagged(phase));
+        }
+        let lattice: Vec<u64> = (1..=offers / dilution).map(|k| k * dilution).collect();
+        prop_assert_eq!(phases(&diluted), lattice);
+        let all = phases(&full);
+        prop_assert!(phases(&diluted).iter().all(|p| all.contains(p)));
+    }
+}

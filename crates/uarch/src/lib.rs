@@ -40,10 +40,18 @@
 //! assert!(r.back_end > 0.5, "a streaming kernel is back-end bound");
 //! ```
 
+// Replay kernels narrow u64 addresses and counters into table indices on
+// their hottest paths; every such cast must either be provably lossless
+// (masked first) or carry a justified allow. Warn-level is promoted to an
+// error by CI's `-D warnings`.
+#![warn(clippy::cast_possible_truncation)]
+
 pub mod cache;
 pub mod predictor;
 pub mod topdown;
 
-pub use cache::{Cache, CacheConfig, CacheStats, MemoryHierarchy, MemoryOutcome, Tlb};
+pub use cache::{Cache, CacheConfig, CacheStats, MemoryBatch, MemoryHierarchy, MemoryOutcome, Tlb};
 pub use predictor::{Bimodal, BranchPredictor, Gshare, PredictorKind, StaticTaken, Tournament};
-pub use topdown::{MachineConfig, MedoidWindow, TopDownModel, TopDownReport};
+pub use topdown::{
+    MachineConfig, MedoidWindow, ReplayCounts, ReplayState, TopDownModel, TopDownReport,
+};

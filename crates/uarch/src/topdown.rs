@@ -19,7 +19,7 @@
 
 use crate::cache::{Cache, CacheConfig, MemoryHierarchy, MemoryOutcome};
 use crate::predictor::{BranchPredictor, PredictorKind};
-use alberta_profile::{Event, Profile, Totals};
+use alberta_profile::{Event, EventChunks, Profile, Totals};
 use alberta_stats::variation::TopDownRatios;
 
 /// Latencies and widths of the modelled machine.
@@ -144,17 +144,34 @@ pub struct MedoidWindow {
 }
 
 /// Sampled event counts from replaying one event slice.
-#[derive(Debug, Clone, Copy, Default)]
-struct ReplayCounts {
-    branches: u64,
-    mispredicts: u64,
-    mem: u64,
-    l2_hits: u64,
-    mem_hits: u64,
-    tlb_misses: u64,
-    fetch_probes: u64,
-    icache_misses: u64,
-    calls: u64,
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayCounts {
+    /// Branch events replayed.
+    pub branches: u64,
+    /// Branches the predictor got wrong.
+    pub mispredicts: u64,
+    /// Load/store events replayed.
+    pub mem: u64,
+    /// Data accesses that missed L1 and hit L2.
+    pub l2_hits: u64,
+    /// Data accesses satisfied by memory.
+    pub mem_hits: u64,
+    /// Data accesses whose translation missed the D-TLB.
+    pub tlb_misses: u64,
+    /// I-cache fetch probes issued by call events.
+    pub fetch_probes: u64,
+    /// Fetch probes that missed the I-cache.
+    pub icache_misses: u64,
+    /// Call events replayed.
+    pub calls: u64,
+}
+
+impl ReplayCounts {
+    /// Total events that drove microarchitectural state (branches,
+    /// loads/stores, calls — `Return`s carry none).
+    pub fn events(&self) -> u64 {
+        self.branches + self.mem + self.calls
+    }
 }
 
 /// Absolute (rescaled) event estimates feeding the cycle composition.
@@ -172,14 +189,29 @@ struct AbsoluteEstimates {
 /// shared across every window of an [`TopDownModel::estimate`] call so
 /// later windows start warm, the way a full-trace replay would reach
 /// them.
-struct ReplayState {
+///
+/// Two replay engines produce identical [`ReplayCounts`] and identical
+/// state evolution:
+///
+/// * [`ReplayState::replay`] — the scalar reference engine, one
+///   enum-dispatch per event. Kept as the shadow model the property
+///   tests and the replay microbenchmark compare against.
+/// * [`ReplayState::replay_batched`] — the production engine: per-kind
+///   kernel loops over [`EventChunks`] arrays. Equivalence is exact, not
+///   approximate, because the three state machines are disjoint — the
+///   predictor sees only branches, the data hierarchy only loads/stores,
+///   the I-cache only call fetch probes — so per-kind sub-streams in
+///   trace order replay each machine through the very same transitions
+///   the interleaved walk would.
+pub struct ReplayState {
     predictor: Box<dyn BranchPredictor>,
     hierarchy: MemoryHierarchy,
     icache: Cache,
 }
 
 impl ReplayState {
-    fn new(cfg: &MachineConfig, predictor: PredictorKind) -> Self {
+    /// Fresh (cold) state for the given machine and predictor.
+    pub fn new(cfg: &MachineConfig, predictor: PredictorKind) -> Self {
         ReplayState {
             predictor: predictor.build(),
             hierarchy: MemoryHierarchy::with_configs(cfg.l1d, cfg.l2, cfg.dtlb_entries),
@@ -187,9 +219,10 @@ impl ReplayState {
         }
     }
 
-    /// Replays one event slice, mutating the shared state, and returns
-    /// the slice's outcome counts.
-    fn replay(
+    /// Replays one event slice through the scalar reference engine,
+    /// mutating the shared state, and returns the slice's outcome
+    /// counts.
+    pub fn replay(
         &mut self,
         cfg: &MachineConfig,
         profile: &Profile,
@@ -234,6 +267,64 @@ impl ReplayState {
                 Event::Return => {}
             }
         }
+        counts
+    }
+
+    /// Replays the trace range `[start, end)` through the batched kernel
+    /// engine: one predictor batch over the range's branch arrays, one
+    /// hierarchy batch over its address array, and a probe-count table
+    /// lookup plus tight line-stride loop per call. Outcome counts and
+    /// post-replay state are identical to [`ReplayState::replay`] over
+    /// the same range of the source event stream.
+    ///
+    /// `probe_counts` is the per-function fetch-probe table from
+    /// [`TopDownModel::probe_table`]; `fn_base` the layout from
+    /// [`TopDownModel::code_layout`].
+    pub fn replay_batched(
+        &mut self,
+        chunks: &EventChunks,
+        range: (usize, usize),
+        probe_counts: &[u64],
+        fn_base: &[u64],
+    ) -> ReplayCounts {
+        let slices = chunks.kind_ranges(range.0, range.1);
+        let mut counts = ReplayCounts {
+            branches: slices.branch_sites.len() as u64,
+            mem: slices.mem_addrs.len() as u64,
+            calls: slices.call_callees.len() as u64,
+            ..ReplayCounts::default()
+        };
+        counts.mispredicts = self
+            .predictor
+            .observe_batch(slices.branch_sites, slices.branch_takens);
+        let mem = self.hierarchy.access_many(slices.mem_addrs);
+        counts.l2_hits = mem.l2_hits;
+        counts.mem_hits = mem.mem_hits;
+        counts.tlb_misses = mem.tlb_misses;
+        // Same-callee memo: a call's probe span covers consecutive
+        // lines, which land in distinct sets whenever the span is no
+        // longer than the set count; a back-to-back repeat of the same
+        // callee therefore probes lines that the previous call left
+        // most-recent in their sets, and — since only this loop touches
+        // the I-cache — every probe is a front-way hit that true LRU
+        // leaves unmoved. Those calls are all-hit without any lookups,
+        // bit-identical to the scalar walk.
+        let icache_sets = self.icache.config().size_bytes
+            / (self.icache.config().line_bytes * self.icache.config().ways);
+        let mut last_callee = u32::MAX;
+        let mut hit_probes = 0u64;
+        for &callee in slices.call_callees {
+            let idx = callee.0 as usize;
+            let probes = probe_counts[idx];
+            counts.fetch_probes += probes;
+            if callee.0 == last_callee && probes <= icache_sets {
+                hit_probes += probes;
+                continue;
+            }
+            last_callee = callee.0;
+            counts.icache_misses += self.icache.probe_span(fn_base[idx], probes);
+        }
+        self.icache.credit_hits(hit_probes);
         counts
     }
 }
@@ -297,7 +388,13 @@ impl TopDownModel {
     /// stay exact when the windows' cluster totals partition the run.
     pub fn estimate(&self, profile: &Profile, windows: &[MedoidWindow]) -> TopDownReport {
         let fn_base = self.code_layout(profile);
-        let trace = profile.trace.events();
+        let probe_counts = self.probe_table(profile);
+        // The capture layer transposed the trace into per-kind chunk
+        // arrays at `Profiler::finish`; every window (and warming gap)
+        // replays as three dispatch-free kernel loops over contiguous
+        // sub-ranges of them.
+        let chunks = &profile.chunks;
+        let trace_len = profile.trace.len();
         let mut abs = AbsoluteEstimates::default();
         let mut totals = Totals::default();
         // One replay state shared across windows: the windows are
@@ -309,7 +406,7 @@ impl TopDownModel {
         let mut cursor = 0usize;
         for window in windows {
             let (start, end) = window.trace_range;
-            let end = end.min(trace.len());
+            let end = end.min(trace_len);
             let start = start.min(end);
             // The trace between windows holds the profiler's diluted
             // warming stream. Feed it through the shared state without
@@ -317,13 +414,9 @@ impl TopDownModel {
             // would have trained on everything in the gap, and skipping
             // the gap entirely leaves predictor and caches stale enough
             // to read mispredict and miss rates high.
-            let _ = state.replay(
-                &self.config,
-                profile,
-                &trace[cursor.min(start)..start],
-                &fn_base,
-            );
-            let counts = state.replay(&self.config, profile, &trace[start..end], &fn_base);
+            let _ =
+                state.replay_batched(chunks, (cursor.min(start), start), &probe_counts, &fn_base);
+            let counts = state.replay_batched(chunks, (start, end), &probe_counts, &fn_base);
             cursor = end;
             let t = &window.cluster_totals;
             totals.retired_ops += t.retired_ops;
@@ -371,7 +464,7 @@ impl TopDownModel {
     /// Synthetic code layout: functions placed back to back, line-aligned,
     /// in registration order. Registration order is deterministic per
     /// benchmark, so layout is stable across workloads.
-    fn code_layout(&self, profile: &Profile) -> Vec<u64> {
+    pub fn code_layout(&self, profile: &Profile) -> Vec<u64> {
         let line = self.config.icache.line_bytes;
         let mut fn_base = Vec::with_capacity(profile.functions.len());
         let mut cursor = 0u64;
@@ -381,6 +474,25 @@ impl TopDownModel {
             cursor += len.div_ceil(line) * line;
         }
         fn_base
+    }
+
+    /// Per-function I-cache fetch-probe counts: how many line-strided
+    /// probes one call into each function issues (the entry region up to
+    /// [`MachineConfig::fetch_probe_bytes`], at least one line). The
+    /// batched call kernel turns the scalar engine's per-call
+    /// probe-length computation into a table lookup.
+    pub fn probe_table(&self, profile: &Profile) -> Vec<u64> {
+        let line = self.config.icache.line_bytes;
+        profile
+            .functions
+            .iter()
+            .map(|meta| {
+                let len = (meta.code_bytes as u64)
+                    .min(self.config.fetch_probe_bytes)
+                    .max(1);
+                len.div_ceil(line)
+            })
+            .collect()
     }
 
     /// Composes the cycle accounting from absolute event estimates and
