@@ -1,0 +1,77 @@
+//! The characterization-as-a-service daemon.
+//!
+//! ```text
+//! cargo run --release -p alberta-bench --bin alberta-serve -- \
+//!     [--listen ADDR] [--cache-dir PATH] [--hosts N] \
+//!     [--host-exec serial|threads|processes] [--host-jobs N]
+//! ```
+//!
+//! Listens on `--listen` (default `127.0.0.1:0`, an ephemeral port) and
+//! answers characterization requests over the line-delimited wire
+//! protocol of `alberta_serve::wire`. Results come from the
+//! content-addressed cache under `--cache-dir` (default
+//! `serve-cache/`); misses are placed onto `--hosts` mock hosts by the
+//! deterministic work-stealing scheduler and executed under
+//! `--host-exec` (each host is its own worker pool; `processes` gives
+//! every host a crash-isolated pool with heartbeats and redispatch).
+//!
+//! The bound address is printed to stdout as soon as the socket is
+//! ready — CI and the tests parse that line instead of racing the
+//! daemon with retries. The daemon exits when a client sends
+//! `shutdown`.
+
+use alberta_bench::{usage_error, value_from_args};
+use alberta_core::ExecPolicy;
+use alberta_serve::{Daemon, Engine, ResultCache, ServeConfig};
+
+fn main() {
+    // Under --host-exec processes the host pools re-execute this binary
+    // in the hidden worker mode; intercept that before anything else.
+    alberta_bench::maybe_worker();
+
+    let listen = value_from_args("--listen").unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    let cache_dir = value_from_args("--cache-dir").unwrap_or_else(|| "serve-cache".to_owned());
+    let hosts = match value_from_args("--hosts") {
+        None => 4,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => usage_error(&format!("--hosts expects a positive count, got {v:?}")),
+        },
+    };
+    let host_jobs = match value_from_args("--host-jobs") {
+        None => 2,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => usage_error(&format!("--host-jobs expects a positive count, got {v:?}")),
+        },
+    };
+    let host_exec = match value_from_args("--host-exec").as_deref() {
+        None | Some("serial") => ExecPolicy::serial(),
+        Some("threads") => ExecPolicy::with_jobs(host_jobs),
+        Some("processes") => ExecPolicy::processes_with_jobs(host_jobs),
+        Some(other) => usage_error(&format!(
+            "unknown --host-exec {other:?}; valid policies are: serial, threads, processes"
+        )),
+    };
+
+    let config = ServeConfig {
+        hosts,
+        host_exec,
+        ..ServeConfig::default()
+    };
+    let engine = Engine::new(config, ResultCache::new(&cache_dir));
+    let daemon = match Daemon::bind(&listen, engine) {
+        Ok(daemon) => daemon,
+        Err(e) => usage_error(&format!("cannot listen on {listen}: {e}")),
+    };
+    let addr = daemon
+        .local_addr()
+        .unwrap_or_else(|e| usage_error(&format!("cannot resolve bound address: {e}")));
+    // The readiness line CI and the tests wait for.
+    println!("alberta-serve: listening on {addr}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    eprintln!("alberta-serve: cache {cache_dir}, {hosts} host(s), exec {host_exec:?}");
+    daemon.run();
+    eprintln!("alberta-serve: shut down");
+}

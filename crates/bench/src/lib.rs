@@ -42,6 +42,17 @@ const VALUE_FLAGS: &[&str] = &[
     "--sample-seed",
     "--bound",
     "--speed-out",
+    "--listen",
+    "--cache-dir",
+    "--hosts",
+    "--host-exec",
+    "--host-jobs",
+    "--addr",
+    "--requests",
+    "--clients",
+    "--seed",
+    "--latency-out",
+    "--sweep-out",
 ];
 
 /// The positional (non-flag) arguments, with flag *values* excluded:

@@ -304,6 +304,22 @@ fn run_workload_sampled(
     })
 }
 
+/// Summarizes a set of (surviving) runs into a [`Characterization`] —
+/// the entry the characterization service uses to rebuild a benchmark
+/// summary from individually executed (or cached) workload runs.
+/// Returns `None` when `runs` is empty — there is nothing to summarize.
+///
+/// Summarization is a pure function of the runs, so a summary rebuilt
+/// from runs that crossed a wire or a cache is bit-identical to one
+/// computed in-process, provided the runs round-tripped losslessly.
+pub fn summarize_runs(
+    spec_id: &str,
+    short_name: &str,
+    runs: Vec<WorkloadRun>,
+) -> Option<Characterization> {
+    summarize(spec_id, short_name, runs)
+}
+
 /// Summarizes a set of (surviving) runs into a [`Characterization`].
 /// Returns `None` when `runs` is empty — there is nothing to summarize.
 pub(crate) fn summarize(

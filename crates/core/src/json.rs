@@ -113,6 +113,14 @@ impl Value {
         out
     }
 
+    /// The content fingerprint of this document: [`fingerprint`] over
+    /// the compact rendering. Two documents fingerprint identically iff
+    /// their canonical serializations are byte-identical, which (because
+    /// emission is deterministic) means they are the same document.
+    pub fn fingerprint(&self) -> String {
+        fingerprint(self.render_compact().as_bytes())
+    }
+
     fn write_compact(&self, out: &mut String) {
         match self {
             Value::Null => out.push_str("null"),
@@ -273,6 +281,23 @@ pub fn parse(text: &str) -> Result<Value, ParseError> {
         return Err(p.error("trailing characters after the document"));
     }
     Ok(value)
+}
+
+/// A 128-bit FNV-1a content fingerprint, rendered as 32 lowercase hex
+/// characters. Dependency-free and deterministic across platforms; used
+/// as the content address of the characterization result cache, where
+/// the keyed space is tiny (thousands of configuration documents, not
+/// adversarial input), so 128 bits of a well-mixed non-cryptographic
+/// hash are collision-safe by a comfortable margin.
+pub fn fingerprint(bytes: &[u8]) -> String {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut hash = OFFSET;
+    for byte in bytes {
+        hash ^= u128::from(*byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    format!("{hash:032x}")
 }
 
 struct Parser<'a> {
@@ -574,5 +599,17 @@ mod tests {
         let text = doc.render();
         assert!(text.contains("\\u0001"));
         assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_content_sensitive() {
+        // FNV-1a reference vectors (the 128-bit variant).
+        assert_eq!(fingerprint(b""), "6c62272e07bb014262b821756295c58d");
+        let doc = obj(vec![("benchmark", Value::Str("mcf".into()))]);
+        assert_eq!(doc.fingerprint(), doc.clone().fingerprint());
+        let other = obj(vec![("benchmark", Value::Str("xz".into()))]);
+        assert_ne!(doc.fingerprint(), other.fingerprint());
+        assert_eq!(doc.fingerprint().len(), 32);
+        assert!(doc.fingerprint().bytes().all(|b| b.is_ascii_hexdigit()));
     }
 }

@@ -47,14 +47,14 @@ pub mod suite;
 pub mod tables;
 
 pub use characterize::{
-    Characterization, ResilientCharacterization, RunReport, RunStatus, WorkloadRun,
+    summarize_runs, Characterization, ResilientCharacterization, RunReport, RunStatus, WorkloadRun,
 };
 pub use exec::{ExecPolicy, RunMetrics};
 pub use faults::{Fault, FaultKind, FaultPlan};
 pub use log::{LogLevel, LogRecord};
 pub use process::{maybe_worker, ProcessConfig};
 pub use sampling::{PhaseSampling, SamplingPolicy, SamplingStats, PHASE_ERROR_BOUND_PCT};
-pub use suite::{CoreError, Suite};
+pub use suite::{CoreError, Suite, TaskRun};
 
 // Re-export the layers users need to drive the facade.
 pub use alberta_benchmarks::{suite as benchmark_suite, BenchError, Benchmark, RunOutput};

@@ -157,6 +157,13 @@ pub(crate) struct TaskOutcome {
     pub(crate) metrics: RunMetrics,
 }
 
+/// One unit of work for [`run_process_tasks`]: a benchmark paired with
+/// one of its workloads.
+pub(crate) struct ProcessTask<'a> {
+    pub(crate) benchmark: &'a dyn Benchmark,
+    pub(crate) workload: String,
+}
+
 /// Runs every `(benchmark, workload)` pair of `benchmarks` through a
 /// pool of `jobs` supervised worker subprocesses and returns one
 /// [`TaskOutcome`] per pair, in canonical order. Never panics the sweep
@@ -170,6 +177,36 @@ pub(crate) struct TaskOutcome {
 /// does not nest.
 pub(crate) fn run_process_sweep(
     benchmarks: &[Box<dyn Benchmark>],
+    config: WorkerConfig,
+    jobs: usize,
+    process: &ProcessConfig,
+) -> Vec<TaskOutcome> {
+    let tasks: Vec<ProcessTask<'_>> = benchmarks
+        .iter()
+        .flat_map(|b| {
+            b.workload_names()
+                .into_iter()
+                .map(move |workload| ProcessTask {
+                    benchmark: b.as_ref(),
+                    workload,
+                })
+        })
+        .collect();
+    run_process_tasks(&tasks, config, jobs, process)
+}
+
+/// Runs an explicit task list through the supervised worker pool and
+/// returns one [`TaskOutcome`] per task, in input order. This is the
+/// generalized entry [`run_process_sweep`] delegates to; the serving
+/// layer uses it directly to execute an arbitrary subset of the suite's
+/// runs on one "host" pool.
+///
+/// # Panics
+///
+/// Panics when called from inside a worker process — process execution
+/// does not nest.
+pub(crate) fn run_process_tasks(
+    tasks: &[ProcessTask<'_>],
     mut config: WorkerConfig,
     jobs: usize,
     process: &ProcessConfig,
@@ -181,22 +218,18 @@ pub(crate) fn run_process_sweep(
     config.deadline_work = process.deadline_work;
     config.beat_ms = process.beat_interval_ms();
     let epoch = Instant::now();
-    let tasks: Vec<TaskSlot> = benchmarks
+    let tasks: Vec<TaskSlot> = tasks
         .iter()
-        .flat_map(|b| {
-            b.workload_names()
-                .into_iter()
-                .map(move |workload| TaskSlot {
-                    benchmark: b.short_name().to_owned(),
-                    spec_id: b.name(),
-                    short_name: b.short_name(),
-                    workload,
-                    state: TaskState::Pending,
-                    dispatches: 0,
-                    eligible_at: epoch,
-                    dispatched_at: epoch,
-                    outcome: None,
-                })
+        .map(|t| TaskSlot {
+            benchmark: t.benchmark.short_name().to_owned(),
+            spec_id: t.benchmark.name(),
+            short_name: t.benchmark.short_name(),
+            workload: t.workload.clone(),
+            state: TaskState::Pending,
+            dispatches: 0,
+            eligible_at: epoch,
+            dispatched_at: epoch,
+            outcome: None,
         })
         .collect();
     if tasks.is_empty() {

@@ -236,7 +236,8 @@ fn opt_u64(v: Option<u64>) -> Value {
     v.map(Value::UInt).unwrap_or(Value::Null)
 }
 
-fn scale_name(scale: Scale) -> &'static str {
+/// The canonical wire name of a scale (`test`, `train`, `ref`).
+pub fn scale_name(scale: Scale) -> &'static str {
     match scale {
         Scale::Test => "test",
         Scale::Train => "train",
@@ -244,7 +245,8 @@ fn scale_name(scale: Scale) -> &'static str {
     }
 }
 
-fn scale_value(scale: Scale) -> Value {
+/// A scale as a canonical-JSON string value.
+pub fn scale_value(scale: Scale) -> Value {
     s(scale_name(scale))
 }
 
@@ -274,7 +276,10 @@ fn sample_config_value(c: &SampleConfig) -> Value {
     ])
 }
 
-fn sampling_policy_value(p: &SamplingPolicy) -> Value {
+/// A sampling policy as its canonical wire object. Shared by the worker
+/// pipe protocol and the characterization-service request codec (where
+/// it also enters the content-addressed cache key).
+pub fn sampling_policy_value(p: &SamplingPolicy) -> Value {
     match p {
         SamplingPolicy::Full => obj(vec![("kind", s("full"))]),
         SamplingPolicy::Phase(phase) => obj(vec![
@@ -294,7 +299,9 @@ fn cache_config_value(c: &CacheConfig) -> Value {
     ])
 }
 
-fn machine_value(m: &MachineConfig) -> Value {
+/// A machine model configuration as its canonical wire object. Field
+/// order is fixed, so the rendering is stable enough to hash.
+pub fn machine_value(m: &MachineConfig) -> Value {
     obj(vec![
         ("issue_width", Value::Float(m.issue_width)),
         ("mispredict_penalty", Value::Float(m.mispredict_penalty)),
@@ -316,7 +323,8 @@ fn machine_value(m: &MachineConfig) -> Value {
     ])
 }
 
-fn predictor_value(p: PredictorKind) -> Value {
+/// A branch-predictor kind as its canonical wire object.
+pub fn predictor_value(p: PredictorKind) -> Value {
     match p {
         PredictorKind::StaticTaken => obj(vec![("kind", s("static-taken"))]),
         PredictorKind::Bimodal { bits } => obj(vec![
@@ -410,7 +418,10 @@ fn sampling_stats_value(st: &SamplingStats) -> Value {
     ])
 }
 
-fn run_value(run: &WorkloadRun) -> Value {
+/// A workload run's measurements as their canonical wire object. The
+/// codec is lossless (see the module docs), so a run decoded from this
+/// form summarizes bit-identically to the in-process original.
+pub fn run_value(run: &WorkloadRun) -> Value {
     let coverage = run
         .coverage
         .iter()
@@ -446,7 +457,8 @@ fn run_value(run: &WorkloadRun) -> Value {
     ])
 }
 
-fn status_value(status: &RemoteStatus) -> Value {
+/// A remote run status as its canonical wire object.
+pub fn status_value(status: &RemoteStatus) -> Value {
     match status {
         RemoteStatus::Ok => obj(vec![("kind", s("ok"))]),
         RemoteStatus::Degraded {
@@ -653,7 +665,12 @@ fn opt_u64_field(value: &Value, key: &str) -> Result<Option<u64>, DecodeError> {
     }
 }
 
-fn decode_scale(name: &str) -> Result<Scale, DecodeError> {
+/// Parses a canonical scale name.
+///
+/// # Errors
+///
+/// An unknown name is described in the returned text.
+pub fn decode_scale(name: &str) -> Result<Scale, DecodeError> {
     match name {
         "test" => Ok(Scale::Test),
         "train" => Ok(Scale::Train),
@@ -691,7 +708,12 @@ fn decode_sample_config(value: &Value) -> Result<SampleConfig, DecodeError> {
     Ok(config)
 }
 
-fn decode_sampling_policy(value: &Value) -> Result<SamplingPolicy, DecodeError> {
+/// Parses a sampling policy from its canonical wire object.
+///
+/// # Errors
+///
+/// The first structural problem, as text.
+pub fn decode_sampling_policy(value: &Value) -> Result<SamplingPolicy, DecodeError> {
     match req_str(value, "kind")? {
         "full" => Ok(SamplingPolicy::Full),
         "phase" => Ok(SamplingPolicy::Phase(PhaseSampling {
@@ -711,7 +733,12 @@ fn decode_cache_config(value: &Value) -> Result<CacheConfig, DecodeError> {
     })
 }
 
-fn decode_machine(value: &Value) -> Result<MachineConfig, DecodeError> {
+/// Parses a machine configuration from its canonical wire object.
+///
+/// # Errors
+///
+/// The first structural problem, as text.
+pub fn decode_machine(value: &Value) -> Result<MachineConfig, DecodeError> {
     Ok(MachineConfig {
         issue_width: req_f64(value, "issue_width")?,
         mispredict_penalty: req_f64(value, "mispredict_penalty")?,
@@ -733,7 +760,12 @@ fn decode_machine(value: &Value) -> Result<MachineConfig, DecodeError> {
     })
 }
 
-fn decode_predictor(value: &Value) -> Result<PredictorKind, DecodeError> {
+/// Parses a predictor kind from its canonical wire object.
+///
+/// # Errors
+///
+/// The first structural problem, as text.
+pub fn decode_predictor(value: &Value) -> Result<PredictorKind, DecodeError> {
     match req_str(value, "kind")? {
         "static-taken" => Ok(PredictorKind::StaticTaken),
         "bimodal" => Ok(PredictorKind::Bimodal {
@@ -849,7 +881,13 @@ fn decode_sampling_stats(value: &Value) -> Result<SamplingStats, DecodeError> {
     })
 }
 
-fn decode_run(value: &Value) -> Result<WorkloadRun, DecodeError> {
+/// Parses a workload run from its canonical wire object — the inverse
+/// of [`run_value`].
+///
+/// # Errors
+///
+/// The first structural problem, as text.
+pub fn decode_run(value: &Value) -> Result<WorkloadRun, DecodeError> {
     let mut coverage = BTreeMap::new();
     for (name, pct) in req_field(value, "coverage")?
         .as_object()
@@ -897,7 +935,12 @@ fn decode_run(value: &Value) -> Result<WorkloadRun, DecodeError> {
     })
 }
 
-fn decode_status(value: &Value) -> Result<RemoteStatus, DecodeError> {
+/// Parses a remote run status from its canonical wire object.
+///
+/// # Errors
+///
+/// The first structural problem, as text.
+pub fn decode_status(value: &Value) -> Result<RemoteStatus, DecodeError> {
     match req_str(value, "kind")? {
         "ok" => Ok(RemoteStatus::Ok),
         "degraded" => Ok(RemoteStatus::Degraded {

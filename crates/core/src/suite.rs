@@ -6,7 +6,9 @@ use crate::characterize::{
 };
 use crate::exec::{run_indexed, run_indexed_metered, ExecPolicy, RunMetrics};
 use crate::faults::{FaultKind, FaultPlan};
-use crate::process::{run_process_sweep, ProcessConfig, TaskOutcome};
+use crate::process::{
+    run_process_sweep, run_process_tasks, ProcessConfig, ProcessTask, TaskOutcome,
+};
 use crate::protocol::{WorkerConfig, WorkerMode};
 use crate::sampling::SamplingPolicy;
 use crate::{log_debug, log_error, log_warn};
@@ -27,6 +29,13 @@ pub enum CoreError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// The benchmark exists but has no workload with the given name.
+    UnknownWorkload {
+        /// The benchmark the lookup ran against (short name).
+        benchmark: String,
+        /// The workload name that failed to resolve.
+        workload: String,
+    },
     /// A benchmark run failed.
     Run(BenchError),
 }
@@ -37,6 +46,15 @@ impl fmt::Display for CoreError {
             CoreError::UnknownBenchmark { name } => {
                 write!(f, "no benchmark named {name:?} in the suite")
             }
+            CoreError::UnknownWorkload {
+                benchmark,
+                workload,
+            } => {
+                write!(
+                    f,
+                    "benchmark {benchmark} has no workload named {workload:?}"
+                )
+            }
             CoreError::Run(e) => write!(f, "benchmark run failed: {e}"),
         }
     }
@@ -46,7 +64,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Run(e) => Some(e),
-            CoreError::UnknownBenchmark { .. } => None,
+            CoreError::UnknownBenchmark { .. } | CoreError::UnknownWorkload { .. } => None,
         }
     }
 }
@@ -55,6 +73,26 @@ impl From<BenchError> for CoreError {
     fn from(e: BenchError) -> Self {
         CoreError::Run(e)
     }
+}
+
+/// One executed task of an explicit task-list characterization
+/// ([`Suite::characterize_tasks_metered`]): the resolved benchmark
+/// names, the run's fate under the resilient pipeline, its measurements
+/// (for survivors), and the execution layer's metrics.
+#[derive(Debug)]
+pub struct TaskRun {
+    /// SPEC-style id, e.g. `505.mcf_r`.
+    pub spec_id: String,
+    /// Short name, e.g. `mcf`.
+    pub short_name: String,
+    /// Workload name.
+    pub workload: String,
+    /// The run's fate.
+    pub status: RunStatus,
+    /// Measurements, for survivors.
+    pub run: Option<WorkloadRun>,
+    /// Execution-layer observability for the run.
+    pub metrics: RunMetrics,
 }
 
 /// The full benchmark suite plus the measurement configuration.
@@ -571,6 +609,105 @@ impl Suite {
             ));
         }
         out
+    }
+
+    /// Executes an explicit list of `(benchmark, workload)` tasks —
+    /// names resolved like [`Suite::benchmark`] — under this suite's
+    /// execution policy and returns one [`TaskRun`] per task, in input
+    /// order. The runs go through the resilient pipeline (guarded,
+    /// fault-plan-aware, retry-on-retryable), so per-run failures are
+    /// reported in the returned statuses, never as an error. This is
+    /// the entry the characterization service uses to execute an
+    /// arbitrary subset of the suite's runs; because each task depends
+    /// only on its inputs, the results are bit-identical across
+    /// execution policies and across any partitioning of the list.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownBenchmark`] or [`CoreError::UnknownWorkload`]
+    /// when a task names something the suite does not have — resolution
+    /// happens up front, before anything executes.
+    pub fn characterize_tasks_metered(
+        &self,
+        tasks: &[(String, String)],
+    ) -> Result<Vec<TaskRun>, CoreError> {
+        let rebuilt = self.malformed_benchmarks();
+        let benchmarks = rebuilt.as_deref().unwrap_or(&self.benchmarks);
+        let mut resolved: Vec<&dyn Benchmark> = Vec::with_capacity(tasks.len());
+        for (name, workload) in tasks {
+            let benchmark = benchmarks
+                .iter()
+                .find(|b| b.short_name() == name || b.name() == name)
+                .ok_or_else(|| CoreError::UnknownBenchmark { name: name.clone() })?
+                .as_ref();
+            if !benchmark.workload_names().iter().any(|w| w == workload) {
+                return Err(CoreError::UnknownWorkload {
+                    benchmark: benchmark.short_name().to_owned(),
+                    workload: workload.clone(),
+                });
+            }
+            resolved.push(benchmark);
+        }
+        if matches!(self.exec, ExecPolicy::Processes { .. }) {
+            let process_tasks: Vec<ProcessTask<'_>> = resolved
+                .iter()
+                .zip(tasks)
+                .map(|(b, (_, workload))| ProcessTask {
+                    benchmark: *b,
+                    workload: workload.clone(),
+                })
+                .collect();
+            let outcomes = run_process_tasks(
+                &process_tasks,
+                self.worker_config(WorkerMode::Resilient),
+                self.exec.jobs(),
+                &self.process,
+            );
+            return Ok(resolved
+                .iter()
+                .zip(tasks)
+                .zip(outcomes)
+                .map(|((b, (_, workload)), outcome)| TaskRun {
+                    spec_id: b.name().to_owned(),
+                    short_name: b.short_name().to_owned(),
+                    workload: workload.clone(),
+                    status: outcome.status,
+                    run: outcome.run,
+                    metrics: outcome.metrics,
+                })
+                .collect());
+        }
+        let indices: Vec<usize> = (0..tasks.len()).collect();
+        let results = run_indexed_metered(self.exec, &indices, |_, &i| {
+            let benchmark = resolved[i];
+            let workload = &tasks[i].1;
+            catch_unwind(AssertUnwindSafe(|| self.resilient_run(benchmark, workload)))
+                .unwrap_or_else(|payload| {
+                    let status = RunStatus::Failed {
+                        error: BenchError::Panicked {
+                            benchmark: benchmark.name(),
+                            workload: workload.clone(),
+                            message: panic_message(payload.as_ref()),
+                        },
+                    };
+                    (status, None)
+                })
+        });
+        Ok(results
+            .into_iter()
+            .enumerate()
+            .map(|(i, ((status, run), mut m))| {
+                (m.retries, m.budget_consumed) = run_accounting(&status, run.as_ref());
+                TaskRun {
+                    spec_id: resolved[i].name().to_owned(),
+                    short_name: resolved[i].short_name().to_owned(),
+                    workload: tasks[i].1.clone(),
+                    status,
+                    run,
+                    metrics: m,
+                }
+            })
+            .collect())
     }
 
     /// One strict workload run under this suite's measurement

@@ -27,6 +27,7 @@
 pub mod diff;
 pub use alberta_core::json;
 pub mod schema;
+pub mod serve;
 pub mod trace;
 pub mod view;
 
@@ -35,6 +36,7 @@ pub use schema::{
     BenchmarkReport, CategoryRecord, HotPathRecord, MeasureRecord, RunRecord, SamplingRecord,
     StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
 };
+pub use serve::{CacheDocument, HostRecord, LatencyReport, StormReport};
 pub use trace::{render_trace, TraceMode, DEFAULT_LANES};
 
 use std::fmt;

@@ -372,6 +372,21 @@ impl SuiteReport {
         }
     }
 
+    /// Assembles a report from already-built benchmark sections — the
+    /// entry the characterization service uses to reconstruct a sweep
+    /// document from individually computed (or cached) benchmark
+    /// reports. The result is indistinguishable from one built by
+    /// [`SuiteReport::from_resilient`] over the same runs, provided the
+    /// sections were built with [`RunRecord::from_parts`] and
+    /// [`SummaryRecord::from_characterization`].
+    pub fn from_parts(scale: Scale, benchmarks: Vec<BenchmarkReport>) -> Self {
+        SuiteReport {
+            schema_version: SCHEMA_VERSION,
+            scale,
+            benchmarks,
+        }
+    }
+
     /// Builds a report from a resilient metered sweep
     /// ([`Suite::characterize_all_resilient_metered`](alberta_core::Suite::characterize_all_resilient_metered)).
     pub fn from_resilient(
@@ -386,37 +401,22 @@ impl SuiteReport {
                     .iter()
                     .zip(metrics)
                     .map(|(report, m)| {
-                        let (status, error, retried_at) = match &report.status {
-                            RunStatus::Ok => (StatusKind::Ok, None, None),
-                            RunStatus::Degraded { error, retried_at } => (
-                                StatusKind::Degraded,
-                                Some(error.to_string()),
-                                Some(*retried_at),
-                            ),
-                            RunStatus::Failed { error } => {
-                                (StatusKind::Failed, Some(error.to_string()), None)
-                            }
-                        };
                         let run = r
                             .characterization
                             .as_ref()
                             .and_then(|c| c.run(&report.workload));
-                        RunRecord {
-                            workload: report.workload.clone(),
-                            status,
-                            error,
-                            retried_at,
-                            retries: m.retries,
-                            budget_consumed: m.budget_consumed,
-                            wall_nanos: Some(m.wall_nanos),
-                            start_nanos: Some(m.start_nanos),
-                            worker: Some(m.worker as u64),
-                            dispatches: Some(m.dispatches.max(1)),
-                            measures: run.map(MeasureRecord::from_run),
-                            sampling: run
-                                .and_then(|r| r.sampling.as_ref())
-                                .map(SamplingRecord::from_stats),
-                        }
+                        let mut record = RunRecord::from_parts(
+                            &report.workload,
+                            &report.status,
+                            m.retries,
+                            m.budget_consumed,
+                            run,
+                        );
+                        record.wall_nanos = Some(m.wall_nanos);
+                        record.start_nanos = Some(m.start_nanos);
+                        record.worker = Some(m.worker as u64);
+                        record.dispatches = Some(m.dispatches.max(1));
+                        record
                     })
                     .collect();
                 BenchmarkReport {
@@ -606,7 +606,10 @@ impl SuiteReport {
 }
 
 impl BenchmarkReport {
-    fn to_value(&self) -> Value {
+    /// The benchmark section as its canonical JSON object — the exact
+    /// value the full report serialization embeds, which is what the
+    /// characterization service sends as a benchmark-level response.
+    pub fn to_value(&self) -> Value {
         let mut fields = vec![
             ("spec_id".to_owned(), Value::Str(self.spec_id.clone())),
             ("short_name".to_owned(), Value::Str(self.short_name.clone())),
@@ -627,7 +630,13 @@ impl BenchmarkReport {
         Value::Object(fields)
     }
 
-    fn from_value(value: &Value) -> Result<Self, ReportError> {
+    /// Parses a benchmark section from its canonical JSON object — the
+    /// inverse of [`BenchmarkReport::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError::Schema`] on structural problems.
+    pub fn from_value(value: &Value) -> Result<Self, ReportError> {
         let runs = require_array(value, "runs")?
             .iter()
             .map(RunRecord::from_value)
@@ -659,7 +668,49 @@ impl BenchmarkReport {
 }
 
 impl RunRecord {
-    fn to_value(&self) -> Value {
+    /// Builds the canonical (telemetry-free) record of one run from its
+    /// fate, deterministic accounting, and measurements. This is the
+    /// same projection [`SuiteReport::from_resilient`] applies per run
+    /// before attaching telemetry, so records built here are
+    /// byte-identical to a stripped sweep's — the property the
+    /// characterization service's cached-vs-computed gate relies on.
+    pub fn from_parts(
+        workload: &str,
+        status: &RunStatus,
+        retries: u32,
+        budget_consumed: u64,
+        run: Option<&alberta_core::WorkloadRun>,
+    ) -> Self {
+        let (status, error, retried_at) = match status {
+            RunStatus::Ok => (StatusKind::Ok, None, None),
+            RunStatus::Degraded { error, retried_at } => (
+                StatusKind::Degraded,
+                Some(error.to_string()),
+                Some(*retried_at),
+            ),
+            RunStatus::Failed { error } => (StatusKind::Failed, Some(error.to_string()), None),
+        };
+        RunRecord {
+            workload: workload.to_owned(),
+            status,
+            error,
+            retried_at,
+            retries,
+            budget_consumed,
+            wall_nanos: None,
+            start_nanos: None,
+            worker: None,
+            dispatches: None,
+            measures: run.map(MeasureRecord::from_run),
+            sampling: run
+                .and_then(|r| r.sampling.as_ref())
+                .map(SamplingRecord::from_stats),
+        }
+    }
+
+    /// The record as its canonical JSON object — the exact value the
+    /// full report serialization embeds.
+    pub fn to_value(&self) -> Value {
         let mut fields = vec![
             ("workload".to_owned(), Value::Str(self.workload.clone())),
             (
@@ -702,7 +753,13 @@ impl RunRecord {
         Value::Object(fields)
     }
 
-    fn from_value(value: &Value) -> Result<Self, ReportError> {
+    /// Parses a record from its canonical JSON object — the inverse of
+    /// [`RunRecord::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError::Schema`] on structural problems.
+    pub fn from_value(value: &Value) -> Result<Self, ReportError> {
         let workload = require_str(value, "workload")?.to_owned();
         let status_text = require_str(value, "status")?;
         let status = StatusKind::from_str(status_text).ok_or_else(|| ReportError::Schema {
@@ -844,7 +901,10 @@ impl CategoryRecord {
 }
 
 impl SummaryRecord {
-    fn from_characterization(c: &Characterization) -> Self {
+    /// Projects a [`Characterization`] to its Table II summary row —
+    /// public so summaries rebuilt from cached runs serialize exactly
+    /// like sweep-computed ones.
+    pub fn from_characterization(c: &Characterization) -> Self {
         let category = |s: &alberta_core::RatioSummary| CategoryRecord {
             geo_mean: s.geo_mean,
             geo_std: s.geo_std,
@@ -900,7 +960,7 @@ impl SummaryRecord {
     }
 }
 
-fn require_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, ReportError> {
+pub(crate) fn require_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, ReportError> {
     value
         .get(key)
         .and_then(Value::as_str)
@@ -909,7 +969,10 @@ fn require_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, ReportError> 
         })
 }
 
-fn optional_str<'v>(value: &'v Value, key: &str) -> Result<Option<&'v str>, ReportError> {
+pub(crate) fn optional_str<'v>(
+    value: &'v Value,
+    key: &str,
+) -> Result<Option<&'v str>, ReportError> {
     match value.get(key) {
         None => Ok(None),
         Some(v) => v.as_str().map(Some).ok_or_else(|| ReportError::Schema {
@@ -918,7 +981,7 @@ fn optional_str<'v>(value: &'v Value, key: &str) -> Result<Option<&'v str>, Repo
     }
 }
 
-fn require_array<'v>(value: &'v Value, key: &str) -> Result<&'v [Value], ReportError> {
+pub(crate) fn require_array<'v>(value: &'v Value, key: &str) -> Result<&'v [Value], ReportError> {
     value
         .get(key)
         .and_then(Value::as_array)
@@ -927,7 +990,7 @@ fn require_array<'v>(value: &'v Value, key: &str) -> Result<&'v [Value], ReportE
         })
 }
 
-fn require_u64(value: &Value, key: &str) -> Result<u64, ReportError> {
+pub(crate) fn require_u64(value: &Value, key: &str) -> Result<u64, ReportError> {
     value
         .get(key)
         .and_then(Value::as_u64)
@@ -936,7 +999,7 @@ fn require_u64(value: &Value, key: &str) -> Result<u64, ReportError> {
         })
 }
 
-fn optional_u64(value: &Value, key: &str) -> Result<Option<u64>, ReportError> {
+pub(crate) fn optional_u64(value: &Value, key: &str) -> Result<Option<u64>, ReportError> {
     match value.get(key) {
         None => Ok(None),
         Some(v) => v.as_u64().map(Some).ok_or_else(|| ReportError::Schema {
@@ -945,7 +1008,7 @@ fn optional_u64(value: &Value, key: &str) -> Result<Option<u64>, ReportError> {
     }
 }
 
-fn require_f64(value: &Value, key: &str) -> Result<f64, ReportError> {
+pub(crate) fn require_f64(value: &Value, key: &str) -> Result<f64, ReportError> {
     value
         .get(key)
         .and_then(Value::as_f64)
@@ -954,7 +1017,7 @@ fn require_f64(value: &Value, key: &str) -> Result<f64, ReportError> {
         })
 }
 
-fn optional_f64(value: &Value, key: &str) -> Result<Option<f64>, ReportError> {
+pub(crate) fn optional_f64(value: &Value, key: &str) -> Result<Option<f64>, ReportError> {
     match value.get(key) {
         None => Ok(None),
         Some(v) => v.as_f64().map(Some).ok_or_else(|| ReportError::Schema {

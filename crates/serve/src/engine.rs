@@ -1,0 +1,637 @@
+//! Batch resolution: cache lookups, work-stealing dispatch, and
+//! canonical-order reassembly.
+//!
+//! The engine answers a *batch* of requests at a time. It expands each
+//! request into per-workload cache keys, answers what it can from the
+//! content-addressed cache, places the misses onto the mock host pool
+//! with the deterministic work-stealing scheduler, executes each host's
+//! share through [`Suite::characterize_tasks_metered`], persists the
+//! results, and reassembles responses in canonical request order.
+//! Because every stage is deterministic given the batch contents, a
+//! response's bytes do not depend on which host computed it, whether it
+//! was cached, or the order requests arrived over the wire.
+//!
+//! Batches are resolved under a global lock. That serialization is the
+//! cross-batch single-flight: when two storms race the same key set,
+//! the first batch computes and the second finds everything on disk.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Mutex;
+
+use alberta_core::json::Value;
+use alberta_core::protocol::RemoteStatus;
+use alberta_core::{benchmark_suite, summarize_runs, ExecPolicy, FaultPlan, ProcessConfig, Suite};
+use alberta_report::{BenchmarkReport, CacheDocument, HostRecord, RunRecord};
+
+use crate::cache::ResultCache;
+use crate::sched::{self, Placement};
+use crate::spec::RequestSpec;
+
+/// Static configuration of the mock host pool.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of mock hosts.
+    pub hosts: usize,
+    /// Execution policy *within* each host (each host is its own
+    /// worker pool; `Processes` gives every host a crash-isolated pool).
+    pub host_exec: ExecPolicy,
+    /// Supervisor tuning for process-backed hosts.
+    pub process: ProcessConfig,
+    /// Hosts that are down: they never execute, are never stolen from,
+    /// and tasks homed on them fail (but always complete).
+    pub dead_hosts: BTreeSet<usize>,
+    /// Per-host fault plans — injected into that host's suite runs, the
+    /// handle the scheduler tests use to shake one host without
+    /// touching the others.
+    pub host_faults: BTreeMap<usize, FaultPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            hosts: 4,
+            host_exec: ExecPolicy::serial(),
+            process: ProcessConfig::default(),
+            dead_hosts: BTreeSet::new(),
+            host_faults: BTreeMap::new(),
+        }
+    }
+}
+
+/// One request inside a batch, tagged with its canonical token
+/// `(member, id)`. Tokens order the batch: responses, and the
+/// computed-vs-coalesced attribution, follow token order, never socket
+/// arrival order.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// `(group member, request id)` — canonical position in the batch.
+    pub token: (u64, u64),
+    /// What to characterize.
+    pub spec: RequestSpec,
+}
+
+/// How each key a response covers was satisfied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResponseCounts {
+    /// Keys computed on behalf of this request (first referencing
+    /// request in token order).
+    pub computed: u64,
+    /// Keys answered from the on-disk cache.
+    pub cached: u64,
+    /// Keys another request in the batch computed; this one shares the
+    /// result.
+    pub coalesced: u64,
+    /// Keys that failed (dead home host).
+    pub failed: u64,
+}
+
+/// A resolved request: either a canonical response body or an error.
+#[derive(Debug, Clone)]
+pub struct ResolvedRequest {
+    /// The request's token.
+    pub token: (u64, u64),
+    /// Key-satisfaction counts (zeroed for errors).
+    pub counts: ResponseCounts,
+    /// The canonical body, or a validation error message.
+    pub result: Result<Value, String>,
+}
+
+/// A deterministic snapshot of the engine's lifetime counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Requests resolved (including errors).
+    pub requests: u64,
+    /// Distinct keys computed.
+    pub computed_keys: u64,
+    /// Key lookups answered from disk.
+    pub cache_hits: u64,
+    /// Key references coalesced onto a computation in the same batch.
+    pub coalesced: u64,
+    /// Key references that failed (dead home host).
+    pub failed_keys: u64,
+    /// Steals performed by the placement scheduler.
+    pub steals: u64,
+    /// Extra dispatch attempts by the host pools beyond the first.
+    pub redispatches: u64,
+    /// Corrupt cache entries evicted.
+    pub evictions: u64,
+    /// Per-host placement totals.
+    pub hosts: Vec<HostRecord>,
+}
+
+impl EngineStats {
+    /// The stats as a wire object.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("requests".to_owned(), Value::UInt(self.requests)),
+            ("computed_keys".to_owned(), Value::UInt(self.computed_keys)),
+            ("cache_hits".to_owned(), Value::UInt(self.cache_hits)),
+            ("coalesced".to_owned(), Value::UInt(self.coalesced)),
+            ("failed_keys".to_owned(), Value::UInt(self.failed_keys)),
+            ("steals".to_owned(), Value::UInt(self.steals)),
+            ("redispatches".to_owned(), Value::UInt(self.redispatches)),
+            ("evictions".to_owned(), Value::UInt(self.evictions)),
+            (
+                "hosts".to_owned(),
+                Value::Array(
+                    self.hosts
+                        .iter()
+                        .map(|h| {
+                            Value::Object(vec![
+                                ("host".to_owned(), Value::UInt(h.host)),
+                                ("tasks".to_owned(), Value::UInt(h.tasks)),
+                                ("stolen".to_owned(), Value::UInt(h.stolen)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a stats wire object.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or mistyped field.
+    pub fn from_value(value: &Value) -> Result<Self, String> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("stats missing {name}"))
+        };
+        let hosts = value
+            .get("hosts")
+            .and_then(Value::as_array)
+            .ok_or("stats missing hosts")?
+            .iter()
+            .map(|h| {
+                let hf = |name: &str| {
+                    h.get(name)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("host record missing {name}"))
+                };
+                Ok(HostRecord {
+                    host: hf("host")?,
+                    tasks: hf("tasks")?,
+                    stolen: hf("stolen")?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(EngineStats {
+            requests: field("requests")?,
+            computed_keys: field("computed_keys")?,
+            cache_hits: field("cache_hits")?,
+            coalesced: field("coalesced")?,
+            failed_keys: field("failed_keys")?,
+            steals: field("steals")?,
+            redispatches: field("redispatches")?,
+            evictions: field("evictions")?,
+            hosts,
+        })
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: u64,
+    computed_keys: u64,
+    cache_hits: u64,
+    coalesced: u64,
+    failed_keys: u64,
+    steals: u64,
+    redispatches: u64,
+    per_host: Vec<sched::HostLoad>,
+}
+
+/// What one request expands to: the benchmark identity plus the ordered
+/// per-workload keys it covers.
+struct Expansion {
+    spec_id: String,
+    short_name: String,
+    benchmark_static: &'static str,
+    /// True when the request named a single workload.
+    narrowed: bool,
+    /// `(workload, key)` in workload order.
+    keys: Vec<(String, String)>,
+}
+
+/// A unique key's task identity: enough to execute it and to rehydrate
+/// its status.
+#[derive(Clone)]
+struct KeyTask {
+    spec: RequestSpec,
+    short_name: String,
+    workload: String,
+}
+
+/// The characterization engine: cache + scheduler + host pool.
+pub struct Engine {
+    config: ServeConfig,
+    cache: ResultCache,
+    counters: Mutex<Counters>,
+    batch_lock: Mutex<()>,
+}
+
+impl Engine {
+    /// Builds an engine over a cache.
+    pub fn new(config: ServeConfig, cache: ResultCache) -> Self {
+        let hosts = config.hosts;
+        Engine {
+            config,
+            cache,
+            counters: Mutex::new(Counters {
+                per_host: vec![sched::HostLoad::default(); hosts],
+                ..Counters::default()
+            }),
+            batch_lock: Mutex::new(()),
+        }
+    }
+
+    /// The underlying cache.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// The host-pool configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        let c = self.counters.lock().expect("counters poisoned");
+        EngineStats {
+            requests: c.requests,
+            computed_keys: c.computed_keys,
+            cache_hits: c.cache_hits,
+            coalesced: c.coalesced,
+            failed_keys: c.failed_keys,
+            steals: c.steals,
+            redispatches: c.redispatches,
+            evictions: self.cache.evictions(),
+            hosts: c
+                .per_host
+                .iter()
+                .enumerate()
+                .map(|(i, h)| HostRecord {
+                    host: i as u64,
+                    tasks: h.tasks,
+                    stolen: h.stolen,
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolves a batch of requests into canonical responses, in token
+    /// order. Batches are serialized on a global lock, which doubles as
+    /// the cross-batch single-flight: a later batch finds this batch's
+    /// results on disk.
+    pub fn resolve_batch(&self, requests: &[BatchRequest]) -> Vec<ResolvedRequest> {
+        let _batch = self.batch_lock.lock().expect("batch lock poisoned");
+
+        let mut ordered: Vec<&BatchRequest> = requests.iter().collect();
+        ordered.sort_by_key(|r| r.token);
+
+        // Expand every request against the reference suite for its
+        // scale; invalid names resolve to errors without executing
+        // anything.
+        let mut suites: HashMap<&'static str, Vec<Box<dyn alberta_core::Benchmark>>> =
+            HashMap::new();
+        let mut expansions: Vec<Result<Expansion, String>> = Vec::with_capacity(ordered.len());
+        let mut key_tasks: BTreeMap<String, KeyTask> = BTreeMap::new();
+        let mut first_owner: HashMap<String, usize> = HashMap::new();
+        for (idx, request) in ordered.iter().enumerate() {
+            let expansion = expand(request, &mut suites);
+            if let Ok(expansion) = &expansion {
+                for (workload, key) in &expansion.keys {
+                    first_owner.entry(key.clone()).or_insert(idx);
+                    key_tasks.entry(key.clone()).or_insert_with(|| KeyTask {
+                        spec: request.spec.clone(),
+                        short_name: expansion.short_name.clone(),
+                        workload: workload.clone(),
+                    });
+                }
+            }
+            expansions.push(expansion);
+        }
+
+        // Cache pass over the unique keys, in canonical (sorted) order.
+        let mut docs: BTreeMap<String, (CacheDocument, KeyFate)> = BTreeMap::new();
+        let mut missed: Vec<String> = Vec::new();
+        for key in key_tasks.keys() {
+            match self.cache.lookup(key) {
+                Some(doc) => {
+                    docs.insert(key.clone(), (doc, KeyFate::Cached));
+                }
+                None => missed.push(key.clone()),
+            }
+        }
+
+        // Place the misses and execute each host's share.
+        let placement = sched::place(&missed, self.config.hosts, &self.config.dead_hosts);
+        let (computed, redispatches) = self.execute(&missed, &placement, &key_tasks);
+        for (key, doc) in computed {
+            let failed = matches!(doc.status, RemoteStatus::Failed { .. });
+            if !failed {
+                // Persistence is best-effort: an unwritable cache
+                // degrades to recomputation on the next batch.
+                let _ = self.cache.store(&doc);
+            }
+            let fate = if failed && doc.run.is_none() && placement_failed(&placement, &missed, &key)
+            {
+                KeyFate::Unplaced
+            } else {
+                KeyFate::Computed
+            };
+            docs.insert(key, (doc, fate));
+        }
+
+        // Reassemble responses in token order.
+        let hit_count = docs.values().filter(|(_, f)| *f == KeyFate::Cached).count();
+        let mut resolved = Vec::with_capacity(ordered.len());
+        let mut total_coalesced = 0u64;
+        for (idx, request) in ordered.iter().enumerate() {
+            match &expansions[idx] {
+                Err(message) => resolved.push(ResolvedRequest {
+                    token: request.token,
+                    counts: ResponseCounts::default(),
+                    result: Err(message.clone()),
+                }),
+                Ok(expansion) => {
+                    let mut counts = ResponseCounts::default();
+                    for (_, key) in &expansion.keys {
+                        let (_, fate) = &docs[key];
+                        match fate {
+                            KeyFate::Cached => counts.cached += 1,
+                            KeyFate::Unplaced => counts.failed += 1,
+                            KeyFate::Computed => {
+                                if first_owner[key] == idx {
+                                    counts.computed += 1;
+                                } else {
+                                    counts.coalesced += 1;
+                                }
+                            }
+                        }
+                    }
+                    total_coalesced += counts.coalesced;
+                    let body = assemble(expansion, &docs);
+                    resolved.push(ResolvedRequest {
+                        token: request.token,
+                        counts,
+                        result: Ok(body),
+                    });
+                }
+            }
+        }
+
+        let mut c = self.counters.lock().expect("counters poisoned");
+        c.requests += ordered.len() as u64;
+        c.computed_keys += (missed.len() as u64) - placement.unplaced;
+        c.cache_hits += hit_count as u64;
+        c.coalesced += total_coalesced;
+        c.failed_keys += placement.unplaced;
+        c.steals += placement.steals;
+        c.redispatches += redispatches;
+        for (i, load) in placement.per_host.iter().enumerate() {
+            c.per_host[i].tasks += load.tasks;
+            c.per_host[i].stolen += load.stolen;
+        }
+
+        resolved
+    }
+
+    /// Executes the placed misses host by host and returns the computed
+    /// documents plus the total redispatch count.
+    fn execute(
+        &self,
+        missed: &[String],
+        placement: &Placement,
+        key_tasks: &BTreeMap<String, KeyTask>,
+    ) -> (Vec<(String, CacheDocument)>, u64) {
+        // Gather each host's share in placement order, grouped by
+        // measurement configuration so tasks sharing a config share one
+        // suite.
+        let mut host_shares: Vec<Vec<usize>> = vec![Vec::new(); self.config.hosts];
+        for (i, task) in placement.tasks.iter().enumerate() {
+            if let Some(host) = task.host {
+                host_shares[host].push(i);
+            }
+        }
+
+        let mut out: Vec<(String, CacheDocument)> = Vec::with_capacity(missed.len());
+        let mut redispatches = 0u64;
+
+        // Dead-homed tasks fail deterministically — the request always
+        // completes, degraded to its survivors.
+        for (i, task) in placement.tasks.iter().enumerate() {
+            if task.host.is_none() {
+                let key = &missed[i];
+                let home = sched::home_host(key, self.config.hosts);
+                out.push((
+                    key.clone(),
+                    CacheDocument {
+                        key: key.clone(),
+                        status: RemoteStatus::Failed {
+                            error: format!("characterization host {home} is down"),
+                            retryable: true,
+                        },
+                        run: None,
+                        retries: 0,
+                        budget_consumed: 0,
+                    },
+                ));
+            }
+        }
+
+        // One OS thread per live host with work: hosts execute
+        // concurrently (that is the point of the pool), and because
+        // each task's result depends only on its inputs, the assembled
+        // documents are identical to a serial execution.
+        let results: Vec<(Vec<(String, CacheDocument)>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = host_shares
+                .iter()
+                .enumerate()
+                .filter(|(_, share)| !share.is_empty())
+                .map(|(host, share)| {
+                    let config = &self.config;
+                    scope.spawn(move || run_host(host, share, missed, key_tasks, config))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("host thread panicked"))
+                .collect()
+        });
+        for (docs, host_redispatches) in results {
+            redispatches += host_redispatches;
+            out.extend(docs);
+        }
+        (out, redispatches)
+    }
+}
+
+/// How a key in a batch was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KeyFate {
+    Cached,
+    Computed,
+    Unplaced,
+}
+
+/// True when `key` was left unplaced by the scheduler (dead home host).
+fn placement_failed(placement: &Placement, missed: &[String], key: &str) -> bool {
+    missed
+        .iter()
+        .position(|k| k == key)
+        .is_some_and(|i| placement.tasks[i].host.is_none())
+}
+
+/// Executes one host's share of the missed keys and returns the
+/// resulting documents plus the host's redispatch count.
+fn run_host(
+    host: usize,
+    share: &[usize],
+    missed: &[String],
+    key_tasks: &BTreeMap<String, KeyTask>,
+    config: &ServeConfig,
+) -> (Vec<(String, CacheDocument)>, u64) {
+    // Group the host's tasks by measurement configuration, preserving
+    // placement order within each group.
+    let mut groups: BTreeMap<String, Vec<&KeyTask>> = BTreeMap::new();
+    let mut group_keys: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for &i in share {
+        let key = &missed[i];
+        let task = &key_tasks[key];
+        let config_fp = task.spec.config_fingerprint();
+        groups.entry(config_fp.clone()).or_default().push(task);
+        group_keys.entry(config_fp).or_default().push(key.clone());
+    }
+
+    let mut docs = Vec::new();
+    let mut redispatches = 0u64;
+    for (config_fp, tasks) in &groups {
+        let spec = &tasks[0].spec;
+        let mut suite = Suite::new(spec.scale)
+            .with_model(alberta_core::TopDownModel::new(
+                spec.machine,
+                spec.predictor,
+            ))
+            .with_sampling_policy(spec.policy)
+            .with_exec(config.host_exec)
+            .with_process_config(config.process);
+        if let Some(plan) = config.host_faults.get(&host) {
+            suite = suite.with_faults(plan.clone());
+        }
+        let task_list: Vec<(String, String)> = tasks
+            .iter()
+            .map(|t| (t.short_name.clone(), t.workload.clone()))
+            .collect();
+        // Names were validated at expansion time against the same
+        // reference suite, so resolution cannot fail here.
+        let runs = suite
+            .characterize_tasks_metered(&task_list)
+            .expect("expansion validated every task name");
+        for (run, key) in runs.into_iter().zip(&group_keys[config_fp]) {
+            redispatches += u64::from(run.metrics.dispatches.max(1) - 1);
+            docs.push((
+                key.clone(),
+                CacheDocument {
+                    key: key.clone(),
+                    status: RemoteStatus::from_status(&run.status),
+                    run: run.run,
+                    retries: run.metrics.retries,
+                    budget_consumed: run.metrics.budget_consumed,
+                },
+            ));
+        }
+    }
+    (docs, redispatches)
+}
+
+/// Expands one request into its benchmark identity and ordered key
+/// list, validating names against the reference suite for its scale.
+fn expand(
+    request: &BatchRequest,
+    suites: &mut HashMap<&'static str, Vec<Box<dyn alberta_core::Benchmark>>>,
+) -> Result<Expansion, String> {
+    let spec = &request.spec;
+    let suite = suites
+        .entry(spec.scale_name())
+        .or_insert_with(|| benchmark_suite(spec.scale));
+    let benchmark = suite
+        .iter()
+        .find(|b| b.short_name() == spec.benchmark || b.name() == spec.benchmark)
+        .ok_or_else(|| format!("unknown benchmark {:?}", spec.benchmark))?;
+    let workloads = benchmark.workload_names();
+    let selected: Vec<String> = match &spec.workload {
+        Some(w) => {
+            if !workloads.iter().any(|name| name == w) {
+                return Err(format!(
+                    "benchmark {} has no workload named {:?}",
+                    benchmark.short_name(),
+                    w
+                ));
+            }
+            vec![w.clone()]
+        }
+        None => workloads,
+    };
+    Ok(Expansion {
+        spec_id: benchmark.name().to_owned(),
+        short_name: benchmark.short_name().to_owned(),
+        benchmark_static: benchmark.name(),
+        narrowed: spec.workload.is_some(),
+        keys: selected
+            .into_iter()
+            .map(|w| {
+                let key = spec.run_key(&w);
+                (w, key)
+            })
+            .collect(),
+    })
+}
+
+/// Assembles a request's canonical response body from the resolved
+/// documents: a single run record for a narrowed request, a full
+/// benchmark report (runs in workload order plus the Table II summary
+/// over the survivors) otherwise. Both go through the exact `RunRecord`
+/// construction `bench-report` uses, so response bytes match a fresh
+/// sweep's report regardless of cache or host.
+fn assemble(expansion: &Expansion, docs: &BTreeMap<String, (CacheDocument, KeyFate)>) -> Value {
+    let records: Vec<RunRecord> = expansion
+        .keys
+        .iter()
+        .map(|(workload, key)| {
+            let (doc, _) = &docs[key];
+            let status = doc.status.clone().into_status(expansion.benchmark_static);
+            RunRecord::from_parts(
+                workload,
+                &status,
+                doc.retries,
+                doc.budget_consumed,
+                doc.run.as_ref(),
+            )
+        })
+        .collect();
+    if expansion.narrowed {
+        return records[0].to_value();
+    }
+    let survivors: Vec<alberta_core::WorkloadRun> = expansion
+        .keys
+        .iter()
+        .filter_map(|(_, key)| docs[key].0.run.clone())
+        .collect();
+    let summary = summarize_runs(&expansion.spec_id, &expansion.short_name, survivors)
+        .as_ref()
+        .map(alberta_report::SummaryRecord::from_characterization);
+    BenchmarkReport {
+        spec_id: expansion.spec_id.clone(),
+        short_name: expansion.short_name.clone(),
+        runs: records,
+        summary,
+        hot_paths: None,
+    }
+    .to_value()
+}

@@ -1,0 +1,344 @@
+//! The line-delimited wire protocol between `alberta-serve` and its
+//! clients.
+//!
+//! Every message is one line of compact canonical JSON with a `type`
+//! discriminator, mirroring the worker pipe protocol in
+//! `alberta_core::protocol`: a versioned hello handshake first, then
+//! typed messages. A client optionally declares group membership in its
+//! hello; the daemon holds the drain of every member of a group until
+//! the whole group has drained, resolves the union as one batch, and
+//! answers each member in canonical token order — which is what makes
+//! the storm's counters independent of socket arrival order.
+
+use alberta_core::json::{self, Value};
+use alberta_core::protocol::DecodeError;
+
+use crate::engine::{EngineStats, ResponseCounts};
+use crate::spec::RequestSpec;
+
+/// Wire protocol version; the hello handshake rejects mismatches.
+pub const WIRE_VERSION: u64 = 1;
+
+/// A client's group membership: requests from all `size` members are
+/// resolved as one batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupInfo {
+    /// Group identity (all members use the same id).
+    pub id: String,
+    /// Number of members the daemon must wait for.
+    pub size: u64,
+    /// This member's index, `0..size`; orders the batch.
+    pub member: u64,
+}
+
+impl GroupInfo {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("id".to_owned(), Value::Str(self.id.clone())),
+            ("size".to_owned(), Value::UInt(self.size)),
+            ("member".to_owned(), Value::UInt(self.member)),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, DecodeError> {
+        Ok(GroupInfo {
+            id: value
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or("group missing id")?
+                .to_owned(),
+            size: value
+                .get("size")
+                .and_then(Value::as_u64)
+                .ok_or("group missing size")?,
+            member: value
+                .get("member")
+                .and_then(Value::as_u64)
+                .ok_or("group missing member")?,
+        })
+    }
+}
+
+/// Client-to-daemon messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Handshake; must be the first message on a connection.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        protocol: u64,
+        /// Optional group membership.
+        group: Option<GroupInfo>,
+    },
+    /// Enqueue a characterization request.
+    Request {
+        /// Client-chosen id, echoed on the response.
+        id: u64,
+        /// What to characterize (boxed: the spec dwarfs every other
+        /// message).
+        spec: Box<RequestSpec>,
+    },
+    /// Resolve everything enqueued (for a grouped client: wait for the
+    /// whole group, then resolve the union) and stream the responses.
+    Drain,
+    /// Ask for the engine's counter snapshot.
+    Stats,
+    /// Ask the daemon to stop accepting connections and exit.
+    Shutdown,
+}
+
+impl ClientMsg {
+    /// Encodes to one compact line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let value = match self {
+            ClientMsg::Hello { protocol, group } => {
+                let mut fields = vec![
+                    ("type".to_owned(), Value::Str("hello".to_owned())),
+                    ("protocol".to_owned(), Value::UInt(*protocol)),
+                ];
+                if let Some(group) = group {
+                    fields.push(("group".to_owned(), group.to_value()));
+                }
+                Value::Object(fields)
+            }
+            ClientMsg::Request { id, spec } => Value::Object(vec![
+                ("type".to_owned(), Value::Str("request".to_owned())),
+                ("id".to_owned(), Value::UInt(*id)),
+                ("spec".to_owned(), spec.to_value()),
+            ]),
+            ClientMsg::Drain => {
+                Value::Object(vec![("type".to_owned(), Value::Str("drain".to_owned()))])
+            }
+            ClientMsg::Stats => {
+                Value::Object(vec![("type".to_owned(), Value::Str("stats".to_owned()))])
+            }
+            ClientMsg::Shutdown => {
+                Value::Object(vec![("type".to_owned(), Value::Str("shutdown".to_owned()))])
+            }
+        };
+        value.render_compact()
+    }
+
+    /// Decodes one line.
+    ///
+    /// # Errors
+    ///
+    /// A [`DecodeError`] naming the problem.
+    pub fn decode(line: &str) -> Result<Self, DecodeError> {
+        let value = json::parse(line).map_err(|e| format!("malformed message: {e}"))?;
+        match value.get("type").and_then(Value::as_str) {
+            Some("hello") => Ok(ClientMsg::Hello {
+                protocol: value
+                    .get("protocol")
+                    .and_then(Value::as_u64)
+                    .ok_or("hello missing protocol")?,
+                group: value.get("group").map(GroupInfo::from_value).transpose()?,
+            }),
+            Some("request") => Ok(ClientMsg::Request {
+                id: value
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or("request missing id")?,
+                spec: Box::new(RequestSpec::from_value(
+                    value.get("spec").ok_or("request missing spec")?,
+                )?),
+            }),
+            Some("drain") => Ok(ClientMsg::Drain),
+            Some("stats") => Ok(ClientMsg::Stats),
+            Some("shutdown") => Ok(ClientMsg::Shutdown),
+            Some(other) => Err(format!("unknown client message type {other:?}")),
+            None => Err("client message missing type".to_owned()),
+        }
+    }
+}
+
+/// Daemon-to-client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Handshake reply.
+    Hello {
+        /// The daemon's [`WIRE_VERSION`].
+        protocol: u64,
+    },
+    /// One resolved request.
+    Response {
+        /// The request id this answers.
+        id: u64,
+        /// Key-satisfaction counts.
+        counts: ResponseCounts,
+        /// The canonical body (a run record or a benchmark report).
+        body: Value,
+    },
+    /// One failed request (bad benchmark or workload name).
+    Error {
+        /// The request id this answers.
+        id: u64,
+        /// What was wrong.
+        message: String,
+    },
+    /// End of a drain: every enqueued request has been answered.
+    Drained {
+        /// Responses (including errors) sent before this marker.
+        responses: u64,
+    },
+    /// The engine's counter snapshot.
+    Stats(EngineStats),
+    /// Acknowledges a shutdown request.
+    Bye,
+}
+
+impl ServerMsg {
+    /// Encodes to one compact line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let value = match self {
+            ServerMsg::Hello { protocol } => Value::Object(vec![
+                ("type".to_owned(), Value::Str("hello".to_owned())),
+                ("protocol".to_owned(), Value::UInt(*protocol)),
+            ]),
+            ServerMsg::Response { id, counts, body } => Value::Object(vec![
+                ("type".to_owned(), Value::Str("response".to_owned())),
+                ("id".to_owned(), Value::UInt(*id)),
+                (
+                    "counts".to_owned(),
+                    Value::Object(vec![
+                        ("computed".to_owned(), Value::UInt(counts.computed)),
+                        ("cached".to_owned(), Value::UInt(counts.cached)),
+                        ("coalesced".to_owned(), Value::UInt(counts.coalesced)),
+                        ("failed".to_owned(), Value::UInt(counts.failed)),
+                    ]),
+                ),
+                ("body".to_owned(), body.clone()),
+            ]),
+            ServerMsg::Error { id, message } => Value::Object(vec![
+                ("type".to_owned(), Value::Str("error".to_owned())),
+                ("id".to_owned(), Value::UInt(*id)),
+                ("message".to_owned(), Value::Str(message.clone())),
+            ]),
+            ServerMsg::Drained { responses } => Value::Object(vec![
+                ("type".to_owned(), Value::Str("drained".to_owned())),
+                ("responses".to_owned(), Value::UInt(*responses)),
+            ]),
+            ServerMsg::Stats(stats) => Value::Object(vec![
+                ("type".to_owned(), Value::Str("stats".to_owned())),
+                ("stats".to_owned(), stats.to_value()),
+            ]),
+            ServerMsg::Bye => {
+                Value::Object(vec![("type".to_owned(), Value::Str("bye".to_owned()))])
+            }
+        };
+        value.render_compact()
+    }
+
+    /// Decodes one line.
+    ///
+    /// # Errors
+    ///
+    /// A [`DecodeError`] naming the problem.
+    pub fn decode(line: &str) -> Result<Self, DecodeError> {
+        let value = json::parse(line).map_err(|e| format!("malformed message: {e}"))?;
+        match value.get("type").and_then(Value::as_str) {
+            Some("hello") => Ok(ServerMsg::Hello {
+                protocol: value
+                    .get("protocol")
+                    .and_then(Value::as_u64)
+                    .ok_or("hello missing protocol")?,
+            }),
+            Some("response") => {
+                let counts = value.get("counts").ok_or("response missing counts")?;
+                let count = |name: &str| {
+                    counts
+                        .get(name)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("response counts missing {name}"))
+                };
+                Ok(ServerMsg::Response {
+                    id: value
+                        .get("id")
+                        .and_then(Value::as_u64)
+                        .ok_or("response missing id")?,
+                    counts: ResponseCounts {
+                        computed: count("computed")?,
+                        cached: count("cached")?,
+                        coalesced: count("coalesced")?,
+                        failed: count("failed")?,
+                    },
+                    body: value.get("body").ok_or("response missing body")?.clone(),
+                })
+            }
+            Some("error") => Ok(ServerMsg::Error {
+                id: value
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or("error missing id")?,
+                message: value
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .ok_or("error missing message")?
+                    .to_owned(),
+            }),
+            Some("drained") => Ok(ServerMsg::Drained {
+                responses: value
+                    .get("responses")
+                    .and_then(Value::as_u64)
+                    .ok_or("drained missing responses")?,
+            }),
+            Some("stats") => Ok(ServerMsg::Stats(EngineStats::from_value(
+                value.get("stats").ok_or("stats message missing stats")?,
+            )?)),
+            Some("bye") => Ok(ServerMsg::Bye),
+            Some(other) => Err(format!("unknown server message type {other:?}")),
+            None => Err("server message missing type".to_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alberta_core::Scale;
+
+    #[test]
+    fn client_messages_round_trip() {
+        let messages = vec![
+            ClientMsg::Hello {
+                protocol: WIRE_VERSION,
+                group: Some(GroupInfo {
+                    id: "storm-1".to_owned(),
+                    size: 4,
+                    member: 2,
+                }),
+            },
+            ClientMsg::Request {
+                id: 7,
+                spec: Box::new(RequestSpec::new("mcf", Some("alberta.1"), Scale::Test)),
+            },
+            ClientMsg::Drain,
+            ClientMsg::Stats,
+            ClientMsg::Shutdown,
+        ];
+        for msg in messages {
+            let line = msg.encode();
+            assert!(!line.contains('\n'), "one message, one line");
+            assert_eq!(ClientMsg::decode(&line).expect("round trip"), msg);
+        }
+    }
+
+    #[test]
+    fn server_messages_round_trip() {
+        let messages = vec![
+            ServerMsg::Hello {
+                protocol: WIRE_VERSION,
+            },
+            ServerMsg::Error {
+                id: 3,
+                message: "unknown benchmark \"nope\"".to_owned(),
+            },
+            ServerMsg::Drained { responses: 12 },
+            ServerMsg::Bye,
+        ];
+        for msg in messages {
+            let line = msg.encode();
+            assert!(!line.contains('\n'), "one message, one line");
+            assert_eq!(ServerMsg::decode(&line).expect("round trip"), msg);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Cache concurrency and integrity: single-flight computation,
+//! corrupt-entry eviction, and version-keyed misses.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use alberta_core::protocol::RemoteStatus;
+use alberta_core::Scale;
+use alberta_report::{CacheDocument, SCHEMA_VERSION};
+use alberta_serve::{CacheOutcome, RequestSpec, ResultCache};
+
+/// A fresh cache root under the system temp directory, unique per test.
+fn temp_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("alberta-serve-test-{}-{tag}", std::process::id()))
+}
+
+fn doc(key: &str) -> CacheDocument {
+    CacheDocument {
+        key: key.to_owned(),
+        status: RemoteStatus::Ok,
+        run: None,
+        retries: 0,
+        budget_consumed: 12_345,
+    }
+}
+
+#[test]
+fn simultaneous_misses_compute_exactly_once() {
+    let root = temp_root("single-flight");
+    let cache = ResultCache::new(&root);
+    let computes = AtomicU64::new(0);
+    const CALLERS: usize = 8;
+    let barrier = Barrier::new(CALLERS);
+
+    let outcomes: Vec<CacheOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let (returned, outcome) = cache.get_or_compute("deadbeef", || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough that the
+                        // other callers must coalesce, not miss.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        doc("deadbeef")
+                    });
+                    assert_eq!(returned.budget_consumed, 12_345);
+                    outcome
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        computes.load(Ordering::SeqCst),
+        1,
+        "one caller computes; everyone else waits"
+    );
+    let computed = outcomes
+        .iter()
+        .filter(|o| **o == CacheOutcome::Computed)
+        .count();
+    assert_eq!(computed, 1);
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o, CacheOutcome::Computed | CacheOutcome::Coalesced)));
+    assert!(cache.lookup("deadbeef").is_some(), "the result persisted");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_entry_is_evicted_and_recomputed() {
+    let root = temp_root("corrupt");
+    let cache = ResultCache::new(&root);
+    cache.store(&doc("cafebabe")).expect("store");
+    let path = cache.path_for("cafebabe");
+
+    // A bit flip inside the payload: the embedded hash no longer
+    // matches, so the entry must be evicted, not trusted.
+    let tampered = std::fs::read_to_string(&path)
+        .expect("read entry")
+        .replace("12345", "12346");
+    std::fs::write(&path, tampered).expect("tamper");
+
+    assert!(
+        cache.lookup("cafebabe").is_none(),
+        "corrupt entry is a miss"
+    );
+    assert_eq!(cache.evictions(), 1);
+    assert!(!path.exists(), "the corrupt file is gone");
+
+    // The next computation heals the cache.
+    let (_, outcome) = cache.get_or_compute("cafebabe", || doc("cafebabe"));
+    assert_eq!(outcome, CacheOutcome::Computed);
+    assert!(cache.lookup("cafebabe").is_some());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn truncated_entry_is_evicted() {
+    let root = temp_root("truncated");
+    let cache = ResultCache::new(&root);
+    cache.store(&doc("feedface")).expect("store");
+    let path = cache.path_for("feedface");
+    let text = std::fs::read_to_string(&path).expect("read entry");
+    std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+
+    assert!(cache.lookup("feedface").is_none());
+    assert_eq!(cache.evictions(), 1);
+    assert!(!path.exists());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn misfiled_entry_is_evicted() {
+    let root = temp_root("misfiled");
+    let cache = ResultCache::new(&root);
+    // A document stored under someone else's key: internally
+    // consistent, but its embedded key disagrees with the file name.
+    let stray = doc("0123456789abcdef");
+    let path = cache.path_for("fedcba9876543210");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("shard dir");
+    std::fs::write(&path, stray.to_json()).expect("misfile");
+
+    assert!(cache.lookup("fedcba9876543210").is_none());
+    assert_eq!(cache.evictions(), 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn bumped_schema_version_misses_the_cache() {
+    let root = temp_root("schema-bump");
+    let cache = ResultCache::new(&root);
+    let spec = RequestSpec::new("mcf", Some("alberta.1"), Scale::Test);
+
+    let current_key = spec.run_key("alberta.1");
+    cache.store(&doc(&current_key)).expect("store");
+    assert!(
+        cache.lookup(&current_key).is_some(),
+        "warm under this build"
+    );
+
+    // The same request under the next schema (or code) version must
+    // address a different entry — a rebuilt service can never serve a
+    // document written by an incompatible writer.
+    let bumped_schema = spec.run_key_versioned("alberta.1", SCHEMA_VERSION + 1, "0.1.0");
+    assert_ne!(current_key, bumped_schema);
+    assert!(cache.lookup(&bumped_schema).is_none());
+
+    let bumped_code = spec.run_key_versioned("alberta.1", SCHEMA_VERSION, "0.2.0");
+    assert_ne!(current_key, bumped_code);
+    assert!(cache.lookup(&bumped_code).is_none());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn failed_documents_are_not_persisted() {
+    let root = temp_root("failed");
+    let cache = ResultCache::new(&root);
+    let (_, outcome) = cache.get_or_compute("baadf00d", || CacheDocument {
+        key: "baadf00d".to_owned(),
+        status: RemoteStatus::Failed {
+            error: "characterization host 1 is down".to_owned(),
+            retryable: true,
+        },
+        run: None,
+        retries: 0,
+        budget_consumed: 0,
+    });
+    assert_eq!(outcome, CacheOutcome::Computed);
+    assert!(
+        cache.lookup("baadf00d").is_none(),
+        "environmental failures must not poison the cache"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,176 @@
+//! End-to-end daemon tests over localhost: cold-vs-warm byte identity,
+//! equality with a direct suite computation, grouped drains, and
+//! shutdown.
+
+use std::path::PathBuf;
+
+use alberta_core::{Scale, Suite};
+use alberta_report::SuiteReport;
+use alberta_serve::{Client, Daemon, Engine, GroupInfo, RequestSpec, ResultCache, ServeConfig};
+
+fn temp_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("alberta-serve-svc-{}-{tag}", std::process::id()))
+}
+
+/// Starts a daemon on an ephemeral port and returns its address plus
+/// the thread running its accept loop.
+fn start_daemon(tag: &str) -> (String, std::thread::JoinHandle<()>, PathBuf) {
+    let root = temp_root(tag);
+    let engine = Engine::new(
+        ServeConfig {
+            hosts: 3,
+            ..ServeConfig::default()
+        },
+        ResultCache::new(&root),
+    );
+    let daemon = Daemon::bind("127.0.0.1:0", engine).expect("bind ephemeral port");
+    let addr = daemon.local_addr().expect("bound address").to_string();
+    let handle = std::thread::spawn(move || daemon.run());
+    (addr, handle, root)
+}
+
+#[test]
+fn cold_and_warm_responses_match_each_other_and_direct_compute() {
+    let (addr, daemon, root) = start_daemon("cold-warm");
+    let spec = RequestSpec::new("mcf", None, Scale::Test);
+
+    // Cold: the daemon has to compute everything.
+    let mut client = Client::connect(&addr, None).expect("connect");
+    client.request(&spec).expect("send");
+    let cold = client.drain().expect("cold drain");
+    assert_eq!(cold.len(), 1);
+    let cold_body = cold[0]
+        .result
+        .as_ref()
+        .expect("a response")
+        .render_compact();
+    assert!(cold[0].counts.computed > 0, "cold batch computes");
+    assert_eq!(cold[0].counts.cached, 0);
+
+    // Warm: byte-identical, answered entirely from the cache.
+    client.request(&spec).expect("send again");
+    let warm = client.drain().expect("warm drain");
+    let warm_body = warm[0]
+        .result
+        .as_ref()
+        .expect("a response")
+        .render_compact();
+    assert_eq!(cold_body, warm_body, "cache changes nothing but latency");
+    assert_eq!(warm[0].counts.computed, 0);
+    assert!(warm[0].counts.cached > 0, "warm batch only reads");
+
+    // Both must equal what a direct in-process sweep produces for the
+    // same benchmark — the service adds no bytes of its own.
+    let suite = Suite::new(Scale::Test);
+    let result = suite
+        .characterize_resilient_metered("mcf")
+        .expect("mcf exists");
+    let mut report = SuiteReport::from_resilient(Scale::Test, &[result]);
+    report.strip_telemetry();
+    let direct = report
+        .benchmark("505.mcf_r")
+        .expect("mcf in the reference suite")
+        .to_value()
+        .render_compact();
+    assert_eq!(cold_body, direct, "served bytes match a fresh sweep");
+
+    // The stats endpoint saw both drains.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests, 2);
+    assert!(stats.cache_hits > 0);
+
+    // The daemon drains its handler threads on shutdown, so every
+    // other connection must be closed first.
+    drop(client);
+    Client::connect(&addr, None)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown");
+    daemon.join().expect("daemon thread exits after shutdown");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn grouped_drains_resolve_as_one_batch() {
+    let (addr, daemon, root) = start_daemon("grouped");
+    let spec = RequestSpec::new("mcf", Some("alberta.1"), Scale::Test);
+
+    // Two members of one group send the same workload request; the
+    // daemon resolves the union as one batch, so exactly one member
+    // computes and the other coalesces — never two computations.
+    let specs = [spec.clone(), spec];
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(member, spec)| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    let group = GroupInfo {
+                        id: "svc-group".to_owned(),
+                        size: 2,
+                        member: member as u64,
+                    };
+                    let mut client = Client::connect(addr, Some(group)).expect("connect");
+                    client.request(spec).expect("send");
+                    client.drain().expect("drain")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let bodies: Vec<String> = results
+        .iter()
+        .map(|responses| {
+            assert_eq!(responses.len(), 1);
+            responses[0]
+                .result
+                .as_ref()
+                .expect("a response")
+                .render_compact()
+        })
+        .collect();
+    assert_eq!(bodies[0], bodies[1], "members see identical bytes");
+    let computed: u64 = results.iter().map(|r| r[0].counts.computed).sum();
+    let coalesced: u64 = results.iter().map(|r| r[0].counts.coalesced).sum();
+    assert_eq!(computed, 1, "one member owns the computation");
+    assert_eq!(coalesced, 1, "the other coalesces onto it");
+
+    Client::connect(&addr, None)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown");
+    daemon.join().expect("daemon thread exits");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn invalid_names_resolve_to_errors_not_failures() {
+    let (addr, daemon, root) = start_daemon("invalid");
+    let mut client = Client::connect(&addr, None).expect("connect");
+    client
+        .request(&RequestSpec::new("nope", None, Scale::Test))
+        .expect("send");
+    client
+        .request(&RequestSpec::new(
+            "mcf",
+            Some("no-such-workload"),
+            Scale::Test,
+        ))
+        .expect("send");
+    let responses = client.drain().expect("drain");
+    assert_eq!(responses.len(), 2);
+    let unknown_benchmark = responses[0].result.as_ref().expect_err("unknown benchmark");
+    assert!(unknown_benchmark.contains("unknown benchmark"));
+    let unknown_workload = responses[1].result.as_ref().expect_err("unknown workload");
+    assert!(unknown_workload.contains("no workload named"));
+
+    drop(client);
+    Client::connect(&addr, None)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown");
+    daemon.join().expect("daemon thread exits");
+    let _ = std::fs::remove_dir_all(&root);
+}
