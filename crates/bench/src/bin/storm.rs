@@ -59,8 +59,11 @@ fn parsed_flag(flag: &str, default: u64) -> u64 {
 }
 
 /// One client's share of a round: the responses (as spec index, counts,
-/// and canonical body bytes) plus the drain's wall time.
-type ClientShare = (Vec<(usize, ResponseCounts, String)>, u64);
+/// and canonical body bytes) plus the drain's wall time. The wall time
+/// is `None` for a member whose share was empty — a drain that drained
+/// nothing is a rendezvous, not a latency sample, and must not skew the
+/// percentiles toward zero.
+type ClientShare = (Vec<(usize, ResponseCounts, String)>, Option<u64>);
 
 /// Runs one round: every client connects into the round's group, sends
 /// its share of the mix, and drains. Returns the per-spec-index results
@@ -81,7 +84,11 @@ fn run_round(
                         size: clients,
                         member,
                     };
-                    let mut client = Client::connect(addr, Some(group))?;
+                    let mut client = Client::connect_named(
+                        addr,
+                        Some(&format!("storm-m{member}")),
+                        Some(group),
+                    )?;
                     // Round-robin partition: this member's j-th request
                     // is mix[j*clients + member].
                     let my_indices: Vec<usize> = (member as usize..mix.len())
@@ -92,7 +99,8 @@ fn run_round(
                     }
                     let started = Instant::now();
                     let responses = client.drain()?;
-                    let drain_nanos = started.elapsed().as_nanos() as u64;
+                    let drain_nanos =
+                        (!my_indices.is_empty()).then(|| started.elapsed().as_nanos() as u64);
                     if responses.len() != my_indices.len() {
                         return Err(format!(
                             "member {member} sent {} requests but got {} responses",
@@ -177,7 +185,7 @@ fn main() {
             }
             Ok(shares) => {
                 for (share, drain_nanos) in shares {
-                    latencies.push(drain_nanos);
+                    latencies.extend(drain_nanos);
                     for (spec_index, counts, body) in share {
                         totals.computed += counts.computed;
                         totals.cached += counts.cached;

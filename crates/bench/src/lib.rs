@@ -53,6 +53,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--seed",
     "--latency-out",
     "--sweep-out",
+    "--deterministic-out",
+    "--volatile-out",
+    "--timeline",
 ];
 
 /// The positional (non-flag) arguments, with flag *values* excluded:

@@ -45,6 +45,7 @@ pub mod sampling;
 pub mod specdata;
 pub mod suite;
 pub mod tables;
+pub mod telemetry;
 
 pub use characterize::{
     summarize_runs, Characterization, ResilientCharacterization, RunReport, RunStatus, WorkloadRun,
@@ -54,7 +55,8 @@ pub use faults::{Fault, FaultKind, FaultPlan};
 pub use log::{LogLevel, LogRecord};
 pub use process::{maybe_worker, ProcessConfig};
 pub use sampling::{PhaseSampling, SamplingPolicy, SamplingStats, PHASE_ERROR_BOUND_PCT};
-pub use suite::{CoreError, Suite, TaskRun};
+pub use suite::{CoreError, LabeledTask, Suite, TaskRun};
+pub use telemetry::{request_label, MetricsRegistry, Plane, SpanEvent, SpanLog};
 
 // Re-export the layers users need to drive the facade.
 pub use alberta_benchmarks::{suite as benchmark_suite, BenchError, Benchmark, RunOutput};

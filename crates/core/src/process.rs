@@ -155,13 +155,19 @@ pub(crate) struct TaskOutcome {
     /// Scheduling metrics: dispatch count, worker slot, in-worker
     /// retries and budget accounting.
     pub(crate) metrics: RunMetrics,
+    /// The request label echoed back by the worker (supervisor-side
+    /// for tasks that died without a result), when the task carried
+    /// one.
+    pub(crate) request: Option<String>,
 }
 
 /// One unit of work for [`run_process_tasks`]: a benchmark paired with
-/// one of its workloads.
+/// one of its workloads, optionally tagged with the service request
+/// label that asked for it.
 pub(crate) struct ProcessTask<'a> {
     pub(crate) benchmark: &'a dyn Benchmark,
     pub(crate) workload: String,
+    pub(crate) request: Option<String>,
 }
 
 /// Runs every `(benchmark, workload)` pair of `benchmarks` through a
@@ -189,6 +195,7 @@ pub(crate) fn run_process_sweep(
                 .map(move |workload| ProcessTask {
                     benchmark: b.as_ref(),
                     workload,
+                    request: None,
                 })
         })
         .collect();
@@ -225,6 +232,7 @@ pub(crate) fn run_process_tasks(
             spec_id: t.benchmark.name(),
             short_name: t.benchmark.short_name(),
             workload: t.workload.clone(),
+            request: t.request.clone(),
             state: TaskState::Pending,
             dispatches: 0,
             eligible_at: epoch,
@@ -260,12 +268,14 @@ pub(crate) fn run_process_tasks(
         .tasks
         .into_iter()
         .map(|t| {
-            let (status, run, metrics, logs) = t.outcome.expect("sweep resolves every task");
+            let (status, run, metrics, logs, request) =
+                t.outcome.expect("sweep resolves every task");
             log::flush(&logs);
             TaskOutcome {
                 status,
                 run,
                 metrics,
+                request,
             }
         })
         .collect()
@@ -277,7 +287,13 @@ enum TaskState {
     InFlight,
 }
 
-type ResolvedTask = (RunStatus, Option<WorkloadRun>, RunMetrics, Vec<LogRecord>);
+type ResolvedTask = (
+    RunStatus,
+    Option<WorkloadRun>,
+    RunMetrics,
+    Vec<LogRecord>,
+    Option<String>,
+);
 
 struct TaskSlot {
     /// Benchmark key sent on the wire (the short name).
@@ -286,6 +302,9 @@ struct TaskSlot {
     spec_id: &'static str,
     short_name: &'static str,
     workload: String,
+    /// Originating request label, sent with every dispatch and echoed
+    /// back by the worker.
+    request: Option<String>,
     state: TaskState,
     /// Dispatch attempts made so far (1-based once dispatched).
     dispatches: u32,
@@ -478,6 +497,7 @@ impl Supervisor {
             benchmark: task.benchmark.clone(),
             workload: task.workload.clone(),
             attempt: task.dispatches,
+            request: task.request.clone(),
         })
         .encode();
         if self.workers[w].send(&line) {
@@ -530,7 +550,9 @@ impl Supervisor {
             budget_consumed: result.budget_consumed,
             dispatches: task.dispatches,
         };
-        task.outcome = Some((status, result.run, metrics, result.logs));
+        // Book the worker's echo, not the supervisor's copy: a span
+        // built from this field proves the label crossed the pipe.
+        task.outcome = Some((status, result.run, metrics, result.logs, result.request));
         self.workers[w].state = SlotState::Idle;
     }
 
@@ -607,7 +629,9 @@ impl Supervisor {
                 message,
             },
         };
-        task.outcome = Some((status, None, metrics, Vec::new()));
+        // No worker echo exists for an abandoned task; the supervisor's
+        // own copy keeps the failure attributable to its request.
+        task.outcome = Some((status, None, metrics, Vec::new(), task.request.clone()));
     }
 
     /// Kills busy or still-starting workers that have been silent past
@@ -881,6 +905,7 @@ fn run_task(
             retries: 0,
             budget_consumed: 0,
             logs: Vec::new(),
+            request: task.request.clone(),
         };
     };
     let (spec_id, short_name) = (benchmark.name(), benchmark.short_name());
@@ -924,6 +949,7 @@ fn run_task(
         },
         budget_consumed,
         logs,
+        request: task.request.clone(),
     }
 }
 

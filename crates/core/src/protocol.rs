@@ -100,6 +100,11 @@ pub struct TaskMsg {
     /// bounded per attempt (`attempts: 1` faults fire only on the first
     /// dispatch).
     pub attempt: u32,
+    /// The originating request label, when the task was dispatched on
+    /// behalf of a characterization-service request. The worker echoes
+    /// it verbatim in [`TaskResult`], which is how span logs prove the
+    /// label survived the process boundary.
+    pub request: Option<String>,
 }
 
 /// Supervisor → worker messages.
@@ -201,6 +206,8 @@ pub struct TaskResult {
     pub budget_consumed: u64,
     /// Log records captured during the run, in emission order.
     pub logs: Vec<LogRecord>,
+    /// The request label from [`TaskMsg`], echoed verbatim.
+    pub request: Option<String>,
 }
 
 /// Worker → supervisor messages.
@@ -510,13 +517,19 @@ impl SupervisorMsg {
                 ("deadline_work", opt_u64(c.deadline_work)),
                 ("beat_ms", Value::UInt(c.beat_ms)),
             ]),
-            SupervisorMsg::Task(t) => obj(vec![
-                ("type", s("task")),
-                ("id", Value::UInt(t.id)),
-                ("benchmark", s(&t.benchmark)),
-                ("workload", s(&t.workload)),
-                ("attempt", Value::UInt(t.attempt.into())),
-            ]),
+            SupervisorMsg::Task(t) => {
+                let mut fields = vec![
+                    ("type", s("task")),
+                    ("id", Value::UInt(t.id)),
+                    ("benchmark", s(&t.benchmark)),
+                    ("workload", s(&t.workload)),
+                    ("attempt", Value::UInt(t.attempt.into())),
+                ];
+                if let Some(request) = &t.request {
+                    fields.push(("request", s(request)));
+                }
+                obj(fields)
+            }
             SupervisorMsg::Shutdown => obj(vec![("type", s("shutdown"))]),
         };
         value.render_compact()
@@ -545,6 +558,7 @@ impl SupervisorMsg {
                 benchmark: req_str(&value, "benchmark")?.to_owned(),
                 workload: req_str(&value, "workload")?.to_owned(),
                 attempt: req_u32(&value, "attempt")?,
+                request: opt_str_field(&value, "request")?,
             })),
             "shutdown" => Ok(SupervisorMsg::Shutdown),
             other => Err(format!("unknown supervisor message type {other:?}")),
@@ -561,18 +575,24 @@ impl WorkerMsg {
                 ("protocol", Value::UInt(*protocol)),
             ]),
             WorkerMsg::Beat { id } => obj(vec![("type", s("beat")), ("id", Value::UInt(*id))]),
-            WorkerMsg::Result(r) => obj(vec![
-                ("type", s("result")),
-                ("id", Value::UInt(r.id)),
-                ("status", status_value(&r.status)),
-                ("run", r.run.as_ref().map(run_value).unwrap_or(Value::Null)),
-                ("retries", Value::UInt(r.retries.into())),
-                ("budget_consumed", Value::UInt(r.budget_consumed)),
-                (
-                    "logs",
-                    Value::Array(r.logs.iter().map(log_record_value).collect()),
-                ),
-            ]),
+            WorkerMsg::Result(r) => {
+                let mut fields = vec![
+                    ("type", s("result")),
+                    ("id", Value::UInt(r.id)),
+                    ("status", status_value(&r.status)),
+                    ("run", r.run.as_ref().map(run_value).unwrap_or(Value::Null)),
+                    ("retries", Value::UInt(r.retries.into())),
+                    ("budget_consumed", Value::UInt(r.budget_consumed)),
+                    (
+                        "logs",
+                        Value::Array(r.logs.iter().map(log_record_value).collect()),
+                    ),
+                ];
+                if let Some(request) = &r.request {
+                    fields.push(("request", s(request)));
+                }
+                obj(fields)
+            }
         };
         value.render_compact()
     }
@@ -606,6 +626,7 @@ impl WorkerMsg {
                     .iter()
                     .map(decode_log_record)
                     .collect::<Result<_, _>>()?,
+                request: opt_str_field(&value, "request")?,
             }))),
             other => Err(format!("unknown worker message type {other:?}")),
         }
@@ -626,6 +647,16 @@ fn req_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, DecodeError> {
     req_field(value, key)?
         .as_str()
         .ok_or_else(|| format!("field {key:?} must be a string"))
+}
+
+fn opt_str_field(value: &Value, key: &str) -> Result<Option<String>, DecodeError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| format!("field {key:?} must be a string")),
+    }
 }
 
 fn req_u64(value: &Value, key: &str) -> Result<u64, DecodeError> {
@@ -1090,12 +1121,24 @@ mod tests {
             benchmark: "deepsjeng".to_owned(),
             workload: "alberta.7".to_owned(),
             attempt: 2,
+            request: Some("storm-m1#4".to_owned()),
         };
         let line = SupervisorMsg::Task(task.clone()).encode();
         let SupervisorMsg::Task(decoded) = SupervisorMsg::decode(&line).unwrap() else {
             panic!("expected a task message");
         };
         assert_eq!(decoded, task);
+        // Unlabeled tasks (plain sweeps) omit the field entirely.
+        let bare = TaskMsg {
+            request: None,
+            ..task
+        };
+        let line = SupervisorMsg::Task(bare.clone()).encode();
+        assert!(!line.contains("request"));
+        let SupervisorMsg::Task(decoded) = SupervisorMsg::decode(&line).unwrap() else {
+            panic!("expected a task message");
+        };
+        assert_eq!(decoded, bare);
         assert!(matches!(
             SupervisorMsg::decode(&SupervisorMsg::Shutdown.encode()).unwrap(),
             SupervisorMsg::Shutdown
@@ -1120,6 +1163,7 @@ mod tests {
                 target: "run",
                 message: "mcf/train: retrying\nwith a newline".to_owned(),
             }],
+            request: Some("e2e#11".to_owned()),
         };
         let line = WorkerMsg::Result(Box::new(result.clone())).encode();
         assert!(!line.contains('\n'), "framing must stay line-delimited");
@@ -1131,6 +1175,7 @@ mod tests {
         assert_eq!(decoded.retries, result.retries);
         assert_eq!(decoded.budget_consumed, result.budget_consumed);
         assert_eq!(decoded.logs, result.logs);
+        assert_eq!(decoded.request, result.request);
         let decoded_run = decoded.run.expect("run survived");
         assert_eq!(decoded_run.workload, run.workload);
         assert_eq!(decoded_run.checksum, run.checksum);

@@ -93,6 +93,24 @@ pub struct TaskRun {
     pub run: Option<WorkloadRun>,
     /// Execution-layer observability for the run.
     pub metrics: RunMetrics,
+    /// The originating request label, echoed back through whichever
+    /// execution layer ran the task (for [`ExecPolicy::Processes`],
+    /// through the worker pipe). `None` for unlabeled tasks.
+    pub request: Option<String>,
+}
+
+/// One task of a labeled characterization
+/// ([`Suite::characterize_tasks_labeled`]): a benchmark/workload pair
+/// plus the service request label that asked for it, carried through
+/// execution and echoed on the resulting [`TaskRun`].
+#[derive(Debug, Clone)]
+pub struct LabeledTask {
+    /// Benchmark short name or SPEC-style id.
+    pub benchmark: String,
+    /// Workload name.
+    pub workload: String,
+    /// Originating request label, if any.
+    pub request: Option<String>,
 }
 
 /// The full benchmark suite plus the measurement configuration.
@@ -631,19 +649,47 @@ impl Suite {
         &self,
         tasks: &[(String, String)],
     ) -> Result<Vec<TaskRun>, CoreError> {
+        let labeled: Vec<LabeledTask> = tasks
+            .iter()
+            .map(|(benchmark, workload)| LabeledTask {
+                benchmark: benchmark.clone(),
+                workload: workload.clone(),
+                request: None,
+            })
+            .collect();
+        self.characterize_tasks_labeled(&labeled)
+    }
+
+    /// [`Suite::characterize_tasks_metered`] with request labels: each
+    /// task may carry the label of the service request that asked for
+    /// it, and the returned [`TaskRun`]s echo the label as it came back
+    /// through the execution layer — for [`ExecPolicy::Processes`],
+    /// across the worker pipe. Labels never influence execution, only
+    /// attribution.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownBenchmark`] or [`CoreError::UnknownWorkload`]
+    /// when a task names something the suite does not have — resolution
+    /// happens up front, before anything executes.
+    pub fn characterize_tasks_labeled(
+        &self,
+        tasks: &[LabeledTask],
+    ) -> Result<Vec<TaskRun>, CoreError> {
         let rebuilt = self.malformed_benchmarks();
         let benchmarks = rebuilt.as_deref().unwrap_or(&self.benchmarks);
         let mut resolved: Vec<&dyn Benchmark> = Vec::with_capacity(tasks.len());
-        for (name, workload) in tasks {
+        for task in tasks {
+            let name = &task.benchmark;
             let benchmark = benchmarks
                 .iter()
                 .find(|b| b.short_name() == name || b.name() == name)
                 .ok_or_else(|| CoreError::UnknownBenchmark { name: name.clone() })?
                 .as_ref();
-            if !benchmark.workload_names().iter().any(|w| w == workload) {
+            if !benchmark.workload_names().contains(&task.workload) {
                 return Err(CoreError::UnknownWorkload {
                     benchmark: benchmark.short_name().to_owned(),
-                    workload: workload.clone(),
+                    workload: task.workload.clone(),
                 });
             }
             resolved.push(benchmark);
@@ -652,9 +698,10 @@ impl Suite {
             let process_tasks: Vec<ProcessTask<'_>> = resolved
                 .iter()
                 .zip(tasks)
-                .map(|(b, (_, workload))| ProcessTask {
+                .map(|(b, task)| ProcessTask {
                     benchmark: *b,
-                    workload: workload.clone(),
+                    workload: task.workload.clone(),
+                    request: task.request.clone(),
                 })
                 .collect();
             let outcomes = run_process_tasks(
@@ -667,20 +714,21 @@ impl Suite {
                 .iter()
                 .zip(tasks)
                 .zip(outcomes)
-                .map(|((b, (_, workload)), outcome)| TaskRun {
+                .map(|((b, task), outcome)| TaskRun {
                     spec_id: b.name().to_owned(),
                     short_name: b.short_name().to_owned(),
-                    workload: workload.clone(),
+                    workload: task.workload.clone(),
                     status: outcome.status,
                     run: outcome.run,
                     metrics: outcome.metrics,
+                    request: outcome.request,
                 })
                 .collect());
         }
         let indices: Vec<usize> = (0..tasks.len()).collect();
         let results = run_indexed_metered(self.exec, &indices, |_, &i| {
             let benchmark = resolved[i];
-            let workload = &tasks[i].1;
+            let workload = &tasks[i].workload;
             catch_unwind(AssertUnwindSafe(|| self.resilient_run(benchmark, workload)))
                 .unwrap_or_else(|payload| {
                     let status = RunStatus::Failed {
@@ -701,10 +749,11 @@ impl Suite {
                 TaskRun {
                     spec_id: resolved[i].name().to_owned(),
                     short_name: resolved[i].short_name().to_owned(),
-                    workload: tasks[i].1.clone(),
+                    workload: tasks[i].workload.clone(),
                     status,
                     run,
                     metrics: m,
+                    request: tasks[i].request.clone(),
                 }
             })
             .collect())

@@ -26,17 +26,21 @@
 
 pub mod diff;
 pub use alberta_core::json;
+pub mod metrics;
 pub mod schema;
 pub mod serve;
+pub mod timeline;
 pub mod trace;
 pub mod view;
 
 pub use diff::{DiffOptions, ReportDiff};
+pub use metrics::MetricsDocument;
 pub use schema::{
     BenchmarkReport, CategoryRecord, HotPathRecord, MeasureRecord, RunRecord, SamplingRecord,
     StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
 };
 pub use serve::{CacheDocument, HostRecord, LatencyReport, StormReport};
+pub use timeline::render_service_timeline;
 pub use trace::{render_trace, TraceMode, DEFAULT_LANES};
 
 use std::fmt;

@@ -15,15 +15,32 @@
 //! the same key: one caller computes, everyone else blocks and shares
 //! the result.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use alberta_core::log_warn;
 use alberta_core::protocol::RemoteStatus;
 use alberta_report::CacheDocument;
+
+/// One shard directory's statistics, as reported in the `Stats` wire
+/// response. Entries and bytes are measured from disk at snapshot time;
+/// evictions are counted per shard over the cache's lifetime, so a
+/// shard that self-healed away its only entry still shows up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard directory name (two hex characters, or `__`).
+    pub shard: String,
+    /// Verified-format entries (`*.json`) currently on disk.
+    pub entries: u64,
+    /// Total bytes of those entries.
+    pub bytes: u64,
+    /// Corrupt entries evicted from this shard so far.
+    pub evictions: u64,
+}
 
 /// How a [`ResultCache::get_or_compute`] call was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +65,7 @@ struct Flight {
 pub struct ResultCache {
     root: PathBuf,
     evictions: AtomicU64,
+    shard_evictions: Mutex<BTreeMap<String, u64>>,
     tmp_counter: AtomicU64,
     flights: Mutex<HashMap<String, Arc<Flight>>>,
 }
@@ -58,6 +76,7 @@ impl ResultCache {
         ResultCache {
             root: root.into(),
             evictions: AtomicU64::new(0),
+            shard_evictions: Mutex::new(BTreeMap::new()),
             tmp_counter: AtomicU64::new(0),
             flights: Mutex::new(HashMap::new()),
         }
@@ -77,6 +96,51 @@ impl ResultCache {
     /// Corrupt entries evicted so far.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// A per-shard snapshot — entries and bytes from a directory scan,
+    /// evictions from the lifetime counters — in shard-name order.
+    /// Shards that only ever evicted (nothing left on disk) are still
+    /// reported, so degradation is visible in the `Stats` response.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let mut shards: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        if let Ok(dirs) = fs::read_dir(&self.root) {
+            for dir in dirs.flatten() {
+                let shard = dir.file_name().to_string_lossy().into_owned();
+                if !dir.path().is_dir() || shard.starts_with('.') {
+                    continue;
+                }
+                let (mut entries, mut bytes) = (0u64, 0u64);
+                if let Ok(files) = fs::read_dir(dir.path()) {
+                    for file in files.flatten() {
+                        let name = file.file_name().to_string_lossy().into_owned();
+                        // Skip in-flight temporaries (dot-prefixed).
+                        if name.starts_with('.') || !name.ends_with(".json") {
+                            continue;
+                        }
+                        entries += 1;
+                        bytes += file.metadata().map(|m| m.len()).unwrap_or(0);
+                    }
+                }
+                shards.insert(shard, (entries, bytes));
+            }
+        }
+        let evictions = self
+            .shard_evictions
+            .lock()
+            .expect("shard eviction map poisoned");
+        for shard in evictions.keys() {
+            shards.entry(shard.clone()).or_insert((0, 0));
+        }
+        shards
+            .into_iter()
+            .map(|(shard, (entries, bytes))| ShardStats {
+                evictions: evictions.get(&shard).copied().unwrap_or(0),
+                shard,
+                entries,
+                bytes,
+            })
+            .collect()
     }
 
     /// Looks up a key, verifying the document before trusting it. A
@@ -183,6 +247,22 @@ impl ResultCache {
     fn evict(&self, path: &Path) {
         if fs::remove_file(path).is_ok() {
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            let shard = path
+                .parent()
+                .and_then(Path::file_name)
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "__".to_owned());
+            *self
+                .shard_evictions
+                .lock()
+                .expect("shard eviction map poisoned")
+                .entry(shard)
+                .or_insert(0) += 1;
+            log_warn!(
+                "cache",
+                "evicted corrupt entry {} (self-healing: next computation rewrites it)",
+                path.display()
+            );
         }
     }
 }

@@ -4,6 +4,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
 use alberta_core::json::Value;
+use alberta_report::MetricsDocument;
 
 use crate::engine::{EngineStats, ResponseCounts};
 use crate::spec::RequestSpec;
@@ -32,14 +33,29 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects and performs the hello handshake, optionally declaring
-    /// group membership.
+    /// Connects anonymously (the daemon labels the connection `anon`).
     ///
     /// # Errors
     ///
     /// Connection failures, protocol mismatches, or a malformed
     /// handshake reply.
     pub fn connect(addr: &str, group: Option<GroupInfo>) -> Result<Client, ClientError> {
+        Client::connect_named(addr, None, group)
+    }
+
+    /// Connects and performs the hello handshake, declaring a client
+    /// name (the first half of every request label this connection
+    /// mints) and optional group membership.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, protocol mismatches, or a malformed
+    /// handshake reply.
+    pub fn connect_named(
+        addr: &str,
+        name: Option<&str>,
+        group: Option<GroupInfo>,
+    ) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
         let writer = stream.try_clone().map_err(|e| e.to_string())?;
         let mut client = Client {
@@ -49,6 +65,7 @@ impl Client {
         };
         client.send(&ClientMsg::Hello {
             protocol: WIRE_VERSION,
+            client: name.map(str::to_owned),
             group,
         })?;
         match client.receive()? {
@@ -122,6 +139,33 @@ impl Client {
         match self.receive()? {
             ServerMsg::Stats(stats) => Ok(stats),
             other => Err(format!("unexpected reply to stats: {other:?}")),
+        }
+    }
+
+    /// Fetches the engine's two-plane metrics document.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, unexpected messages, or a malformed document.
+    pub fn metrics(&mut self) -> Result<MetricsDocument, ClientError> {
+        self.send(&ClientMsg::Metrics)?;
+        match self.receive()? {
+            ServerMsg::Metrics { document } => MetricsDocument::from_value(&document),
+            other => Err(format!("unexpected reply to metrics: {other:?}")),
+        }
+    }
+
+    /// Fetches the engine's ordered span log (a canonical array of span
+    /// events).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or unexpected messages.
+    pub fn spans(&mut self) -> Result<Value, ClientError> {
+        self.send(&ClientMsg::Spans)?;
+        match self.receive()? {
+            ServerMsg::Spans { spans } => Ok(spans),
+            other => Err(format!("unexpected reply to spans: {other:?}")),
         }
     }
 

@@ -16,8 +16,10 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use alberta_core::telemetry::{request_label, Plane};
+use alberta_core::{log_info, log_warn};
+
 use crate::engine::{BatchRequest, Engine, ResolvedRequest};
-use crate::spec::RequestSpec;
 use crate::wire::{ClientMsg, GroupInfo, ServerMsg, WIRE_VERSION};
 
 /// A group rendezvous: members park their requests here and wait for
@@ -30,8 +32,9 @@ struct Group {
 
 #[derive(Default)]
 struct GroupInner {
-    /// Drained members' pending requests, by member index.
-    drained: BTreeMap<u64, Vec<(u64, RequestSpec)>>,
+    /// Drained members' pending requests (already labeled and
+    /// tokenized), by member index.
+    drained: BTreeMap<u64, Vec<BatchRequest>>,
     /// Resolved responses, partitioned by member index.
     results: Option<BTreeMap<u64, Vec<ResolvedRequest>>>,
     /// Members that have collected their share.
@@ -108,9 +111,18 @@ fn handle_connection(
     if reader.read_line(&mut line)? == 0 {
         return Ok(());
     }
-    let group = match ClientMsg::decode(line.trim_end()) {
-        Ok(ClientMsg::Hello { protocol, group }) if protocol == WIRE_VERSION => group,
+    let (client, group) = match ClientMsg::decode(line.trim_end()) {
+        Ok(ClientMsg::Hello {
+            protocol,
+            client,
+            group,
+        }) if protocol == WIRE_VERSION => (client.unwrap_or_else(|| "anon".to_owned()), group),
         Ok(ClientMsg::Hello { protocol, .. }) => {
+            log_warn!(
+                "daemon",
+                "rejected connection: client speaks protocol {protocol}, daemon speaks \
+                 {WIRE_VERSION}"
+            );
             send(
                 &mut writer,
                 &ServerMsg::Error {
@@ -139,27 +151,45 @@ fn handle_connection(
             protocol: WIRE_VERSION,
         },
     )?;
+    engine
+        .metrics()
+        .inc(Plane::Volatile, "alberta_connections_total", 1);
+    match &group {
+        Some(info) => log_info!(
+            "daemon",
+            "client {client:?} connected (group {:?}, member {}/{})",
+            info.id,
+            info.member,
+            info.size
+        ),
+        None => log_info!("daemon", "client {client:?} connected"),
+    }
 
-    let mut pending: Vec<(u64, RequestSpec)> = Vec::new();
+    // Requests are labeled and tokenized at receipt: the client minted
+    // the id, the hello named the client, and the group (when any)
+    // fixes the member index — nothing about the label depends on when
+    // the drain happens.
+    let member = group.as_ref().map_or(0, |info| info.member);
+    let mut pending: Vec<BatchRequest> = Vec::new();
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
             return Ok(());
         }
         match ClientMsg::decode(line.trim_end()) {
-            Ok(ClientMsg::Request { id, spec }) => pending.push((id, *spec)),
+            Ok(ClientMsg::Request { id, spec }) => pending.push(BatchRequest {
+                token: (member, id),
+                request: request_label(&client, id),
+                spec: *spec,
+            }),
             Ok(ClientMsg::Drain) => {
+                log_info!(
+                    "daemon",
+                    "client {client:?} drains {} request(s)",
+                    pending.len()
+                );
                 let responses = match &group {
-                    None => {
-                        let batch: Vec<BatchRequest> = pending
-                            .drain(..)
-                            .map(|(id, spec)| BatchRequest {
-                                token: (0, id),
-                                spec,
-                            })
-                            .collect();
-                        engine.resolve_batch(&batch)
-                    }
+                    None => engine.resolve_batch(&std::mem::take(&mut pending)),
                     Some(info) => drain_grouped(engine, groups, info, std::mem::take(&mut pending)),
                 };
                 let count = responses.len() as u64;
@@ -182,7 +212,24 @@ fn handle_connection(
             Ok(ClientMsg::Stats) => {
                 send(&mut writer, &ServerMsg::Stats(engine.stats()))?;
             }
+            Ok(ClientMsg::Metrics) => {
+                send(
+                    &mut writer,
+                    &ServerMsg::Metrics {
+                        document: engine.metrics_document().to_value(),
+                    },
+                )?;
+            }
+            Ok(ClientMsg::Spans) => {
+                send(
+                    &mut writer,
+                    &ServerMsg::Spans {
+                        spans: engine.spans_value(),
+                    },
+                )?;
+            }
             Ok(ClientMsg::Shutdown) => {
+                log_info!("daemon", "client {client:?} requested shutdown");
                 shutdown.store(true, Ordering::SeqCst);
                 send(&mut writer, &ServerMsg::Bye)?;
                 // Unblock the accept loop so `run` can observe the flag.
@@ -215,7 +262,7 @@ fn drain_grouped(
     engine: &Engine,
     groups: &Mutex<HashMap<String, Arc<Group>>>,
     info: &GroupInfo,
-    pending: Vec<(u64, RequestSpec)>,
+    pending: Vec<BatchRequest>,
 ) -> Vec<ResolvedRequest> {
     let group = {
         let mut registry = groups.lock().expect("group registry poisoned");
@@ -233,17 +280,10 @@ fn drain_grouped(
     if inner.drained.len() as u64 == group.size {
         // Last member in: resolve the union on this thread while the
         // others wait.
-        let batch: Vec<BatchRequest> = inner
-            .drained
-            .iter()
-            .flat_map(|(member, requests)| {
-                requests.iter().map(|(id, spec)| BatchRequest {
-                    token: (*member, *id),
-                    spec: spec.clone(),
-                })
-            })
+        let batch: Vec<BatchRequest> = std::mem::take(&mut inner.drained)
+            .into_values()
+            .flatten()
             .collect();
-        inner.drained.clear();
         drop(inner);
         let resolved = engine.resolve_batch(&batch);
         let mut partitioned: BTreeMap<u64, Vec<ResolvedRequest>> = BTreeMap::new();

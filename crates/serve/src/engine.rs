@@ -17,13 +17,20 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use alberta_core::json::Value;
+use alberta_core::log_info;
 use alberta_core::protocol::RemoteStatus;
-use alberta_core::{benchmark_suite, summarize_runs, ExecPolicy, FaultPlan, ProcessConfig, Suite};
-use alberta_report::{BenchmarkReport, CacheDocument, HostRecord, RunRecord};
+use alberta_core::telemetry::{
+    MetricsRegistry, Plane, SpanLog, COUNT_BUCKETS, NANOS_BUCKETS, TICK_BUCKETS,
+};
+use alberta_core::{
+    benchmark_suite, summarize_runs, ExecPolicy, FaultPlan, LabeledTask, ProcessConfig, Suite,
+};
+use alberta_report::{BenchmarkReport, CacheDocument, HostRecord, MetricsDocument, RunRecord};
 
-use crate::cache::ResultCache;
+use crate::cache::{ResultCache, ShardStats};
 use crate::sched::{self, Placement};
 use crate::spec::RequestSpec;
 
@@ -66,6 +73,9 @@ impl Default for ServeConfig {
 pub struct BatchRequest {
     /// `(group member, request id)` — canonical position in the batch.
     pub token: (u64, u64),
+    /// The client-minted request label (`client#id`), carried through
+    /// every span this request produces.
+    pub request: String,
     /// What to characterize.
     pub spec: RequestSpec,
 }
@@ -117,6 +127,8 @@ pub struct EngineStats {
     pub evictions: u64,
     /// Per-host placement totals.
     pub hosts: Vec<HostRecord>,
+    /// Per-shard cache statistics (entries, bytes, evictions).
+    pub shards: Vec<ShardStats>,
 }
 
 impl EngineStats {
@@ -141,6 +153,22 @@ impl EngineStats {
                                 ("host".to_owned(), Value::UInt(h.host)),
                                 ("tasks".to_owned(), Value::UInt(h.tasks)),
                                 ("stolen".to_owned(), Value::UInt(h.stolen)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "shards".to_owned(),
+                Value::Array(
+                    self.shards
+                        .iter()
+                        .map(|s| {
+                            Value::Object(vec![
+                                ("shard".to_owned(), Value::Str(s.shard.clone())),
+                                ("entries".to_owned(), Value::UInt(s.entries)),
+                                ("bytes".to_owned(), Value::UInt(s.bytes)),
+                                ("evictions".to_owned(), Value::UInt(s.evictions)),
                             ])
                         })
                         .collect(),
@@ -179,6 +207,29 @@ impl EngineStats {
                 })
             })
             .collect::<Result<_, String>>()?;
+        let shards = value
+            .get("shards")
+            .and_then(Value::as_array)
+            .ok_or("stats missing shards")?
+            .iter()
+            .map(|s| {
+                let sf = |name: &str| {
+                    s.get(name)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("shard record missing {name}"))
+                };
+                Ok(ShardStats {
+                    shard: s
+                        .get("shard")
+                        .and_then(Value::as_str)
+                        .ok_or("shard record missing shard")?
+                        .to_owned(),
+                    entries: sf("entries")?,
+                    bytes: sf("bytes")?,
+                    evictions: sf("evictions")?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
         Ok(EngineStats {
             requests: field("requests")?,
             computed_keys: field("computed_keys")?,
@@ -189,6 +240,7 @@ impl EngineStats {
             redispatches: field("redispatches")?,
             evictions: field("evictions")?,
             hosts,
+            shards,
         })
     }
 }
@@ -226,11 +278,14 @@ struct KeyTask {
     workload: String,
 }
 
-/// The characterization engine: cache + scheduler + host pool.
+/// The characterization engine: cache + scheduler + host pool +
+/// telemetry.
 pub struct Engine {
     config: ServeConfig,
     cache: ResultCache,
     counters: Mutex<Counters>,
+    metrics: MetricsRegistry,
+    spans: Mutex<SpanLog>,
     batch_lock: Mutex<()>,
 }
 
@@ -238,6 +293,15 @@ impl Engine {
     /// Builds an engine over a cache.
     pub fn new(config: ServeConfig, cache: ResultCache) -> Self {
         let hosts = config.hosts;
+        let metrics = MetricsRegistry::new();
+        // Roster gauges are configuration, not wall-clock — they live
+        // in the deterministic plane.
+        metrics.set_gauge(Plane::Deterministic, "alberta_hosts", hosts as u64);
+        metrics.set_gauge(
+            Plane::Deterministic,
+            "alberta_dead_hosts",
+            config.dead_hosts.len() as u64,
+        );
         Engine {
             config,
             cache,
@@ -245,6 +309,8 @@ impl Engine {
                 per_host: vec![sched::HostLoad::default(); hosts],
                 ..Counters::default()
             }),
+            metrics,
+            spans: Mutex::new(SpanLog::new()),
             batch_lock: Mutex::new(()),
         }
     }
@@ -257,6 +323,25 @@ impl Engine {
     /// The host-pool configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// The two-plane metrics registry (the daemon records volatile
+    /// connection metrics here).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A schema-versioned snapshot of both metric planes.
+    pub fn metrics_document(&self) -> MetricsDocument {
+        MetricsDocument::new(
+            self.metrics.snapshot(Plane::Deterministic),
+            self.metrics.snapshot(Plane::Volatile),
+        )
+    }
+
+    /// The ordered span log as a canonical array.
+    pub fn spans_value(&self) -> Value {
+        self.spans.lock().expect("span log poisoned").to_value()
     }
 
     /// A snapshot of the lifetime counters.
@@ -281,6 +366,7 @@ impl Engine {
                     stolen: h.stolen,
                 })
                 .collect(),
+            shards: self.cache.shard_stats(),
         }
     }
 
@@ -290,6 +376,8 @@ impl Engine {
     /// results on disk.
     pub fn resolve_batch(&self, requests: &[BatchRequest]) -> Vec<ResolvedRequest> {
         let _batch = self.batch_lock.lock().expect("batch lock poisoned");
+        let wall_start = Instant::now();
+        let evictions_before = self.cache.evictions();
 
         let mut ordered: Vec<&BatchRequest> = requests.iter().collect();
         ordered.sort_by_key(|r| r.token);
@@ -329,9 +417,17 @@ impl Engine {
             }
         }
 
+        // The label a key's execution is attributed to: the first
+        // referencing request in token order (its "owner").
+        let key_labels: BTreeMap<String, String> = first_owner
+            .iter()
+            .map(|(key, &idx)| (key.clone(), ordered[idx].request.clone()))
+            .collect();
+
         // Place the misses and execute each host's share.
         let placement = sched::place(&missed, self.config.hosts, &self.config.dead_hosts);
-        let (computed, redispatches) = self.execute(&missed, &placement, &key_tasks);
+        let (computed, redispatches, exec_info) =
+            self.execute(&missed, &placement, &key_tasks, &key_labels);
         for (key, doc) in computed {
             let failed = matches!(doc.status, RemoteStatus::Failed { .. });
             if !failed {
@@ -348,34 +444,200 @@ impl Engine {
             docs.insert(key, (doc, fate));
         }
 
-        // Reassemble responses in token order.
+        // Reassemble responses in token order, narrating each request's
+        // lifecycle into the span log as we go. Spans are emitted here —
+        // on the batch thread, from deterministic inputs (fates,
+        // placement, per-key exec echoes) — never from the racing host
+        // threads, so the log's byte rendering is a pure function of
+        // the request set.
         let hit_count = docs.values().filter(|(_, f)| *f == KeyFate::Cached).count();
         let mut resolved = Vec::with_capacity(ordered.len());
         let mut total_coalesced = 0u64;
+        let mut expansion_errors = 0u64;
+        let mut retries_total = 0u64;
+        let batch_requests = ordered.len() as u64;
+        let key_attr = |key: &str| ("key".to_owned(), Value::Str(key.to_owned()));
+        let mut spans = self.spans.lock().expect("span log poisoned");
         for (idx, request) in ordered.iter().enumerate() {
+            let label = request.request.as_str();
+            let mut received = vec![(
+                "benchmark".to_owned(),
+                Value::Str(request.spec.benchmark.clone()),
+            )];
+            if let Some(workload) = &request.spec.workload {
+                received.push(("workload".to_owned(), Value::Str(workload.clone())));
+            }
+            spans.push(label, "received", received);
+            if batch_requests > 1 {
+                spans.push(
+                    label,
+                    "grouped",
+                    vec![("batch_requests".to_owned(), Value::UInt(batch_requests))],
+                );
+            }
             match &expansions[idx] {
-                Err(message) => resolved.push(ResolvedRequest {
-                    token: request.token,
-                    counts: ResponseCounts::default(),
-                    result: Err(message.clone()),
-                }),
+                Err(message) => {
+                    expansion_errors += 1;
+                    spans.push(
+                        label,
+                        "failed",
+                        vec![("error".to_owned(), Value::Str(message.clone()))],
+                    );
+                    resolved.push(ResolvedRequest {
+                        token: request.token,
+                        counts: ResponseCounts::default(),
+                        result: Err(message.clone()),
+                    });
+                }
                 Ok(expansion) => {
+                    self.metrics.observe(
+                        Plane::Deterministic,
+                        "alberta_keys_per_request",
+                        COUNT_BUCKETS,
+                        expansion.keys.len() as u64,
+                    );
                     let mut counts = ResponseCounts::default();
-                    for (_, key) in &expansion.keys {
-                        let (_, fate) = &docs[key];
+                    for (workload, key) in &expansion.keys {
+                        let (doc, fate) = &docs[key];
                         match fate {
-                            KeyFate::Cached => counts.cached += 1,
-                            KeyFate::Unplaced => counts.failed += 1,
-                            KeyFate::Computed => {
-                                if first_owner[key] == idx {
-                                    counts.computed += 1;
-                                } else {
-                                    counts.coalesced += 1;
+                            KeyFate::Cached => {
+                                counts.cached += 1;
+                                spans.push(label, "cache_hit", vec![key_attr(key)]);
+                            }
+                            KeyFate::Unplaced => {
+                                counts.failed += 1;
+                                spans.push(label, "cache_miss", vec![key_attr(key)]);
+                                let error = match &doc.status {
+                                    RemoteStatus::Failed { error, .. } => error.clone(),
+                                    _ => "unplaced".to_owned(),
+                                };
+                                spans.push(
+                                    label,
+                                    "failed",
+                                    vec![key_attr(key), ("error".to_owned(), Value::Str(error))],
+                                );
+                            }
+                            KeyFate::Computed if first_owner[key] == idx => {
+                                counts.computed += 1;
+                                spans.push(label, "cache_miss", vec![key_attr(key)]);
+                                let placed = missed
+                                    .iter()
+                                    .position(|k| k == key)
+                                    .map(|i| placement.tasks[i]);
+                                if let Some(task) = placed {
+                                    if let Some(host) = task.host {
+                                        spans.push(
+                                            label,
+                                            "placed",
+                                            vec![
+                                                key_attr(key),
+                                                ("host".to_owned(), Value::UInt(host as u64)),
+                                                ("stolen".to_owned(), Value::Bool(task.stolen)),
+                                                (
+                                                    "start_ticks".to_owned(),
+                                                    Value::UInt(task.start_ticks),
+                                                ),
+                                                (
+                                                    "end_ticks".to_owned(),
+                                                    Value::UInt(task.end_ticks),
+                                                ),
+                                                (
+                                                    "benchmark".to_owned(),
+                                                    Value::Str(expansion.short_name.clone()),
+                                                ),
+                                                (
+                                                    "workload".to_owned(),
+                                                    Value::Str(workload.clone()),
+                                                ),
+                                            ],
+                                        );
+                                        if let Some(exec) = exec_info.get(key) {
+                                            // These spans carry the label as it came
+                                            // BACK through the execution layer — for
+                                            // process hosts, across the worker pipe —
+                                            // which is what proves end-to-end
+                                            // propagation.
+                                            let echo = exec.request.clone().unwrap_or_default();
+                                            spans.push(
+                                                &echo,
+                                                "dispatched",
+                                                vec![
+                                                    key_attr(key),
+                                                    ("host".to_owned(), Value::UInt(host as u64)),
+                                                    ("attempt".to_owned(), Value::UInt(1)),
+                                                ],
+                                            );
+                                            for attempt in 2..=u64::from(exec.dispatches.max(1)) {
+                                                spans.push(
+                                                    &echo,
+                                                    "redispatched",
+                                                    vec![
+                                                        key_attr(key),
+                                                        (
+                                                            "attempt".to_owned(),
+                                                            Value::UInt(attempt),
+                                                        ),
+                                                    ],
+                                                );
+                                            }
+                                            for retry in 1..=u64::from(exec.retries) {
+                                                spans.push(
+                                                    &echo,
+                                                    "retried",
+                                                    vec![
+                                                        key_attr(key),
+                                                        ("retry".to_owned(), Value::UInt(retry)),
+                                                    ],
+                                                );
+                                            }
+                                            retries_total += u64::from(exec.retries);
+                                            let status = match &doc.status {
+                                                RemoteStatus::Ok => "ok",
+                                                RemoteStatus::Degraded { .. } => "degraded",
+                                                RemoteStatus::Failed { .. } => "failed",
+                                            };
+                                            spans.push(
+                                                &echo,
+                                                "executed",
+                                                vec![
+                                                    key_attr(key),
+                                                    (
+                                                        "status".to_owned(),
+                                                        Value::Str(status.to_owned()),
+                                                    ),
+                                                ],
+                                            );
+                                        }
+                                    }
                                 }
+                            }
+                            KeyFate::Computed => {
+                                counts.coalesced += 1;
+                                spans.push(
+                                    label,
+                                    "coalesced",
+                                    vec![
+                                        key_attr(key),
+                                        (
+                                            "owner".to_owned(),
+                                            Value::Str(ordered[first_owner[key]].request.clone()),
+                                        ),
+                                    ],
+                                );
                             }
                         }
                     }
                     total_coalesced += counts.coalesced;
+                    spans.push(
+                        label,
+                        "completed",
+                        vec![
+                            ("computed".to_owned(), Value::UInt(counts.computed)),
+                            ("cached".to_owned(), Value::UInt(counts.cached)),
+                            ("coalesced".to_owned(), Value::UInt(counts.coalesced)),
+                            ("failed".to_owned(), Value::UInt(counts.failed)),
+                        ],
+                    );
                     let body = assemble(expansion, &docs);
                     resolved.push(ResolvedRequest {
                         token: request.token,
@@ -385,10 +647,29 @@ impl Engine {
                 }
             }
         }
+        drop(spans);
+
+        let computed_count = (missed.len() as u64) - placement.unplaced;
+        if placement.unplaced > 0 {
+            alberta_core::log_warn!(
+                "engine",
+                "batch degraded: {} key(s) homed on dead host(s) failed deterministically",
+                placement.unplaced
+            );
+        }
+        log_info!(
+            "engine",
+            "batch resolved: {} request(s), {} computed, {} cached, {} coalesced, {} failed",
+            batch_requests,
+            computed_count,
+            hit_count,
+            total_coalesced,
+            placement.unplaced
+        );
 
         let mut c = self.counters.lock().expect("counters poisoned");
         c.requests += ordered.len() as u64;
-        c.computed_keys += (missed.len() as u64) - placement.unplaced;
+        c.computed_keys += computed_count;
         c.cache_hits += hit_count as u64;
         c.coalesced += total_coalesced;
         c.failed_keys += placement.unplaced;
@@ -398,18 +679,82 @@ impl Engine {
             c.per_host[i].tasks += load.tasks;
             c.per_host[i].stolen += load.stolen;
         }
+        drop(c);
+
+        // Deterministic plane: every counter is touched every batch
+        // (`by: 0` still registers it), so the snapshot's shape is
+        // stable regardless of what this batch happened to exercise.
+        let m = &self.metrics;
+        let det = Plane::Deterministic;
+        m.inc(det, "alberta_batches_total", 1);
+        m.inc(det, "alberta_requests_total", batch_requests);
+        m.inc(det, "alberta_request_errors_total", expansion_errors);
+        m.inc(det, "alberta_keys_computed_total", computed_count);
+        m.inc(det, "alberta_cache_hits_total", hit_count as u64);
+        m.inc(det, "alberta_coalesced_total", total_coalesced);
+        m.inc(det, "alberta_keys_failed_total", placement.unplaced);
+        m.inc(det, "alberta_steals_total", placement.steals);
+        m.inc(
+            det,
+            "alberta_placed_home_total",
+            computed_count - placement.steals,
+        );
+        m.inc(det, "alberta_retries_total", retries_total);
+        m.inc(det, "alberta_redispatches_total", redispatches);
+        m.inc(
+            det,
+            "alberta_evictions_total",
+            self.cache.evictions() - evictions_before,
+        );
+        m.observe(
+            det,
+            "alberta_batch_keys",
+            COUNT_BUCKETS,
+            key_tasks.len() as u64,
+        );
+        for (i, key) in missed.iter().enumerate() {
+            if placement.tasks[i].host.is_some() {
+                m.observe(
+                    det,
+                    "alberta_task_cost_ticks",
+                    TICK_BUCKETS,
+                    sched::task_cost(key),
+                );
+            }
+        }
+
+        // Volatile plane: wall-clock and queue depths — artifact-only.
+        let vol = Plane::Volatile;
+        m.observe(
+            vol,
+            "alberta_batch_wall_nanos",
+            NANOS_BUCKETS,
+            u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        for exec in exec_info.values() {
+            m.observe(
+                vol,
+                "alberta_run_wall_nanos",
+                NANOS_BUCKETS,
+                exec.wall_nanos,
+            );
+        }
+        m.set_gauge(vol, "alberta_last_batch_requests", batch_requests);
+        m.set_gauge(vol, "alberta_last_batch_missed_keys", missed.len() as u64);
 
         resolved
     }
 
     /// Executes the placed misses host by host and returns the computed
-    /// documents plus the total redispatch count.
+    /// documents, the total redispatch count, and per-key execution
+    /// info (dispatches, retries, the echoed request label).
     fn execute(
         &self,
         missed: &[String],
         placement: &Placement,
         key_tasks: &BTreeMap<String, KeyTask>,
-    ) -> (Vec<(String, CacheDocument)>, u64) {
+        key_labels: &BTreeMap<String, String>,
+    ) -> (Vec<(String, CacheDocument)>, u64, BTreeMap<String, KeyExec>) {
         // Gather each host's share in placement order, grouped by
         // measurement configuration so tasks sharing a config share one
         // suite.
@@ -449,14 +794,16 @@ impl Engine {
         // concurrently (that is the point of the pool), and because
         // each task's result depends only on its inputs, the assembled
         // documents are identical to a serial execution.
-        let results: Vec<(Vec<(String, CacheDocument)>, u64)> = std::thread::scope(|scope| {
+        type HostResult = (Vec<(String, CacheDocument, KeyExec)>, u64);
+        let results: Vec<HostResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = host_shares
                 .iter()
                 .enumerate()
                 .filter(|(_, share)| !share.is_empty())
                 .map(|(host, share)| {
                     let config = &self.config;
-                    scope.spawn(move || run_host(host, share, missed, key_tasks, config))
+                    scope
+                        .spawn(move || run_host(host, share, missed, key_tasks, key_labels, config))
                 })
                 .collect();
             handles
@@ -464,12 +811,29 @@ impl Engine {
                 .map(|h| h.join().expect("host thread panicked"))
                 .collect()
         });
+        let mut exec_info = BTreeMap::new();
         for (docs, host_redispatches) in results {
             redispatches += host_redispatches;
-            out.extend(docs);
+            for (key, doc, exec) in docs {
+                exec_info.insert(key.clone(), exec);
+                out.push((key, doc));
+            }
         }
-        (out, redispatches)
+        (out, redispatches, exec_info)
     }
+}
+
+/// How one computed key's execution went, as the host pool reported it.
+#[derive(Debug, Clone)]
+struct KeyExec {
+    /// Supervisor dispatch attempts (1 on a clean run).
+    dispatches: u32,
+    /// In-worker retry attempts.
+    retries: u32,
+    /// Wall-clock duration of the run (volatile plane only).
+    wall_nanos: u64,
+    /// The request label as it came back through the execution layer.
+    request: Option<String>,
 }
 
 /// How a key in a batch was satisfied.
@@ -489,14 +853,16 @@ fn placement_failed(placement: &Placement, missed: &[String], key: &str) -> bool
 }
 
 /// Executes one host's share of the missed keys and returns the
-/// resulting documents plus the host's redispatch count.
+/// resulting documents (with per-key execution info) plus the host's
+/// redispatch count.
 fn run_host(
     host: usize,
     share: &[usize],
     missed: &[String],
     key_tasks: &BTreeMap<String, KeyTask>,
+    key_labels: &BTreeMap<String, String>,
     config: &ServeConfig,
-) -> (Vec<(String, CacheDocument)>, u64) {
+) -> (Vec<(String, CacheDocument, KeyExec)>, u64) {
     // Group the host's tasks by measurement configuration, preserving
     // placement order within each group.
     let mut groups: BTreeMap<String, Vec<&KeyTask>> = BTreeMap::new();
@@ -524,17 +890,28 @@ fn run_host(
         if let Some(plan) = config.host_faults.get(&host) {
             suite = suite.with_faults(plan.clone());
         }
-        let task_list: Vec<(String, String)> = tasks
+        let task_list: Vec<LabeledTask> = tasks
             .iter()
-            .map(|t| (t.short_name.clone(), t.workload.clone()))
+            .zip(&group_keys[config_fp])
+            .map(|(t, key)| LabeledTask {
+                benchmark: t.short_name.clone(),
+                workload: t.workload.clone(),
+                request: Some(key_labels[key].clone()),
+            })
             .collect();
         // Names were validated at expansion time against the same
         // reference suite, so resolution cannot fail here.
         let runs = suite
-            .characterize_tasks_metered(&task_list)
+            .characterize_tasks_labeled(&task_list)
             .expect("expansion validated every task name");
         for (run, key) in runs.into_iter().zip(&group_keys[config_fp]) {
             redispatches += u64::from(run.metrics.dispatches.max(1) - 1);
+            let exec = KeyExec {
+                dispatches: run.metrics.dispatches.max(1),
+                retries: run.metrics.retries,
+                wall_nanos: run.metrics.wall_nanos,
+                request: run.request,
+            };
             docs.push((
                 key.clone(),
                 CacheDocument {
@@ -544,6 +921,7 @@ fn run_host(
                     retries: run.metrics.retries,
                     budget_consumed: run.metrics.budget_consumed,
                 },
+                exec,
             ));
         }
     }

@@ -37,10 +37,16 @@ pub mod sched;
 pub mod spec;
 pub mod wire;
 
-pub use cache::{CacheOutcome, ResultCache};
+pub use cache::{CacheOutcome, ResultCache, ShardStats};
 pub use client::{Client, ClientError, Response};
 pub use daemon::Daemon;
 pub use engine::{BatchRequest, Engine, EngineStats, ResolvedRequest, ResponseCounts, ServeConfig};
 pub use sched::{place, Placement, TaskPlacement};
 pub use spec::{RequestSpec, CODE_VERSION};
 pub use wire::{ClientMsg, GroupInfo, ServerMsg, WIRE_VERSION};
+
+// The serving layer's telemetry vocabulary, re-exported so daemon
+// embedders and test harnesses need not depend on alberta-core
+// directly.
+pub use alberta_core::telemetry::{request_label, MetricsRegistry, Plane, SpanEvent, SpanLog};
+pub use alberta_report::{render_service_timeline, MetricsDocument};

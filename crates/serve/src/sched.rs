@@ -27,6 +27,13 @@ pub struct TaskPlacement {
     pub host: Option<usize>,
     /// True when a host other than the home host executed it.
     pub stolen: bool,
+    /// Virtual tick the executing host started this task at (0 for
+    /// unplaced tasks). With `end_ticks` this is the task's slot on the
+    /// service timeline — deterministic, unlike wall-clock.
+    pub start_ticks: u64,
+    /// Virtual tick the task finishes at (`start + cost`; 0 when
+    /// unplaced).
+    pub end_ticks: u64,
 }
 
 /// Per-host placement totals.
@@ -64,7 +71,7 @@ pub fn home_host(key: &str, hosts: usize) -> usize {
 }
 
 /// The synthetic virtual-time cost of executing a task (1–8 ticks).
-fn task_cost(key: &str) -> u64 {
+pub fn task_cost(key: &str) -> u64 {
     1 + (key_hash(key) >> 17) % 8
 }
 
@@ -77,6 +84,8 @@ pub fn place(keys: &[String], hosts: usize, dead: &BTreeSet<usize>) -> Placement
         TaskPlacement {
             host: None,
             stolen: false,
+            start_ticks: 0,
+            end_ticks: 0,
         };
         keys.len()
     ];
@@ -126,10 +135,13 @@ pub fn place(keys: &[String], hosts: usize, dead: &BTreeSet<usize>) -> Placement
                 }
             }
         };
+        let start_ticks = clock[h];
         clock[h] += task_cost(&keys[task]);
         tasks[task] = TaskPlacement {
             host: Some(h),
             stolen,
+            start_ticks,
+            end_ticks: clock[h],
         };
         per_host[h].tasks += 1;
         if stolen {
@@ -190,6 +202,28 @@ mod tests {
             match t.host {
                 Some(h) => assert_ne!(h, 1),
                 None => assert_eq!(home_host(&keys[i], 4), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_ticks_tile_each_host_without_overlap() {
+        let keys = keys(96);
+        let placement = place(&keys, 4, &BTreeSet::new());
+        for h in 0..4 {
+            let mut slots: Vec<(u64, u64)> = placement
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.host == Some(h))
+                .map(|(i, t)| {
+                    assert_eq!(t.end_ticks - t.start_ticks, task_cost(&keys[i]));
+                    (t.start_ticks, t.end_ticks)
+                })
+                .collect();
+            slots.sort_unstable();
+            for pair in slots.windows(2) {
+                assert!(pair[0].1 <= pair[1].0, "slots on one host must not overlap");
             }
         }
     }

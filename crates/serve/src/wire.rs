@@ -17,7 +17,10 @@ use crate::engine::{EngineStats, ResponseCounts};
 use crate::spec::RequestSpec;
 
 /// Wire protocol version; the hello handshake rejects mismatches.
-pub const WIRE_VERSION: u64 = 1;
+///
+/// v2 added the optional `client` name in the hello (the first half of
+/// every request label) and the `metrics`/`spans` telemetry commands.
+pub const WIRE_VERSION: u64 = 2;
 
 /// A client's group membership: requests from all `size` members are
 /// resolved as one batch.
@@ -66,6 +69,10 @@ pub enum ClientMsg {
     Hello {
         /// The client's [`WIRE_VERSION`].
         protocol: u64,
+        /// Self-chosen client name; the first half of every request
+        /// label this connection mints (`client#id`). Anonymous
+        /// connections are labeled `anon`.
+        client: Option<String>,
         /// Optional group membership.
         group: Option<GroupInfo>,
     },
@@ -82,6 +89,10 @@ pub enum ClientMsg {
     Drain,
     /// Ask for the engine's counter snapshot.
     Stats,
+    /// Ask for the engine's two-plane metrics document.
+    Metrics,
+    /// Ask for the engine's ordered span log.
+    Spans,
     /// Ask the daemon to stop accepting connections and exit.
     Shutdown,
 }
@@ -90,11 +101,18 @@ impl ClientMsg {
     /// Encodes to one compact line (no trailing newline).
     pub fn encode(&self) -> String {
         let value = match self {
-            ClientMsg::Hello { protocol, group } => {
+            ClientMsg::Hello {
+                protocol,
+                client,
+                group,
+            } => {
                 let mut fields = vec![
                     ("type".to_owned(), Value::Str("hello".to_owned())),
                     ("protocol".to_owned(), Value::UInt(*protocol)),
                 ];
+                if let Some(client) = client {
+                    fields.push(("client".to_owned(), Value::Str(client.clone())));
+                }
                 if let Some(group) = group {
                     fields.push(("group".to_owned(), group.to_value()));
                 }
@@ -110,6 +128,12 @@ impl ClientMsg {
             }
             ClientMsg::Stats => {
                 Value::Object(vec![("type".to_owned(), Value::Str("stats".to_owned()))])
+            }
+            ClientMsg::Metrics => {
+                Value::Object(vec![("type".to_owned(), Value::Str("metrics".to_owned()))])
+            }
+            ClientMsg::Spans => {
+                Value::Object(vec![("type".to_owned(), Value::Str("spans".to_owned()))])
             }
             ClientMsg::Shutdown => {
                 Value::Object(vec![("type".to_owned(), Value::Str("shutdown".to_owned()))])
@@ -131,6 +155,14 @@ impl ClientMsg {
                     .get("protocol")
                     .and_then(Value::as_u64)
                     .ok_or("hello missing protocol")?,
+                client: match value.get("client") {
+                    None => None,
+                    Some(v) => Some(
+                        v.as_str()
+                            .ok_or("hello client must be a string")?
+                            .to_owned(),
+                    ),
+                },
                 group: value.get("group").map(GroupInfo::from_value).transpose()?,
             }),
             Some("request") => Ok(ClientMsg::Request {
@@ -144,6 +176,8 @@ impl ClientMsg {
             }),
             Some("drain") => Ok(ClientMsg::Drain),
             Some("stats") => Ok(ClientMsg::Stats),
+            Some("metrics") => Ok(ClientMsg::Metrics),
+            Some("spans") => Ok(ClientMsg::Spans),
             Some("shutdown") => Ok(ClientMsg::Shutdown),
             Some(other) => Err(format!("unknown client message type {other:?}")),
             None => Err("client message missing type".to_owned()),
@@ -182,6 +216,18 @@ pub enum ServerMsg {
     },
     /// The engine's counter snapshot.
     Stats(EngineStats),
+    /// The engine's two-plane metrics document (a
+    /// `alberta_report::MetricsDocument` wire value).
+    Metrics {
+        /// The document as its canonical wire object.
+        document: Value,
+    },
+    /// The engine's ordered span log (a canonical array of span
+    /// events).
+    Spans {
+        /// The log as its canonical wire array.
+        spans: Value,
+    },
     /// Acknowledges a shutdown request.
     Bye,
 }
@@ -220,6 +266,14 @@ impl ServerMsg {
             ServerMsg::Stats(stats) => Value::Object(vec![
                 ("type".to_owned(), Value::Str("stats".to_owned())),
                 ("stats".to_owned(), stats.to_value()),
+            ]),
+            ServerMsg::Metrics { document } => Value::Object(vec![
+                ("type".to_owned(), Value::Str("metrics".to_owned())),
+                ("document".to_owned(), document.clone()),
+            ]),
+            ServerMsg::Spans { spans } => Value::Object(vec![
+                ("type".to_owned(), Value::Str("spans".to_owned())),
+                ("spans".to_owned(), spans.clone()),
             ]),
             ServerMsg::Bye => {
                 Value::Object(vec![("type".to_owned(), Value::Str("bye".to_owned()))])
@@ -284,6 +338,18 @@ impl ServerMsg {
             Some("stats") => Ok(ServerMsg::Stats(EngineStats::from_value(
                 value.get("stats").ok_or("stats message missing stats")?,
             )?)),
+            Some("metrics") => Ok(ServerMsg::Metrics {
+                document: value
+                    .get("document")
+                    .ok_or("metrics message missing document")?
+                    .clone(),
+            }),
+            Some("spans") => Ok(ServerMsg::Spans {
+                spans: value
+                    .get("spans")
+                    .ok_or("spans message missing spans")?
+                    .clone(),
+            }),
             Some("bye") => Ok(ServerMsg::Bye),
             Some(other) => Err(format!("unknown server message type {other:?}")),
             None => Err("server message missing type".to_owned()),
@@ -301,6 +367,7 @@ mod tests {
         let messages = vec![
             ClientMsg::Hello {
                 protocol: WIRE_VERSION,
+                client: Some("storm-m2".to_owned()),
                 group: Some(GroupInfo {
                     id: "storm-1".to_owned(),
                     size: 4,
@@ -313,6 +380,8 @@ mod tests {
             },
             ClientMsg::Drain,
             ClientMsg::Stats,
+            ClientMsg::Metrics,
+            ClientMsg::Spans,
             ClientMsg::Shutdown,
         ];
         for msg in messages {
@@ -320,6 +389,18 @@ mod tests {
             assert!(!line.contains('\n'), "one message, one line");
             assert_eq!(ClientMsg::decode(&line).expect("round trip"), msg);
         }
+    }
+
+    #[test]
+    fn anonymous_hello_omits_the_client_field() {
+        let msg = ClientMsg::Hello {
+            protocol: WIRE_VERSION,
+            client: None,
+            group: None,
+        };
+        let line = msg.encode();
+        assert!(!line.contains("client"), "{line}");
+        assert_eq!(ClientMsg::decode(&line).unwrap(), msg);
     }
 
     #[test]
@@ -333,6 +414,15 @@ mod tests {
                 message: "unknown benchmark \"nope\"".to_owned(),
             },
             ServerMsg::Drained { responses: 12 },
+            ServerMsg::Metrics {
+                document: Value::Object(vec![("schema_version".to_owned(), Value::UInt(1))]),
+            },
+            ServerMsg::Spans {
+                spans: Value::Array(vec![Value::Object(vec![(
+                    "seq".to_owned(),
+                    Value::UInt(0),
+                )])]),
+            },
             ServerMsg::Bye,
         ];
         for msg in messages {

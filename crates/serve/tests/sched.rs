@@ -100,6 +100,7 @@ fn batch_of(names: &[&str], scale: Scale) -> Vec<BatchRequest> {
         .enumerate()
         .map(|(i, name)| BatchRequest {
             token: (0, i as u64),
+            request: alberta_serve::request_label("sched", i as u64),
             spec: RequestSpec::new(name, None, scale),
         })
         .collect()
@@ -315,6 +316,33 @@ fn process_hosts_match_serial_hosts() {
         ResultCache::new(&process_root),
     );
     assert_eq!(rendered(&serial, &batch), rendered(&processes, &batch));
+
+    // The span logs must also match byte for byte. The dispatch-side
+    // spans are built from the request label as it came *back* through
+    // the execution layer — for process hosts, across the worker pipe —
+    // so equality here proves the label survived the process boundary
+    // (a dropped label would render as an empty request field and
+    // mismatch the serial log).
+    assert_eq!(
+        serial.spans_value().render(),
+        processes.spans_value().render(),
+        "span logs must be identical across execution policies"
+    );
+    assert!(
+        serial
+            .spans_value()
+            .as_array()
+            .expect("span log is an array")
+            .iter()
+            .all(|e| e.get("request").and_then(|r| r.as_str()) == Some("sched#0")),
+        "every span carries the originating request label"
+    );
+    assert_eq!(
+        serial.metrics_document().deterministic_to_json(),
+        processes.metrics_document().deterministic_to_json(),
+        "the deterministic metrics plane must be identical across execution policies"
+    );
+
     let _ = std::fs::remove_dir_all(&serial_root);
     let _ = std::fs::remove_dir_all(&process_root);
 }

@@ -4,7 +4,7 @@
 
 use std::path::PathBuf;
 
-use alberta_core::{Scale, Suite};
+use alberta_core::{ExecPolicy, Scale, Suite};
 use alberta_report::SuiteReport;
 use alberta_serve::{Client, Daemon, Engine, GroupInfo, RequestSpec, ResultCache, ServeConfig};
 
@@ -12,21 +12,28 @@ fn temp_root(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("alberta-serve-svc-{}-{tag}", std::process::id()))
 }
 
-/// Starts a daemon on an ephemeral port and returns its address plus
-/// the thread running its accept loop.
-fn start_daemon(tag: &str) -> (String, std::thread::JoinHandle<()>, PathBuf) {
+/// Starts a daemon with the given config on an ephemeral port and
+/// returns its address plus the thread running its accept loop.
+fn start_daemon_with(
+    tag: &str,
+    config: ServeConfig,
+) -> (String, std::thread::JoinHandle<()>, PathBuf) {
     let root = temp_root(tag);
-    let engine = Engine::new(
-        ServeConfig {
-            hosts: 3,
-            ..ServeConfig::default()
-        },
-        ResultCache::new(&root),
-    );
+    let engine = Engine::new(config, ResultCache::new(&root));
     let daemon = Daemon::bind("127.0.0.1:0", engine).expect("bind ephemeral port");
     let addr = daemon.local_addr().expect("bound address").to_string();
     let handle = std::thread::spawn(move || daemon.run());
     (addr, handle, root)
+}
+
+fn start_daemon(tag: &str) -> (String, std::thread::JoinHandle<()>, PathBuf) {
+    start_daemon_with(
+        tag,
+        ServeConfig {
+            hosts: 3,
+            ..ServeConfig::default()
+        },
+    )
 }
 
 #[test]
@@ -137,6 +144,125 @@ fn grouped_drains_resolve_as_one_batch() {
     assert_eq!(computed, 1, "one member owns the computation");
     assert_eq!(coalesced, 1, "the other coalesces onto it");
 
+    Client::connect(&addr, None)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown");
+    daemon.join().expect("daemon thread exits");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Drives one fixed request sequence against a daemon — two named
+/// clients, cold then warm drains — and returns the deterministic
+/// metrics plane and span log renderings it produced.
+fn telemetry_session(addr: &str) -> (String, String) {
+    let mut alpha = Client::connect_named(addr, Some("alpha"), None).expect("connect alpha");
+    alpha
+        .request(&RequestSpec::new("mcf", None, Scale::Test))
+        .expect("send");
+    alpha
+        .request(&RequestSpec::new("xz", Some("train"), Scale::Test))
+        .expect("send");
+    alpha.drain().expect("alpha drain");
+
+    // A second named client warms onto alpha's cache entries.
+    let mut beta = Client::connect_named(addr, Some("beta"), None).expect("connect beta");
+    beta.request(&RequestSpec::new("mcf", None, Scale::Test))
+        .expect("send");
+    beta.drain().expect("beta drain");
+
+    let metrics = alpha.metrics().expect("metrics document");
+    let spans = alpha.spans().expect("span log");
+    (metrics.deterministic_to_json(), spans.render())
+}
+
+#[test]
+fn every_span_carries_its_clients_request_id_across_jobs() {
+    // Same request sequence against a serial engine and a `--jobs 4`
+    // threaded engine: the deterministic metrics plane and the span log
+    // must come out byte-identical, and every span must be labeled by
+    // the client that minted the request.
+    let (serial_addr, serial_daemon, serial_root) = start_daemon_with(
+        "telemetry-serial",
+        ServeConfig {
+            hosts: 3,
+            ..ServeConfig::default()
+        },
+    );
+    let (serial_metrics, serial_spans) = telemetry_session(&serial_addr);
+
+    let (jobs_addr, jobs_daemon, jobs_root) = start_daemon_with(
+        "telemetry-jobs",
+        ServeConfig {
+            hosts: 3,
+            host_exec: ExecPolicy::with_jobs(4),
+            ..ServeConfig::default()
+        },
+    );
+    let (jobs_metrics, jobs_spans) = telemetry_session(&jobs_addr);
+
+    assert_eq!(
+        serial_metrics, jobs_metrics,
+        "deterministic metrics plane must not depend on --jobs"
+    );
+    assert_eq!(
+        serial_spans, jobs_spans,
+        "span log must not depend on --jobs"
+    );
+
+    let spans = alberta_core::json::parse(&serial_spans).expect("span log is canonical JSON");
+    let events = spans.as_array().expect("span log is an array");
+    assert!(!events.is_empty(), "the session produced spans");
+    let mut seen = std::collections::BTreeSet::new();
+    for event in events {
+        let request = event
+            .get("request")
+            .and_then(|r| r.as_str())
+            .expect("every span names a request");
+        assert!(
+            request == "alpha#0" || request == "alpha#1" || request == "beta#0",
+            "span labeled by a client-minted request id, got {request:?}"
+        );
+        seen.insert(request.to_owned());
+    }
+    assert_eq!(
+        seen.len(),
+        3,
+        "all three requests appear in the span log: {seen:?}"
+    );
+
+    for (addr, daemon, root) in [
+        (serial_addr, serial_daemon, serial_root),
+        (jobs_addr, jobs_daemon, jobs_root),
+    ] {
+        Client::connect(&addr, None)
+            .expect("connect for shutdown")
+            .shutdown()
+            .expect("shutdown");
+        daemon.join().expect("daemon thread exits");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn stats_report_per_shard_cache_state() {
+    let (addr, daemon, root) = start_daemon("shards");
+    let mut client = Client::connect(&addr, None).expect("connect");
+    client
+        .request(&RequestSpec::new("mcf", None, Scale::Test))
+        .expect("send");
+    client.drain().expect("drain");
+    let stats = client.stats().expect("stats");
+    assert!(!stats.shards.is_empty(), "computed keys landed in shards");
+    let entries: u64 = stats.shards.iter().map(|s| s.entries).sum();
+    assert_eq!(entries, stats.computed_keys, "every computed key on disk");
+    for shard in &stats.shards {
+        assert!(shard.bytes > 0, "entries have bytes");
+        assert_eq!(shard.evictions, 0, "nothing corrupt yet");
+        assert_eq!(shard.shard.len(), 2, "two-hex shard fan-out");
+    }
+
+    drop(client);
     Client::connect(&addr, None)
         .expect("connect for shutdown")
         .shutdown()
