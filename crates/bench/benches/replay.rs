@@ -62,8 +62,13 @@ fn bench_replay(c: &mut Criterion) {
     });
     group.bench_function("kernel_memory", |b| {
         b.iter(|| {
-            let mut h =
-                alberta_uarch::MemoryHierarchy::with_configs(cfg.l1d, cfg.l2, cfg.dtlb_entries);
+            let mut h = alberta_uarch::MemoryHierarchy::with_configs(
+                cfg.l1d,
+                cfg.l2,
+                cfg.l3,
+                cfg.dtlb_entries,
+                cfg.dram,
+            );
             black_box(h.access_many(slices.mem_addrs))
         })
     });

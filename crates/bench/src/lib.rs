@@ -56,6 +56,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--deterministic-out",
     "--volatile-out",
     "--timeline",
+    "--l3-size",
+    "--l3-ways",
+    "--l3-line",
+    "--dram-banks",
+    "--dram-row",
 ];
 
 /// The positional (non-flag) arguments, with flag *values* excluded:

@@ -90,17 +90,20 @@ pub fn synthetic_profile(target_events: usize) -> Profile {
     prof.finish()
 }
 
-/// The detailed-measurement engine exactly as it stood before the
-/// batched rewrite, kept verbatim so the speed gate measures what the
-/// rewrite actually bought: a per-event `match` over the interleaved
-/// stream, a virtual predictor call per branch, a timestamp-LRU cache
-/// with a global clock and per-access statistics folds, and a per-call
-/// fetch-probe length computation. It doubles as a third independent
-/// reference in the equivalence assertion — three engines, one set of
-/// counts.
+/// The detailed-measurement engine as it stood before the batched
+/// rewrite, kept in the pre-rewrite style so the speed gate measures
+/// what the rewrite actually bought: a per-event `match` over the
+/// interleaved stream, a virtual predictor call per branch, a
+/// timestamp-LRU cache with a global clock and per-access statistics
+/// folds, and a per-call fetch-probe length computation. When the
+/// memory model grew an L3 and a DRAM row-buffer layer, this engine
+/// was extended with the same levels in the same idiom (an extra
+/// stamp-LRU cache plus a scalar open-row table) so it keeps doubling
+/// as a third independent reference in the equivalence assertion —
+/// three engines, one set of counts.
 mod baseline {
     use alberta_profile::{Event, Profile};
-    use alberta_uarch::{CacheConfig, MachineConfig, PredictorKind, ReplayCounts};
+    use alberta_uarch::{CacheConfig, DramConfig, MachineConfig, PredictorKind, ReplayCounts};
 
     /// Set-associative cache with timestamp-LRU (the pre-rewrite
     /// implementation).
@@ -157,11 +160,38 @@ mod baseline {
         }
     }
 
+    /// Open-page DRAM replica: one open row per bank, scalar lookups.
+    struct StampDram {
+        open_rows: Vec<u64>,
+        row_shift: u32,
+        bank_mask: u64,
+    }
+
+    impl StampDram {
+        fn new(config: DramConfig) -> Self {
+            StampDram {
+                open_rows: vec![u64::MAX; config.banks as usize],
+                row_shift: config.row_bytes.trailing_zeros(),
+                bank_mask: config.banks - 1,
+            }
+        }
+
+        fn access(&mut self, addr: u64) -> bool {
+            let row = addr >> self.row_shift;
+            let bank = (row & self.bank_mask) as usize;
+            let hit = self.open_rows[bank] == row;
+            self.open_rows[bank] = row;
+            hit
+        }
+    }
+
     pub(super) struct BaselineState {
         predictor: Box<dyn alberta_uarch::BranchPredictor>,
         dtlb: StampCache,
         l1d: StampCache,
         l2: StampCache,
+        l3: StampCache,
+        dram: StampDram,
         icache: StampCache,
     }
 
@@ -176,6 +206,8 @@ mod baseline {
                 }),
                 l1d: StampCache::new(cfg.l1d),
                 l2: StampCache::new(cfg.l2),
+                l3: StampCache::new(cfg.l3),
+                dram: StampDram::new(cfg.dram),
                 icache: StampCache::new(cfg.icache),
             }
         }
@@ -203,8 +235,11 @@ mod baseline {
                         if !self.l1d.access(addr) {
                             if self.l2.access(addr) {
                                 counts.l2_hits += 1;
+                            } else if self.l3.access(addr) {
+                                counts.l3_hits += 1;
                             } else {
-                                counts.mem_hits += 1;
+                                counts.dram_accesses += 1;
+                                counts.row_hits += u64::from(self.dram.access(addr));
                             }
                         }
                         counts.tlb_misses += u64::from(!tlb_hit);

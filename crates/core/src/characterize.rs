@@ -282,7 +282,13 @@ fn run_workload_sampled(
         Profiler::with_detail_windows(config_detail, &plan.windows, stride),
     )?;
     debug_assert_eq!(detail.trace.decimations(), 0, "capacity sized to windows");
-    let report = model.estimate(&detail, &plan.medoid_windows(&detail));
+    let mut report = model.estimate(&detail, &plan.medoid_windows(&detail));
+    // Footprint counts distinct lines/pages over the *whole* run, and the
+    // tracking hooks sit before every sampling gate, so like coverage and
+    // call paths it is exact at counter cost — take it from the pilot,
+    // the pass that owns the run-wide exact figures.
+    report.memory.footprint_lines = pilot.footprint.lines;
+    report.memory.footprint_pages = pilot.footprint.pages;
     let coverage = plan.estimate_coverage(&pilot);
     let stats = SamplingStats {
         interval_work: config.interval_work,

@@ -62,5 +62,7 @@ pub use telemetry::{request_label, MetricsRegistry, Plane, SpanEvent, SpanLog};
 pub use alberta_benchmarks::{suite as benchmark_suite, BenchError, Benchmark, RunOutput};
 pub use alberta_profile::{PathRow, PathTable, Profiler, SampleConfig};
 pub use alberta_stats::{CoverageSummary, RatioSummary, TopDownSummary};
-pub use alberta_uarch::{MachineConfig, PredictorKind, TopDownModel, TopDownReport};
+pub use alberta_uarch::{
+    MachineConfig, MemoryProfile, MpkiPoint, PredictorKind, TopDownModel, TopDownReport,
+};
 pub use alberta_workloads::Scale;

@@ -32,7 +32,9 @@ use crate::sampling::{PhaseSampling, SamplingPolicy, SamplingStats};
 use alberta_benchmarks::BenchError;
 use alberta_profile::{PathRow, PathTable, ProfilerFault, SampleConfig};
 use alberta_stats::variation::TopDownRatios;
-use alberta_uarch::{CacheConfig, MachineConfig, PredictorKind, TopDownReport};
+use alberta_uarch::{
+    CacheConfig, DramConfig, MachineConfig, MemoryProfile, MpkiPoint, PredictorKind, TopDownReport,
+};
 use alberta_workloads::Scale;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -313,6 +315,7 @@ pub fn machine_value(m: &MachineConfig) -> Value {
         ("issue_width", Value::Float(m.issue_width)),
         ("mispredict_penalty", Value::Float(m.mispredict_penalty)),
         ("l2_latency", Value::Float(m.l2_latency)),
+        ("l3_latency", Value::Float(m.l3_latency)),
         ("memory_latency", Value::Float(m.memory_latency)),
         ("tlb_penalty", Value::Float(m.tlb_penalty)),
         ("icache_penalty", Value::Float(m.icache_penalty)),
@@ -325,8 +328,18 @@ pub fn machine_value(m: &MachineConfig) -> Value {
         ("icache", cache_config_value(&m.icache)),
         ("l1d", cache_config_value(&m.l1d)),
         ("l2", cache_config_value(&m.l2)),
+        ("l3", cache_config_value(&m.l3)),
         ("dtlb_entries", Value::UInt(m.dtlb_entries)),
+        ("dram", dram_config_value(&m.dram)),
         ("fetch_probe_bytes", Value::UInt(m.fetch_probe_bytes)),
+    ])
+}
+
+fn dram_config_value(d: &DramConfig) -> Value {
+    obj(vec![
+        ("banks", Value::UInt(d.banks)),
+        ("row_bytes", Value::UInt(d.row_bytes)),
+        ("line_bytes", Value::UInt(d.line_bytes)),
     ])
 }
 
@@ -409,9 +422,34 @@ fn report_value(r: &TopDownReport) -> Value {
         ("mispredicts_per_kops", Value::Float(r.mispredicts_per_kops)),
         ("l1d_miss_ratio", Value::Float(r.l1d_miss_ratio)),
         ("l2_miss_ratio", Value::Float(r.l2_miss_ratio)),
+        ("l3_miss_ratio", Value::Float(r.l3_miss_ratio)),
         ("dtlb_miss_ratio", Value::Float(r.dtlb_miss_ratio)),
         ("icache_miss_ratio", Value::Float(r.icache_miss_ratio)),
         ("predictor", s(r.predictor)),
+        ("memory", memory_profile_value(&r.memory)),
+    ])
+}
+
+fn memory_profile_value(m: &MemoryProfile) -> Value {
+    let curve = m
+        .mpki_curve
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("size_bytes", Value::UInt(p.size_bytes)),
+                ("mpki", Value::Float(p.mpki)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("l1_mpki", Value::Float(m.l1_mpki)),
+        ("l2_mpki", Value::Float(m.l2_mpki)),
+        ("l3_mpki", Value::Float(m.l3_mpki)),
+        ("row_hit_rate", Value::Float(m.row_hit_rate)),
+        ("dram_bytes", Value::Float(m.dram_bytes)),
+        ("footprint_lines", Value::UInt(m.footprint_lines)),
+        ("footprint_pages", Value::UInt(m.footprint_pages)),
+        ("mpki_curve", Value::Array(curve)),
     ])
 }
 
@@ -774,6 +812,7 @@ pub fn decode_machine(value: &Value) -> Result<MachineConfig, DecodeError> {
         issue_width: req_f64(value, "issue_width")?,
         mispredict_penalty: req_f64(value, "mispredict_penalty")?,
         l2_latency: req_f64(value, "l2_latency")?,
+        l3_latency: req_f64(value, "l3_latency")?,
         memory_latency: req_f64(value, "memory_latency")?,
         tlb_penalty: req_f64(value, "tlb_penalty")?,
         icache_penalty: req_f64(value, "icache_penalty")?,
@@ -786,8 +825,18 @@ pub fn decode_machine(value: &Value) -> Result<MachineConfig, DecodeError> {
         icache: decode_cache_config(req_field(value, "icache")?)?,
         l1d: decode_cache_config(req_field(value, "l1d")?)?,
         l2: decode_cache_config(req_field(value, "l2")?)?,
+        l3: decode_cache_config(req_field(value, "l3")?)?,
         dtlb_entries: req_u64(value, "dtlb_entries")?,
+        dram: decode_dram_config(req_field(value, "dram")?)?,
         fetch_probe_bytes: req_u64(value, "fetch_probe_bytes")?,
+    })
+}
+
+fn decode_dram_config(value: &Value) -> Result<DramConfig, DecodeError> {
+    Ok(DramConfig {
+        banks: req_u64(value, "banks")?,
+        row_bytes: req_u64(value, "row_bytes")?,
+        line_bytes: req_u64(value, "line_bytes")?,
     })
 }
 
@@ -896,9 +945,35 @@ fn decode_report(value: &Value) -> Result<TopDownReport, DecodeError> {
         mispredicts_per_kops: req_f64(value, "mispredicts_per_kops")?,
         l1d_miss_ratio: req_f64(value, "l1d_miss_ratio")?,
         l2_miss_ratio: req_f64(value, "l2_miss_ratio")?,
+        l3_miss_ratio: req_f64(value, "l3_miss_ratio")?,
         dtlb_miss_ratio: req_f64(value, "dtlb_miss_ratio")?,
         icache_miss_ratio: req_f64(value, "icache_miss_ratio")?,
         predictor: intern_predictor(req_str(value, "predictor")?)?,
+        memory: decode_memory_profile(req_field(value, "memory")?)?,
+    })
+}
+
+fn decode_memory_profile(value: &Value) -> Result<MemoryProfile, DecodeError> {
+    let curve = req_field(value, "mpki_curve")?
+        .as_array()
+        .ok_or("mpki_curve must be an array")?
+        .iter()
+        .map(|point| {
+            Ok(MpkiPoint {
+                size_bytes: req_u64(point, "size_bytes")?,
+                mpki: req_f64(point, "mpki")?,
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    Ok(MemoryProfile {
+        l1_mpki: req_f64(value, "l1_mpki")?,
+        l2_mpki: req_f64(value, "l2_mpki")?,
+        l3_mpki: req_f64(value, "l3_mpki")?,
+        row_hit_rate: req_f64(value, "row_hit_rate")?,
+        dram_bytes: req_f64(value, "dram_bytes")?,
+        footprint_lines: req_u64(value, "footprint_lines")?,
+        footprint_pages: req_u64(value, "footprint_pages")?,
+        mpki_curve: curve,
     })
 }
 
@@ -1036,9 +1111,29 @@ mod tests {
                 mispredicts_per_kops: 10.5,
                 l1d_miss_ratio: 0.02,
                 l2_miss_ratio: 0.3,
+                l3_miss_ratio: 0.125,
                 dtlb_miss_ratio: 0.001,
                 icache_miss_ratio: 0.0,
                 predictor: "gshare",
+                memory: MemoryProfile {
+                    l1_mpki: 6.25,
+                    l2_mpki: 1.875,
+                    l3_mpki: 0.25,
+                    row_hit_rate: 0.75,
+                    dram_bytes: 4096.0,
+                    footprint_lines: 321,
+                    footprint_pages: 17,
+                    mpki_curve: vec![
+                        MpkiPoint {
+                            size_bytes: 16 * 1024,
+                            mpki: 7.5,
+                        },
+                        MpkiPoint {
+                            size_bytes: 32 * 1024,
+                            mpki: 6.25,
+                        },
+                    ],
+                },
             },
             coverage: [("kernel".to_owned(), 62.5), ("main".to_owned(), 37.5)]
                 .into_iter()

@@ -21,7 +21,7 @@
 //! Both passes are pure functions of the run inputs, so sampled sweeps
 //! keep the repo's serial-vs-parallel byte-identity invariant.
 
-use alberta_profile::{Profile, SampleConfig, Totals, WARM_DILUTION};
+use alberta_profile::{Profile, SampleConfig, Totals, WARM_DILUTION, WARM_MEMORY_DILUTION};
 use alberta_stats::{k_medoids, Clustering};
 use alberta_uarch::{MedoidWindow, TopDownModel};
 use std::collections::BTreeMap;
@@ -325,18 +325,22 @@ pub fn full_trace_weight(base: &SampleConfig, totals: &Totals) -> u64 {
 /// window-gated capture at the same one-in-`stride` global event
 /// retention a full run's decimated trace converges to, sized so the
 /// gated trace itself never decimates. The capacity also reserves room
-/// for the inter-window warming stream the profiler retains at
-/// `stride * WARM_DILUTION`.
+/// for the inter-window warming stream the profiler retains —
+/// control events at `stride * WARM_DILUTION`, memory events at the
+/// full `stride * WARM_MEMORY_DILUTION` so the cache hierarchy enters
+/// every window exactly as warm as a full replay.
 pub fn detail_config(
     base: SampleConfig,
     plan: &SamplePlan,
     pilot: &Profile,
 ) -> (SampleConfig, u64) {
     let stride = full_trace_weight(&base, &pilot.totals);
-    let offered = pilot.totals.branches / u64::from(base.branch_interval.max(1))
-        + (pilot.totals.loads + pilot.totals.stores) / u64::from(base.mem_interval.max(1))
+    let control = pilot.totals.branches / u64::from(base.branch_interval.max(1))
         + 2 * pilot.totals.calls / u64::from(base.call_interval.max(1));
-    let warming = (offered / (stride * WARM_DILUTION) + 1024) as usize;
+    let mem = (pilot.totals.loads + pilot.totals.stores) / u64::from(base.mem_interval.max(1));
+    let warming = (control / (stride * WARM_DILUTION)
+        + mem / (stride * WARM_MEMORY_DILUTION)
+        + 1024) as usize;
     let detail = SampleConfig {
         interval_work: None,
         trace_capacity: (plan.detail_trace_capacity(&base, stride) + warming)

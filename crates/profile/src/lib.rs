@@ -49,6 +49,6 @@ pub use calltree::{CallNode, CallTree, PathRow, PathTable};
 pub use chunks::{ChunkSlices, EventChunks};
 pub use event::{Event, EventTrace};
 pub use profiler::{
-    BudgetExceeded, DetailWindow, FnId, FnMeta, IntervalSnapshot, InvariantViolation, Profile,
-    Profiler, ProfilerFault, SampleConfig, Totals, WARM_DILUTION,
+    BudgetExceeded, DetailWindow, FnId, FnMeta, Footprint, IntervalSnapshot, InvariantViolation,
+    Profile, Profiler, ProfilerFault, SampleConfig, Totals, WARM_DILUTION, WARM_MEMORY_DILUTION,
 };

@@ -3,7 +3,7 @@
 use crate::calltree::{CallTree, PathTable};
 use crate::chunks::EventChunks;
 use crate::event::{Event, EventTrace, DEFAULT_TRACE_CAPACITY};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// Identifier of an instrumented function, issued by
@@ -250,6 +250,39 @@ impl Totals {
     }
 }
 
+/// Exact working-set footprint: how many distinct cache lines and pages
+/// the run's loads and stores touched.
+///
+/// Tracked directly by the instrumentation hooks — which see every
+/// access regardless of trace sampling or window gating — so footprints
+/// are exact even in pilot and detail passes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Distinct [`Footprint::LINE_BYTES`]-sized lines touched.
+    pub lines: u64,
+    /// Distinct [`Footprint::PAGE_BYTES`]-sized pages touched.
+    pub pages: u64,
+}
+
+impl Footprint {
+    /// Line granularity of footprint tracking (matches the modelled
+    /// cache hierarchy's 64-byte lines).
+    pub const LINE_BYTES: u64 = 64;
+    /// Page granularity of footprint tracking (matches the modelled
+    /// D-TLB's 4 KiB pages).
+    pub const PAGE_BYTES: u64 = 4096;
+
+    /// The footprint in bytes at line granularity.
+    pub fn line_bytes(&self) -> u64 {
+        self.lines * Self::LINE_BYTES
+    }
+
+    /// The footprint in bytes at page granularity.
+    pub fn page_bytes(&self) -> u64 {
+        self.pages * Self::PAGE_BYTES
+    }
+}
+
 /// Exact counter deltas for one fixed-work interval of a run, snapshotted
 /// when [`SampleConfig::interval_work`] is set.
 ///
@@ -271,6 +304,11 @@ pub struct IntervalSnapshot {
     /// function table *as of the cut* (functions registered later are
     /// implicitly zero — index with `get(i).unwrap_or(0)`).
     pub fn_work: Vec<u64>,
+    /// Cumulative distinct lines/pages touched from the start of the
+    /// run through the end of this interval (monotone across
+    /// intervals; the last snapshot's value need not equal the run
+    /// footprint when work retires after the final cut).
+    pub footprint: Footprint,
 }
 
 /// One detail window of a re-run: the half-open retired-op range
@@ -319,6 +357,8 @@ pub struct Profile {
     /// Detail windows the trace capture was gated to (empty unless the
     /// profiler was built with [`Profiler::with_detail_windows`]).
     pub windows: Vec<DetailWindow>,
+    /// Exact working-set footprint of the run's loads and stores.
+    pub footprint: Footprint,
 }
 
 impl Profile {
@@ -462,15 +502,37 @@ pub struct Profiler {
     window_cursor: usize,
     trace_gated: bool,
     trace_on: bool,
+    /// Footprint state: distinct line/page numbers seen, with a
+    /// last-seen memo so the sequential hot path skips the set probe.
+    /// The shifts are the fixed `Footprint` granularities (6 and 12),
+    /// so a real line/page number can never equal the `u64::MAX`
+    /// "nothing seen yet" memo value.
+    seen_lines: HashSet<u64>,
+    seen_pages: HashSet<u64>,
+    last_line: u64,
+    last_page: u64,
 }
 
-/// Dilution factor of the warming stream captured *outside* detail
-/// windows: one event is retained per `stride * WARM_DILUTION` offered,
-/// versus one per `stride` inside a window. Replay consumers feed these
-/// inter-window events through predictor/cache state without counting
-/// their outcomes, so state stays trained across window gaps at a small
-/// fraction of in-window capture volume.
+/// Dilution factor of the *control* warming stream (branches, calls,
+/// returns) captured outside detail windows: one event is retained per
+/// `stride * WARM_DILUTION` offered, versus one per `stride` inside a
+/// window. Replay consumers feed these inter-window events through
+/// predictor/icache state without counting their outcomes, so state
+/// stays trained across window gaps at a fraction of in-window capture
+/// volume. Predictor tables and the I-cache hold their working state in
+/// thousands of events, so a thinned stream warms them fully.
 pub const WARM_DILUTION: u64 = 2;
+
+/// Dilution factor of the *memory* warming stream (loads, stores):
+/// none. Gap retention at the full in-window stride keeps the gap
+/// memory sub-stream identical to the decimated stream a full replay
+/// consumes, so every cache level enters each window with exactly the
+/// state a full replay would have. The shared L3 is what forces the
+/// distinction: at 32× the L2's capacity it holds reuse distances far
+/// longer than any thinned gap stream can reproduce, and an
+/// under-warmed L3 reads window DRAM rates several times high — the
+/// L3-vs-DRAM split is the one estimate that cannot survive dilution.
+pub const WARM_MEMORY_DILUTION: u64 = 1;
 
 impl Profiler {
     /// Creates a profiler with the given sampling configuration.
@@ -498,6 +560,10 @@ impl Profiler {
             window_cursor: 0,
             trace_gated: false,
             trace_on: true,
+            seen_lines: HashSet::new(),
+            seen_pages: HashSet::new(),
+            last_line: u64::MAX,
+            last_page: u64::MAX,
         }
     }
 
@@ -509,7 +575,8 @@ impl Profiler {
     /// a caller bug (the gate would close at the first `end`). Counters,
     /// per-function work, and the call tree remain exact over the whole
     /// run. Outside the windows the trace still retains a warming stream
-    /// diluted by [`WARM_DILUTION`], so replay can keep
+    /// — control events diluted by [`WARM_DILUTION`], memory events at
+    /// the full stride ([`WARM_MEMORY_DILUTION`]) — so replay can keep
     /// microarchitectural state trained across the gaps. The produced
     /// [`Profile::windows`] records, per window, the trace index range
     /// captured inside it.
@@ -582,6 +649,33 @@ impl Profiler {
         }
     }
 
+    /// Records `addr` in the working-set footprint. Called by every
+    /// load/store hook — before any sampling decision — so footprints
+    /// stay exact under decimation and window gating.
+    #[inline]
+    fn touch(&mut self, addr: u64) {
+        const LINE_SHIFT: u32 = Footprint::LINE_BYTES.trailing_zeros();
+        const PAGE_SHIFT: u32 = Footprint::PAGE_BYTES.trailing_zeros();
+        let line = addr >> LINE_SHIFT;
+        if line != self.last_line {
+            self.last_line = line;
+            self.seen_lines.insert(line);
+            let page = addr >> PAGE_SHIFT;
+            if page != self.last_page {
+                self.last_page = page;
+                self.seen_pages.insert(page);
+            }
+        }
+    }
+
+    /// The cumulative footprint at the present point of the run.
+    fn current_footprint(&self) -> Footprint {
+        Footprint {
+            lines: self.seen_lines.len() as u64,
+            pages: self.seen_pages.len() as u64,
+        }
+    }
+
     /// Cuts the current fixed-work interval at the present counter state.
     fn cut_interval(&mut self) {
         let totals = self.totals.delta_since(&self.interval_start);
@@ -597,6 +691,7 @@ impl Profiler {
             end_ops: self.totals.retired_ops,
             totals,
             fn_work,
+            footprint: self.current_footprint(),
         });
         self.interval_start = self.totals;
         self.interval_fn_work.clone_from(&self.fn_work);
@@ -770,6 +865,7 @@ impl Profiler {
     #[inline]
     pub fn load(&mut self, addr: u64) {
         self.tick();
+        self.touch(addr);
         self.totals.loads += 1;
         self.add_retired(1);
         self.mem_phase += 1;
@@ -778,7 +874,8 @@ impl Profiler {
             if self.trace_on {
                 self.trace.push(Event::Load { addr });
             } else if self.trace_gated {
-                self.trace.push_diluted(Event::Load { addr }, WARM_DILUTION);
+                self.trace
+                    .push_diluted(Event::Load { addr }, WARM_MEMORY_DILUTION);
             }
         }
     }
@@ -787,6 +884,7 @@ impl Profiler {
     #[inline]
     pub fn store(&mut self, addr: u64) {
         self.tick();
+        self.touch(addr);
         self.totals.stores += 1;
         self.add_retired(1);
         self.mem_phase += 1;
@@ -796,7 +894,7 @@ impl Profiler {
                 self.trace.push(Event::Store { addr });
             } else if self.trace_gated {
                 self.trace
-                    .push_diluted(Event::Store { addr }, WARM_DILUTION);
+                    .push_diluted(Event::Store { addr }, WARM_MEMORY_DILUTION);
             }
         }
     }
@@ -834,6 +932,7 @@ impl Profiler {
             window.trace_end = at;
             self.trace_on = false;
         }
+        let footprint = self.current_footprint();
         let mut calltree = self.calltree;
         calltree.seal();
         Profile {
@@ -847,6 +946,7 @@ impl Profiler {
             calltree,
             intervals: self.intervals,
             windows: self.windows,
+            footprint,
         }
     }
 }

@@ -18,7 +18,7 @@
 //! checksum with an unchanged status usually means a workload generator
 //! was deliberately altered, which a human should confirm.
 
-use crate::schema::{StatusKind, SuiteReport};
+use crate::schema::{MemoryRecord, StatusKind, SuiteReport};
 use alberta_core::report::{format_table, Align};
 
 /// Knobs for [`ReportDiff::compute`].
@@ -49,6 +49,10 @@ pub struct DeltaRow {
     pub mu_g_v: Option<(f64, f64)>,
     /// Baseline → new `μg(M)`, when both exist.
     pub mu_g_m: Option<(f64, f64)>,
+    /// Largest absolute relative change across the memory sections
+    /// (MPKI per level, row-buffer hit rate, DRAM bytes, footprint,
+    /// MPKI curve) of the benchmark's runs present in both reports.
+    pub memory: Option<f64>,
 }
 
 impl DeltaRow {
@@ -58,8 +62,41 @@ impl DeltaRow {
             .iter()
             .flatten()
             .map(|&(base, new)| relative_change(base, new).abs())
+            .chain(self.memory)
             .fold(0.0, f64::max)
     }
+}
+
+/// Largest absolute relative change across two runs' memory sections.
+/// Curve points are matched by swept size; a size present on only one
+/// side counts as an infinite change (the sweep grid itself moved).
+fn memory_drift(base: &MemoryRecord, new: &MemoryRecord) -> f64 {
+    let scalars = [
+        (base.l1_mpki, new.l1_mpki),
+        (base.l2_mpki, new.l2_mpki),
+        (base.l3_mpki, new.l3_mpki),
+        (base.row_hit_rate, new.row_hit_rate),
+        (base.dram_bytes, new.dram_bytes),
+        (base.footprint_lines as f64, new.footprint_lines as f64),
+        (base.footprint_pages as f64, new.footprint_pages as f64),
+    ];
+    let mut drift = scalars
+        .iter()
+        .map(|&(b, n)| relative_change(b, n).abs())
+        .fold(0.0, f64::max);
+    if base.mpki_curve.len() != new.mpki_curve.len()
+        || base
+            .mpki_curve
+            .iter()
+            .zip(&new.mpki_curve)
+            .any(|(b, n)| b.size_bytes != n.size_bytes)
+    {
+        return f64::INFINITY;
+    }
+    for (b, n) in base.mpki_curve.iter().zip(&new.mpki_curve) {
+        drift = drift.max(relative_change(b.mpki, n.mpki).abs());
+    }
+    drift
 }
 
 /// The outcome of comparing two reports.
@@ -120,6 +157,7 @@ impl ReportDiff {
                 regressions.push(format!("benchmark {name}: missing from new report"));
                 continue;
             };
+            let mut memory: Option<f64> = None;
             for run in &bench.runs {
                 let workload = &run.workload;
                 let Some(new_run) = other.run(workload) else {
@@ -154,6 +192,8 @@ impl ReportDiff {
                             old_m.checksum, new_m.checksum,
                         ));
                     }
+                    let drift = memory_drift(&old_m.memory, &new_m.memory);
+                    memory = Some(memory.unwrap_or(0.0).max(drift));
                 }
             }
             for new_run in &other.runs {
@@ -187,6 +227,7 @@ impl ReportDiff {
                         cycles,
                         mu_g_v: Some((old_s.mu_g_v, new_s.mu_g_v)),
                         mu_g_m: Some((old_s.mu_g_m, new_s.mu_g_m)),
+                        memory,
                     }
                 }
                 (Some(_), None) => {
@@ -198,6 +239,7 @@ impl ReportDiff {
                         cycles: None,
                         mu_g_v: None,
                         mu_g_m: None,
+                        memory,
                     }
                 }
                 _ => DeltaRow {
@@ -205,6 +247,7 @@ impl ReportDiff {
                     cycles: None,
                     mu_g_v: None,
                     mu_g_m: None,
+                    memory,
                 },
             };
             rows.push(row);
@@ -260,6 +303,7 @@ impl ReportDiff {
             "Δcycles",
             "Δμg(V)",
             "Δμg(M)",
+            "max|Δmem|",
         ]
         .iter()
         .map(|s| (*s).to_owned())
@@ -283,6 +327,11 @@ impl ReportDiff {
                     pair(r.cycles),
                     pair(r.mu_g_v),
                     pair(r.mu_g_m),
+                    match r.memory {
+                        Some(d) if d.is_infinite() => "∞".to_owned(),
+                        Some(d) => format!("{:.2}%", d * 100.0),
+                        None => "—".to_owned(),
+                    },
                 ]
             })
             .collect();

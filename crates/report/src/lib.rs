@@ -26,6 +26,7 @@
 
 pub mod diff;
 pub use alberta_core::json;
+pub mod mem;
 pub mod metrics;
 pub mod schema;
 pub mod serve;
@@ -34,10 +35,11 @@ pub mod trace;
 pub mod view;
 
 pub use diff::{DiffOptions, ReportDiff};
+pub use mem::{MemoryDocument, MemoryRunRecord, MEM_SCHEMA_VERSION};
 pub use metrics::MetricsDocument;
 pub use schema::{
-    BenchmarkReport, CategoryRecord, HotPathRecord, MeasureRecord, RunRecord, SamplingRecord,
-    StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
+    BenchmarkReport, CategoryRecord, HotPathRecord, MeasureRecord, MemoryRecord, MpkiCurveRecord,
+    RunRecord, SamplingRecord, StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
 };
 pub use serve::{CacheDocument, HostRecord, LatencyReport, StormReport};
 pub use timeline::render_service_timeline;

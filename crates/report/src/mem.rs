@@ -1,0 +1,157 @@
+//! The schema-versioned memory-characterization document behind
+//! `table-mem`.
+//!
+//! A [`MemoryDocument`] is the memory view of one sweep: per surviving
+//! `(benchmark, workload)` run it carries the [`MemoryRecord`] the full
+//! [`SuiteReport`] embeds — MPKI per cache level, DRAM row-buffer hit
+//! rate, bytes read from DRAM, exact footprint, and the
+//! MPKI-vs-cache-size curve. It is a pure projection of the suite
+//! report, so it inherits the determinism contract: the serialization
+//! is bit-identical across execution policies, and CI gates it
+//! byte-for-byte against a committed `MEM_test.json` golden.
+
+use crate::json::{self, Value};
+use crate::schema::{require_array, require_str, MemoryRecord, SuiteReport};
+use crate::ReportError;
+use alberta_workloads::Scale;
+
+/// The schema version of `MEM_*.json` documents.
+pub const MEM_SCHEMA_VERSION: u64 = 1;
+
+/// One run's memory characterization, addressed by benchmark and
+/// workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryRunRecord {
+    /// Benchmark short name, e.g. `mcf`.
+    pub benchmark: String,
+    /// Workload name.
+    pub workload: String,
+    /// The memory section of the run's measures.
+    pub memory: MemoryRecord,
+}
+
+/// The memory view of one full sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryDocument {
+    /// Schema version ([`MEM_SCHEMA_VERSION`] when built by this
+    /// crate).
+    pub schema_version: u64,
+    /// The scale the sweep ran at.
+    pub scale: Scale,
+    /// One record per surviving run, in suite-report order.
+    pub rows: Vec<MemoryRunRecord>,
+}
+
+fn scale_str(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Train => "train",
+        Scale::Ref => "ref",
+    }
+}
+
+impl MemoryDocument {
+    /// Projects a suite report to its memory view. Failed runs carry no
+    /// measures and produce no row.
+    pub fn from_report(report: &SuiteReport) -> Self {
+        let rows = report
+            .benchmarks
+            .iter()
+            .flat_map(|b| {
+                b.runs.iter().filter_map(|r| {
+                    Some(MemoryRunRecord {
+                        benchmark: b.short_name.clone(),
+                        workload: r.workload.clone(),
+                        memory: r.measures.as_ref()?.memory.clone(),
+                    })
+                })
+            })
+            .collect();
+        MemoryDocument {
+            schema_version: MEM_SCHEMA_VERSION,
+            scale: report.scale,
+            rows,
+        }
+    }
+
+    /// Serializes to canonical JSON text (pretty, trailing newline).
+    pub fn to_json(&self) -> String {
+        Value::Object(vec![
+            (
+                "schema_version".to_owned(),
+                Value::UInt(self.schema_version),
+            ),
+            (
+                "scale".to_owned(),
+                Value::Str(scale_str(self.scale).to_owned()),
+            ),
+            (
+                "rows".to_owned(),
+                Value::Array(
+                    self.rows
+                        .iter()
+                        .map(|row| {
+                            Value::Object(vec![
+                                ("benchmark".to_owned(), Value::Str(row.benchmark.clone())),
+                                ("workload".to_owned(), Value::Str(row.workload.clone())),
+                                ("memory".to_owned(), row.memory.to_value()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parses a memory document, enforcing the schema version before
+    /// any other field is interpreted.
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError::Json`] on malformed text,
+    /// [`ReportError::UnsupportedVersion`] on a version this build does
+    /// not emit, [`ReportError::Schema`] on structural problems.
+    pub fn parse(text: &str) -> Result<Self, ReportError> {
+        let value = json::parse(text)?;
+        let version = value
+            .get("schema_version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ReportError::Schema {
+                message: "missing or non-integer schema_version".to_owned(),
+            })?;
+        if version != MEM_SCHEMA_VERSION {
+            return Err(ReportError::UnsupportedVersion { found: version });
+        }
+        let scale = require_str(&value, "scale")?;
+        let scale = match scale {
+            "test" => Scale::Test,
+            "train" => Scale::Train,
+            "ref" => Scale::Ref,
+            _ => {
+                return Err(ReportError::Schema {
+                    message: format!("unknown scale {scale:?}; expected test, train, or ref"),
+                })
+            }
+        };
+        let rows = require_array(&value, "rows")?
+            .iter()
+            .map(|row| {
+                Ok(MemoryRunRecord {
+                    benchmark: require_str(row, "benchmark")?.to_owned(),
+                    workload: require_str(row, "workload")?.to_owned(),
+                    memory: MemoryRecord::from_value(row.get("memory").ok_or_else(|| {
+                        ReportError::Schema {
+                            message: "memory row missing memory object".to_owned(),
+                        }
+                    })?)?,
+                })
+            })
+            .collect::<Result<_, ReportError>>()?;
+        Ok(MemoryDocument {
+            schema_version: version,
+            scale,
+            rows,
+        })
+    }
+}

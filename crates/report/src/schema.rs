@@ -30,7 +30,14 @@ use alberta_workloads::Scale;
 use std::collections::BTreeMap;
 
 /// The schema version this build emits and understands.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history:
+/// * 1 — initial schema.
+/// * 2 — runs gained a required `memory` section (MPKI per cache level,
+///   DRAM row-buffer hit rate, bytes read from DRAM, exact footprint,
+///   MPKI-vs-cache-size curve) and modelled `cycles`/`ipc` reflect the
+///   L3 + DRAM memory model instead of a flat post-L2 latency.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One full characterization sweep, serialized.
 #[derive(Debug, Clone, PartialEq)]
@@ -278,6 +285,116 @@ pub struct MeasureRecord {
     pub checksum: u64,
     /// Method coverage: method name → percent of attributed work.
     pub coverage: BTreeMap<String, f64>,
+    /// Memory-hierarchy characterization (schema version 2+).
+    pub memory: MemoryRecord,
+}
+
+/// The memory-hierarchy characterization of one surviving run: miss
+/// rates per level, DRAM behaviour, exact footprint, and the
+/// MPKI-vs-cache-size curve.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MemoryRecord {
+    /// L1D misses per kilo retired µop.
+    pub l1_mpki: f64,
+    /// L2 misses per kilo retired µop.
+    pub l2_mpki: f64,
+    /// L3 misses per kilo retired µop.
+    pub l3_mpki: f64,
+    /// Fraction of DRAM accesses that hit an open row buffer.
+    pub row_hit_rate: f64,
+    /// Bytes read from DRAM (line fills past the L3).
+    pub dram_bytes: f64,
+    /// Distinct cache lines touched over the whole run (exact).
+    pub footprint_lines: u64,
+    /// Distinct pages touched over the whole run (exact).
+    pub footprint_pages: u64,
+    /// L1-style MPKI at each swept cache size, smallest first.
+    pub mpki_curve: Vec<MpkiCurveRecord>,
+}
+
+/// One point of the MPKI-vs-cache-size curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpkiCurveRecord {
+    /// Swept cache capacity in bytes.
+    pub size_bytes: u64,
+    /// Misses per kilo retired µop at that capacity.
+    pub mpki: f64,
+}
+
+impl MemoryRecord {
+    fn from_profile(m: &alberta_core::MemoryProfile) -> Self {
+        MemoryRecord {
+            l1_mpki: m.l1_mpki,
+            l2_mpki: m.l2_mpki,
+            l3_mpki: m.l3_mpki,
+            row_hit_rate: m.row_hit_rate,
+            dram_bytes: m.dram_bytes,
+            footprint_lines: m.footprint_lines,
+            footprint_pages: m.footprint_pages,
+            mpki_curve: m
+                .mpki_curve
+                .iter()
+                .map(|p| MpkiCurveRecord {
+                    size_bytes: p.size_bytes,
+                    mpki: p.mpki,
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("l1_mpki".to_owned(), Value::Float(self.l1_mpki)),
+            ("l2_mpki".to_owned(), Value::Float(self.l2_mpki)),
+            ("l3_mpki".to_owned(), Value::Float(self.l3_mpki)),
+            ("row_hit_rate".to_owned(), Value::Float(self.row_hit_rate)),
+            ("dram_bytes".to_owned(), Value::Float(self.dram_bytes)),
+            (
+                "footprint_lines".to_owned(),
+                Value::UInt(self.footprint_lines),
+            ),
+            (
+                "footprint_pages".to_owned(),
+                Value::UInt(self.footprint_pages),
+            ),
+            (
+                "mpki_curve".to_owned(),
+                Value::Array(
+                    self.mpki_curve
+                        .iter()
+                        .map(|p| {
+                            Value::Object(vec![
+                                ("size_bytes".to_owned(), Value::UInt(p.size_bytes)),
+                                ("mpki".to_owned(), Value::Float(p.mpki)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub(crate) fn from_value(value: &Value) -> Result<Self, ReportError> {
+        let mpki_curve = require_array(value, "mpki_curve")?
+            .iter()
+            .map(|p| {
+                Ok(MpkiCurveRecord {
+                    size_bytes: require_u64(p, "size_bytes")?,
+                    mpki: require_f64(p, "mpki")?,
+                })
+            })
+            .collect::<Result<_, ReportError>>()?;
+        Ok(MemoryRecord {
+            l1_mpki: require_f64(value, "l1_mpki")?,
+            l2_mpki: require_f64(value, "l2_mpki")?,
+            l3_mpki: require_f64(value, "l3_mpki")?,
+            row_hit_rate: require_f64(value, "row_hit_rate")?,
+            dram_bytes: require_f64(value, "dram_bytes")?,
+            footprint_lines: require_u64(value, "footprint_lines")?,
+            footprint_pages: require_u64(value, "footprint_pages")?,
+            mpki_curve,
+        })
+    }
 }
 
 /// `(μg, σg, V)` for one Top-Down category across workloads.
@@ -825,6 +942,7 @@ impl MeasureRecord {
             work: run.work,
             checksum: run.checksum,
             coverage: run.coverage.clone(),
+            memory: MemoryRecord::from_profile(&run.report.memory),
         }
     }
 
@@ -848,6 +966,7 @@ impl MeasureRecord {
                         .collect(),
                 ),
             ),
+            ("memory".to_owned(), self.memory.to_value()),
         ])
     }
 
@@ -878,6 +997,11 @@ impl MeasureRecord {
             work: require_u64(value, "work")?,
             checksum: require_u64(value, "checksum")?,
             coverage,
+            memory: MemoryRecord::from_value(value.get("memory").ok_or_else(|| {
+                ReportError::Schema {
+                    message: "measures missing memory object".to_owned(),
+                }
+            })?)?,
         })
     }
 }

@@ -277,6 +277,7 @@ mod tests {
                 work: 10,
                 checksum: 1,
                 coverage: BTreeMap::new(),
+                memory: Default::default(),
             }),
             sampling: None,
         }

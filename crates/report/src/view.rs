@@ -12,8 +12,10 @@
 //! text. The render structs have public data fields and need nothing
 //! beyond what the schema stores.
 
+use crate::mem::MemoryDocument;
 use crate::schema::{BenchmarkReport, SuiteReport};
 use alberta_core::figures::{Fig1Series, Fig2Series};
+use alberta_core::report::{format_table, Align};
 use alberta_core::tables::{MeasuredRow, Table2};
 use std::collections::BTreeMap;
 
@@ -128,4 +130,81 @@ pub fn fig2_series(b: &BenchmarkReport) -> Option<Fig2Series> {
         methods,
         rows,
     })
+}
+
+/// Renders the per-run memory characterization table from a memory
+/// document: MPKI per cache level, DRAM row-buffer hit rate, bytes read
+/// from DRAM, and the exact footprint. Deterministic — same bytes for
+/// the same document.
+pub fn render_memory_table(doc: &MemoryDocument) -> String {
+    let header: Vec<String> = [
+        "benchmark",
+        "workload",
+        "L1 MPKI",
+        "L2 MPKI",
+        "L3 MPKI",
+        "row-hit %",
+        "DRAM KiB",
+        "lines",
+        "pages",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    let rows: Vec<Vec<String>> = doc
+        .rows
+        .iter()
+        .map(|row| {
+            let m = &row.memory;
+            vec![
+                row.benchmark.clone(),
+                row.workload.clone(),
+                format!("{:.3}", m.l1_mpki),
+                format!("{:.3}", m.l2_mpki),
+                format!("{:.3}", m.l3_mpki),
+                format!("{:.1}", m.row_hit_rate * 100.0),
+                format!("{:.1}", m.dram_bytes / 1024.0),
+                m.footprint_lines.to_string(),
+                m.footprint_pages.to_string(),
+            ]
+        })
+        .collect();
+    format_table(&header, &rows, Align::Right)
+}
+
+/// Renders the MPKI-vs-cache-size curves of a memory document, one line
+/// per run: the working-set view the paper's cache-sensitivity analysis
+/// reads off. Sizes are annotated in KiB/MiB; each point is the MPKI a
+/// cache of that capacity (fixed line size and associativity) would
+/// have seen over the same replayed address stream.
+pub fn render_mpki_curves(doc: &MemoryDocument) -> String {
+    let size_label = |bytes: u64| {
+        if bytes >= 1 << 20 {
+            format!("{}M", bytes >> 20)
+        } else {
+            format!("{}K", bytes >> 10)
+        }
+    };
+    let sizes: Vec<u64> = doc
+        .rows
+        .first()
+        .map(|row| row.memory.mpki_curve.iter().map(|p| p.size_bytes).collect())
+        .unwrap_or_default();
+    let mut header = vec!["benchmark".to_owned(), "workload".to_owned()];
+    header.extend(sizes.iter().map(|&s| size_label(s)));
+    let rows: Vec<Vec<String>> = doc
+        .rows
+        .iter()
+        .map(|row| {
+            let mut cells = vec![row.benchmark.clone(), row.workload.clone()];
+            cells.extend(
+                row.memory
+                    .mpki_curve
+                    .iter()
+                    .map(|p| format!("{:.3}", p.mpki)),
+            );
+            cells
+        })
+        .collect();
+    format_table(&header, &rows, Align::Right)
 }

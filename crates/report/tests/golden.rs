@@ -10,8 +10,8 @@
 //! the baselines.
 
 use alberta_report::{
-    BenchmarkReport, CategoryRecord, HotPathRecord, MeasureRecord, RunRecord, SamplingRecord,
-    StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
+    BenchmarkReport, CategoryRecord, HotPathRecord, MeasureRecord, MemoryRecord, MpkiCurveRecord,
+    RunRecord, SamplingRecord, StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
 };
 use alberta_workloads::Scale;
 use std::collections::BTreeMap;
@@ -55,6 +55,25 @@ fn sample_report() -> SuiteReport {
                             work: 471,
                             checksum: 18131782674069289258,
                             coverage: coverage.clone(),
+                            memory: MemoryRecord {
+                                l1_mpki: 6.25,
+                                l2_mpki: 1.875,
+                                l3_mpki: 0.25,
+                                row_hit_rate: 0.75,
+                                dram_bytes: 4096.0,
+                                footprint_lines: 321,
+                                footprint_pages: 17,
+                                mpki_curve: vec![
+                                    MpkiCurveRecord {
+                                        size_bytes: 16 * 1024,
+                                        mpki: 7.5,
+                                    },
+                                    MpkiCurveRecord {
+                                        size_bytes: 32 * 1024,
+                                        mpki: 6.25,
+                                    },
+                                ],
+                            },
                         }),
                         sampling: None,
                     },
@@ -79,6 +98,16 @@ fn sample_report() -> SuiteReport {
                             work: 9000,
                             checksum: 42,
                             coverage,
+                            memory: MemoryRecord {
+                                l1_mpki: 2.5,
+                                l2_mpki: 0.5,
+                                l3_mpki: 0.0625,
+                                row_hit_rate: 0.5,
+                                dram_bytes: 1024.0,
+                                footprint_lines: 4096,
+                                footprint_pages: 65,
+                                mpki_curve: vec![],
+                            },
                         }),
                         sampling: Some(SamplingRecord {
                             interval_work: 4096,

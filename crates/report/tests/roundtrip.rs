@@ -10,8 +10,9 @@
 //! need escaping, and both telemetry-bearing and canonical records.
 
 use alberta_report::{
-    BenchmarkReport, CategoryRecord, DiffOptions, HotPathRecord, MeasureRecord, ReportDiff,
-    ReportError, RunRecord, SamplingRecord, StatusKind, SuiteReport, SummaryRecord, SCHEMA_VERSION,
+    BenchmarkReport, CategoryRecord, DiffOptions, HotPathRecord, MeasureRecord, MemoryRecord,
+    MpkiCurveRecord, ReportDiff, ReportError, RunRecord, SamplingRecord, StatusKind, SuiteReport,
+    SummaryRecord, SCHEMA_VERSION,
 };
 use alberta_workloads::Scale;
 use proptest::prelude::*;
@@ -69,6 +70,25 @@ fn arb_measures(rng: &mut TestRng) -> MeasureRecord {
         work: rng.next_u64(),
         checksum: rng.next_u64(),
         coverage,
+        memory: arb_memory(rng),
+    }
+}
+
+fn arb_memory(rng: &mut TestRng) -> MemoryRecord {
+    MemoryRecord {
+        l1_mpki: arb_f64(rng),
+        l2_mpki: arb_f64(rng),
+        l3_mpki: arb_f64(rng),
+        row_hit_rate: rng.unit(),
+        dram_bytes: arb_f64(rng),
+        footprint_lines: rng.next_u64(),
+        footprint_pages: rng.next_u64(),
+        mpki_curve: (0..rng.below(4))
+            .map(|i| MpkiCurveRecord {
+                size_bytes: 1 << (14 + i),
+                mpki: arb_f64(rng),
+            })
+            .collect(),
     }
 }
 
@@ -208,18 +228,18 @@ proptest! {
 #[test]
 fn future_schema_version_is_rejected_with_clear_error() {
     let doc = r#"{
-  "schema_version": 2,
+  "schema_version": 3,
   "scale": "test",
   "benchmarks": []
 }
 "#;
     match SuiteReport::parse(doc) {
-        Err(ReportError::UnsupportedVersion { found: 2 }) => {}
+        Err(ReportError::UnsupportedVersion { found: 3 }) => {}
         other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
     let message = SuiteReport::parse(doc).unwrap_err().to_string();
     assert!(
-        message.contains("schema_version 2") && message.contains("version 1"),
+        message.contains("schema_version 3") && message.contains("version 2"),
         "error must name both versions: {message}"
     );
 }
@@ -250,7 +270,7 @@ fn missing_schema_version_is_a_schema_error() {
 #[test]
 fn ok_run_without_measures_is_rejected() {
     let doc = r#"{
-  "schema_version": 1,
+  "schema_version": 2,
   "scale": "test",
   "benchmarks": [
     {

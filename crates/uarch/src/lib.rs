@@ -8,8 +8,9 @@
 //!
 //! 1. [`predictor`] — bimodal, gshare, and tournament branch predictors
 //!    that replay the profiled branch stream and yield mispredictions;
-//! 2. [`cache`] — set-associative LRU caches and a D-TLB that replay the
-//!    profiled address stream and yield miss counts at each level;
+//! 2. [`cache`] — set-associative LRU caches (L1D/L2/shared L3), a D-TLB,
+//!    and an open-page DRAM row-buffer model that replay the profiled
+//!    address stream and yield miss counts at each level;
 //! 3. [`topdown`] — a slot-accounting model that converts those component
 //!    outcomes plus exact retired-op counts into the four Top-Down ratios.
 //!
@@ -50,8 +51,12 @@ pub mod cache;
 pub mod predictor;
 pub mod topdown;
 
-pub use cache::{Cache, CacheConfig, CacheStats, MemoryBatch, MemoryHierarchy, MemoryOutcome, Tlb};
+pub use cache::{
+    Cache, CacheConfig, CacheProblem, CacheStats, Dram, DramConfig, DramProblem, DramStats,
+    GeometryError, GeometryErrorKind, MemoryBatch, MemoryHierarchy, MemoryOutcome, Tlb,
+};
 pub use predictor::{Bimodal, BranchPredictor, Gshare, PredictorKind, StaticTaken, Tournament};
 pub use topdown::{
-    MachineConfig, MedoidWindow, ReplayCounts, ReplayState, TopDownModel, TopDownReport,
+    mpki_sweep_config, MachineConfig, MedoidWindow, MemoryProfile, MpkiPoint, ReplayCounts,
+    ReplayState, TopDownModel, TopDownReport, MPKI_SWEEP_SIZES,
 };

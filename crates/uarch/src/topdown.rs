@@ -17,9 +17,12 @@
 //! sampling trades estimator variance for speed without biasing the
 //! totals — the ablation benchmark `sampling` quantifies this.
 
-use crate::cache::{Cache, CacheConfig, MemoryHierarchy, MemoryOutcome};
+use crate::cache::{
+    Cache, CacheConfig, DramConfig, GeometryError, GeometryErrorKind, MemoryHierarchy,
+    MemoryOutcome, Tlb,
+};
 use crate::predictor::{BranchPredictor, PredictorKind};
-use alberta_profile::{Event, EventChunks, Profile, Totals};
+use alberta_profile::{Event, EventChunks, Footprint, Profile, Totals};
 use alberta_stats::variation::TopDownRatios;
 
 /// Latencies and widths of the modelled machine.
@@ -33,7 +36,9 @@ pub struct MachineConfig {
     pub mispredict_penalty: f64,
     /// Load-to-use latency of an L2 hit, beyond the pipelined L1 latency.
     pub l2_latency: f64,
-    /// Latency of a memory access (L2 miss), in cycles.
+    /// Load-to-use latency of a shared-L3 hit, in cycles.
+    pub l3_latency: f64,
+    /// Latency of a DRAM access (L3 miss), in cycles.
     pub memory_latency: f64,
     /// Cycles lost per D-TLB miss (page-walk cost).
     pub tlb_penalty: f64,
@@ -65,11 +70,43 @@ pub struct MachineConfig {
     pub l1d: CacheConfig,
     /// L2 geometry.
     pub l2: CacheConfig,
+    /// Shared-L3 geometry.
+    pub l3: CacheConfig,
     /// D-TLB entries.
     pub dtlb_entries: u64,
+    /// DRAM row-buffer geometry.
+    pub dram: DramConfig,
     /// How many bytes of a callee's entry region a call fetches through
     /// the I-cache model.
     pub fetch_probe_bytes: u64,
+}
+
+impl MachineConfig {
+    /// Checks every modelled structure's geometry, reporting the first
+    /// offender by name with its offending values — so sweep bins can
+    /// diagnose a bad grid point instead of panicking mid-sweep.
+    pub fn validate(&self) -> Result<(), GeometryError> {
+        for (structure, config) in [
+            ("I-cache", self.icache),
+            ("L1D", self.l1d),
+            ("L2", self.l2),
+            ("L3", self.l3),
+        ] {
+            config.check().map_err(|problem| GeometryError {
+                structure,
+                kind: GeometryErrorKind::Cache { config, problem },
+            })?;
+        }
+        Tlb::try_new(self.dtlb_entries)?;
+        self.dram.check().map_err(|problem| GeometryError {
+            structure: "DRAM",
+            kind: GeometryErrorKind::Dram {
+                config: self.dram,
+                problem,
+            },
+        })?;
+        Ok(())
+    }
 }
 
 impl Default for MachineConfig {
@@ -78,6 +115,7 @@ impl Default for MachineConfig {
             issue_width: 4.0,
             mispredict_penalty: 14.0,
             l2_latency: 10.0,
+            l3_latency: 35.0,
             memory_latency: 180.0,
             tlb_penalty: 30.0,
             icache_penalty: 12.0,
@@ -90,7 +128,9 @@ impl Default for MachineConfig {
             icache: CacheConfig::l1i(),
             l1d: CacheConfig::l1d(),
             l2: CacheConfig::l2(),
+            l3: CacheConfig::l3(),
             dtlb_entries: 64,
+            dram: DramConfig::ddr3(),
             fetch_probe_bytes: 256,
         }
     }
@@ -115,12 +155,76 @@ pub struct TopDownReport {
     pub l1d_miss_ratio: f64,
     /// Replayed L2 miss ratio (of L2 accesses).
     pub l2_miss_ratio: f64,
+    /// Replayed L3 miss ratio (of L3 accesses).
+    pub l3_miss_ratio: f64,
     /// Replayed D-TLB miss ratio.
     pub dtlb_miss_ratio: f64,
     /// Replayed I-cache miss ratio (of fetch probes).
     pub icache_miss_ratio: f64,
     /// Name of the predictor used.
     pub predictor: &'static str,
+    /// Memory-centric characterization of the run.
+    pub memory: MemoryProfile,
+}
+
+/// Cache sizes swept for the per-workload MPKI-vs-size curve: 16 KiB to
+/// 8 MiB doubling, each 8-way with 64-byte lines. The sweep caches ride
+/// the same batched address columns one replay pass already walks, so
+/// the curve costs one extra lookup loop per size — not N re-runs.
+pub const MPKI_SWEEP_SIZES: [u64; 10] = [
+    16 * 1024,
+    32 * 1024,
+    64 * 1024,
+    128 * 1024,
+    256 * 1024,
+    512 * 1024,
+    1024 * 1024,
+    2 * 1024 * 1024,
+    4 * 1024 * 1024,
+    8 * 1024 * 1024,
+];
+
+/// The geometry of one MPKI-sweep point.
+pub fn mpki_sweep_config(size_bytes: u64) -> CacheConfig {
+    CacheConfig {
+        size_bytes,
+        line_bytes: 64,
+        ways: 8,
+    }
+}
+
+/// One point of the MPKI-vs-cache-size curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpkiPoint {
+    /// Swept cache capacity in bytes.
+    pub size_bytes: u64,
+    /// Misses per kilo retired µop at that capacity.
+    pub mpki: f64,
+}
+
+/// Memory-centric characterization of one run: per-level MPKI, the
+/// working-set footprint, DRAM row-buffer behaviour and read traffic,
+/// and the MPKI-vs-cache-size curve. MPKI denominators are kilo retired
+/// µops (`retired_ops × uops_per_unit / 1000`), matching the
+/// memory-centric CPU2017 study this layer reproduces.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MemoryProfile {
+    /// L1D misses per kilo µop.
+    pub l1_mpki: f64,
+    /// L2 misses per kilo µop.
+    pub l2_mpki: f64,
+    /// L3 misses per kilo µop.
+    pub l3_mpki: f64,
+    /// Fraction of DRAM fills that hit an open row, in `[0, 1]`.
+    pub row_hit_rate: f64,
+    /// Bytes read from DRAM (one line fill per L3 miss).
+    pub dram_bytes: f64,
+    /// Distinct cache lines the run touched (exact, from instrumentation).
+    pub footprint_lines: u64,
+    /// Distinct 4 KiB pages the run touched (exact, from instrumentation).
+    pub footprint_pages: u64,
+    /// Data MPKI at each swept cache size, ordered by capacity.
+    pub mpki_curve: Vec<MpkiPoint>,
 }
 
 /// One representative execution window for phase-sampled estimation: a
@@ -154,8 +258,13 @@ pub struct ReplayCounts {
     pub mem: u64,
     /// Data accesses that missed L1 and hit L2.
     pub l2_hits: u64,
-    /// Data accesses satisfied by memory.
-    pub mem_hits: u64,
+    /// Data accesses that missed L1 and L2 and hit the shared L3.
+    pub l3_hits: u64,
+    /// Data accesses that missed every cache level and filled from DRAM.
+    pub dram_accesses: u64,
+    /// DRAM fills that hit the bank's open row (subset of
+    /// `dram_accesses`).
+    pub row_hits: u64,
     /// Data accesses whose translation missed the D-TLB.
     pub tlb_misses: u64,
     /// I-cache fetch probes issued by call events.
@@ -179,7 +288,9 @@ impl ReplayCounts {
 struct AbsoluteEstimates {
     mispredicts: f64,
     l2_hits: f64,
-    mem_accesses: f64,
+    l3_hits: f64,
+    dram_accesses: f64,
+    row_hits: f64,
     tlb_misses: f64,
     fetch_probes: f64,
     icache_misses: f64,
@@ -214,7 +325,13 @@ impl ReplayState {
     pub fn new(cfg: &MachineConfig, predictor: PredictorKind) -> Self {
         ReplayState {
             predictor: predictor.build(),
-            hierarchy: MemoryHierarchy::with_configs(cfg.l1d, cfg.l2, cfg.dtlb_entries),
+            hierarchy: MemoryHierarchy::with_configs(
+                cfg.l1d,
+                cfg.l2,
+                cfg.l3,
+                cfg.dtlb_entries,
+                cfg.dram,
+            ),
             icache: Cache::new(cfg.icache),
         }
     }
@@ -245,7 +362,11 @@ impl ReplayState {
                     match outcome {
                         MemoryOutcome::L1 => {}
                         MemoryOutcome::L2 => counts.l2_hits += 1,
-                        MemoryOutcome::Memory => counts.mem_hits += 1,
+                        MemoryOutcome::L3 => counts.l3_hits += 1,
+                        MemoryOutcome::Dram { row_hit } => {
+                            counts.dram_accesses += 1;
+                            counts.row_hits += u64::from(row_hit);
+                        }
                     }
                     counts.tlb_misses += tlb_miss as u64;
                 }
@@ -299,7 +420,9 @@ impl ReplayState {
             .observe_batch(slices.branch_sites, slices.branch_takens);
         let mem = self.hierarchy.access_many(slices.mem_addrs);
         counts.l2_hits = mem.l2_hits;
-        counts.mem_hits = mem.mem_hits;
+        counts.l3_hits = mem.l3_hits;
+        counts.dram_accesses = mem.dram_accesses;
+        counts.row_hits = mem.row_hits;
         counts.tlb_misses = mem.tlb_misses;
         // Same-callee memo: a call's probe span covers consecutive
         // lines, which land in distinct sets whenever the span is no
@@ -397,26 +520,60 @@ impl TopDownModel {
         let trace_len = profile.trace.len();
         let mut abs = AbsoluteEstimates::default();
         let mut totals = Totals::default();
+        // The MPKI-vs-size sweep caches ride the very address columns
+        // the hierarchy replay walks — one pass over the recorded trace
+        // yields the whole curve alongside the absolute estimates.
+        let mut sweep: Vec<Cache> = MPKI_SWEEP_SIZES
+            .iter()
+            .map(|&size| Cache::new(mpki_sweep_config(size)))
+            .collect();
+        let mut sweep_raw = vec![0u64; sweep.len()];
         // One replay state shared across windows: the windows are
         // time-ordered slices of the same run, so carrying predictor and
         // cache contents forward approximates the warm state a full
         // replay would have — resetting per window would charge every
         // window a cold-start miss storm and bias the rates upward.
         let mut state = ReplayState::new(&self.config, self.predictor);
+        // Memory-hierarchy outcomes are *counted*, never extrapolated:
+        // the inter-window warming stream keeps loads/stores at the full
+        // in-window stride (`WARM_MEMORY_DILUTION`), so gaps + windows +
+        // tail together replay exactly the decimated memory stream a
+        // full run's analyze would — and outcome counts over the whole
+        // stream are the full replay's counts. Extrapolating them from
+        // window rates instead reads cold (compulsory) DRAM fills as a
+        // rate and multiplies them by the cluster weight, overestimating
+        // bytes-from-DRAM severalfold on L3-resident working sets whose
+        // DRAM traffic is almost entirely first-touch.
+        let mut mem_counts = ReplayCounts::default();
+        let count_memory = |c: &ReplayCounts, m: &mut ReplayCounts| {
+            m.mem += c.mem;
+            m.l2_hits += c.l2_hits;
+            m.l3_hits += c.l3_hits;
+            m.dram_accesses += c.dram_accesses;
+            m.row_hits += c.row_hits;
+            m.tlb_misses += c.tlb_misses;
+        };
         let mut cursor = 0usize;
         for window in windows {
             let (start, end) = window.trace_range;
             let end = end.min(trace_len);
             let start = start.min(end);
-            // The trace between windows holds the profiler's diluted
-            // warming stream. Feed it through the shared state without
-            // counting its outcomes: a full replay reaching this window
-            // would have trained on everything in the gap, and skipping
-            // the gap entirely leaves predictor and caches stale enough
-            // to read mispredict and miss rates high.
-            let _ =
+            // The trace between windows holds the profiler's warming
+            // stream. Feed it through the shared state — counting the
+            // memory outcomes, discarding the diluted control ones: a
+            // full replay reaching this window would have trained on
+            // everything in the gap, and skipping the gap entirely
+            // leaves predictor and caches stale enough to read
+            // mispredict and miss rates high.
+            let gap_addrs = chunks.kind_ranges(cursor.min(start), start).mem_addrs;
+            for (raw, cache) in sweep_raw.iter_mut().zip(sweep.iter_mut()) {
+                *raw += cache.access_many(gap_addrs);
+            }
+            let gap =
                 state.replay_batched(chunks, (cursor.min(start), start), &probe_counts, &fn_base);
+            count_memory(&gap, &mut mem_counts);
             let counts = state.replay_batched(chunks, (start, end), &probe_counts, &fn_base);
+            count_memory(&counts, &mut mem_counts);
             cursor = end;
             let t = &window.cluster_totals;
             totals.retired_ops += t.retired_ops;
@@ -425,16 +582,44 @@ impl TopDownModel {
             totals.loads += t.loads;
             totals.stores += t.stores;
             totals.calls += t.calls;
-            let mem_total = (t.loads + t.stores) as f64;
             abs.mispredicts += ratio(counts.mispredicts, counts.branches) * t.branches as f64;
-            abs.l2_hits += ratio(counts.l2_hits, counts.mem) * mem_total;
-            abs.mem_accesses += ratio(counts.mem_hits, counts.mem) * mem_total;
-            abs.tlb_misses += ratio(counts.tlb_misses, counts.mem) * mem_total;
             let probes = ratio(counts.fetch_probes, counts.calls) * t.calls as f64;
             abs.fetch_probes += probes;
             abs.icache_misses += ratio(counts.icache_misses, counts.fetch_probes) * probes;
+            let window_addrs = chunks.kind_ranges(start, end).mem_addrs;
+            for (raw, cache) in sweep_raw.iter_mut().zip(sweep.iter_mut()) {
+                *raw += cache.access_many(window_addrs);
+            }
         }
-        self.compose(&abs, &totals)
+        // The stream past the last window is part of the full replay
+        // too; count its memory outcomes like any gap.
+        let tail_addrs = chunks
+            .kind_ranges(cursor.min(trace_len), trace_len)
+            .mem_addrs;
+        for (raw, cache) in sweep_raw.iter_mut().zip(sweep.iter_mut()) {
+            *raw += cache.access_many(tail_addrs);
+        }
+        let tail = state.replay_batched(
+            chunks,
+            (cursor.min(trace_len), trace_len),
+            &probe_counts,
+            &fn_base,
+        );
+        count_memory(&tail, &mut mem_counts);
+        // Rescale the exact decimated-stream counts to the run's exact
+        // access totals — the same conversion analyze applies to a
+        // whole-trace window.
+        let mem_total = (totals.loads + totals.stores) as f64;
+        abs.l2_hits = ratio(mem_counts.l2_hits, mem_counts.mem) * mem_total;
+        abs.l3_hits = ratio(mem_counts.l3_hits, mem_counts.mem) * mem_total;
+        abs.dram_accesses = ratio(mem_counts.dram_accesses, mem_counts.mem) * mem_total;
+        abs.row_hits = ratio(mem_counts.row_hits, mem_counts.mem) * mem_total;
+        abs.tlb_misses = ratio(mem_counts.tlb_misses, mem_counts.mem) * mem_total;
+        let sweep_misses: Vec<f64> = sweep_raw
+            .iter()
+            .map(|&raw| ratio(raw, mem_counts.mem) * mem_total)
+            .collect();
+        self.compose(&abs, &totals, profile.footprint, &sweep_misses)
     }
 
     /// Cheap per-interval phase signature for clustering: approximate
@@ -495,9 +680,16 @@ impl TopDownModel {
             .collect()
     }
 
-    /// Composes the cycle accounting from absolute event estimates and
-    /// (exact or estimated) run totals.
-    fn compose(&self, abs: &AbsoluteEstimates, totals: &Totals) -> TopDownReport {
+    /// Composes the cycle accounting from absolute event estimates,
+    /// (exact or estimated) run totals, the exact instrumented
+    /// footprint, and the swept MPKI-curve miss estimates.
+    fn compose(
+        &self,
+        abs: &AbsoluteEstimates,
+        totals: &Totals,
+        footprint: Footprint,
+        sweep_misses: &[f64],
+    ) -> TopDownReport {
         let cfg = &self.config;
         let mem_total = (totals.loads + totals.stores) as f64;
         let fratio = |num: f64, den: f64| if den == 0.0 { 0.0 } else { num / den };
@@ -510,7 +702,8 @@ impl TopDownModel {
             + totals.taken_branches as f64 * cfg.taken_branch_bubble
             + base_cycles * cfg.baseline_frontend;
         let back_end_cycles = (abs.l2_hits * cfg.l2_latency
-            + abs.mem_accesses * cfg.memory_latency
+            + abs.l3_hits * cfg.l3_latency
+            + abs.dram_accesses * cfg.memory_latency
             + abs.tlb_misses * cfg.tlb_penalty)
             / cfg.memory_parallelism
             + base_cycles * cfg.baseline_backend;
@@ -535,6 +728,30 @@ impl TopDownModel {
             .expect("normalized components sum to one")
         };
 
+        // MPKI denominators are kilo retired µops; a zero-work run
+        // reports zero across the board.
+        let kops = retired / 1000.0;
+        let mpki = |misses: f64| fratio(misses, kops);
+        let l1_misses = abs.l2_hits + abs.l3_hits + abs.dram_accesses;
+        let l2_misses = abs.l3_hits + abs.dram_accesses;
+        let memory = MemoryProfile {
+            l1_mpki: mpki(l1_misses),
+            l2_mpki: mpki(l2_misses),
+            l3_mpki: mpki(abs.dram_accesses),
+            row_hit_rate: fratio(abs.row_hits, abs.dram_accesses),
+            dram_bytes: abs.dram_accesses * cfg.dram.line_bytes as f64,
+            footprint_lines: footprint.lines,
+            footprint_pages: footprint.pages,
+            mpki_curve: MPKI_SWEEP_SIZES
+                .iter()
+                .zip(sweep_misses)
+                .map(|(&size_bytes, &misses)| MpkiPoint {
+                    size_bytes,
+                    mpki: mpki(misses),
+                })
+                .collect(),
+        };
+
         TopDownReport {
             ratios,
             cycles,
@@ -546,11 +763,13 @@ impl TopDownModel {
             } else {
                 abs.mispredicts / retired * 1000.0
             },
-            l1d_miss_ratio: fratio(abs.l2_hits + abs.mem_accesses, mem_total),
-            l2_miss_ratio: fratio(abs.mem_accesses, abs.l2_hits + abs.mem_accesses),
+            l1d_miss_ratio: fratio(l1_misses, mem_total),
+            l2_miss_ratio: fratio(l2_misses, l1_misses),
+            l3_miss_ratio: fratio(abs.dram_accesses, l2_misses),
             dtlb_miss_ratio: fratio(abs.tlb_misses, mem_total),
             icache_miss_ratio: fratio(abs.icache_misses, abs.fetch_probes),
             predictor: self.predictor.build().name(),
+            memory,
         }
     }
 }
@@ -700,8 +919,12 @@ mod tests {
         let sparse = run(SampleConfig::sparse());
         let d = dense.ratios.as_array();
         let s = sparse.ratios.as_array();
+        // Cache miss rates are nonlinear in stream density, so dilution
+        // shifts the L3-vs-DRAM split of a memory-bound stream; 0.15
+        // bounds that distortion where a flat post-L2 latency used to
+        // stay under 0.1.
         for (a, b) in d.iter().zip(s.iter()) {
-            assert!((a - b).abs() < 0.1, "dense {d:?} sparse {s:?}");
+            assert!((a - b).abs() < 0.15, "dense {d:?} sparse {s:?}");
         }
     }
 

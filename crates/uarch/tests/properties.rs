@@ -1,8 +1,64 @@
 //! Property-based tests for the microarchitecture substrates.
 
 use alberta_profile::{Profiler, SampleConfig};
-use alberta_uarch::{Cache, CacheConfig, PredictorKind, TopDownModel};
+use alberta_uarch::{
+    Cache, CacheConfig, DramConfig, MemoryBatch, MemoryHierarchy, MemoryOutcome, PredictorKind,
+    TopDownModel,
+};
 use proptest::prelude::*;
+
+/// Scalar reference walk for the batched-kernel boundary property.
+fn scalar_batch(h: &mut MemoryHierarchy, addrs: &[u64]) -> MemoryBatch {
+    let mut expect = MemoryBatch {
+        accesses: addrs.len() as u64,
+        ..MemoryBatch::default()
+    };
+    for &a in addrs {
+        let (outcome, tlb_miss) = h.access(a);
+        match outcome {
+            MemoryOutcome::L1 => {}
+            MemoryOutcome::L2 => expect.l2_hits += 1,
+            MemoryOutcome::L3 => expect.l3_hits += 1,
+            MemoryOutcome::Dram { row_hit } => {
+                expect.dram_accesses += 1;
+                expect.row_hits += u64::from(row_hit);
+            }
+        }
+        expect.tlb_misses += u64::from(tlb_miss);
+    }
+    expect
+}
+
+/// Degenerate L1 geometries the batched fast paths must survive: a
+/// single fully-associative set, a direct-mapped array, a single
+/// one-way set, and sub-line-of-64 lines (where the line memo's
+/// `u64::MAX` sentinel is closest to a real line number).
+const BOUNDARY_GEOMETRIES: [CacheConfig; 4] = [
+    // One set, 16 ways: every address collides, LRU order is all there is.
+    CacheConfig {
+        size_bytes: 1024,
+        line_bytes: 64,
+        ways: 16,
+    },
+    // Direct-mapped: the MRU front-way shortcut degenerates to a plain tag probe.
+    CacheConfig {
+        size_bytes: 1024,
+        line_bytes: 64,
+        ways: 1,
+    },
+    // One set, one way: the smallest legal cache.
+    CacheConfig {
+        size_bytes: 64,
+        line_bytes: 64,
+        ways: 1,
+    },
+    // Two-byte lines: line numbers reach within one bit of the sentinel.
+    CacheConfig {
+        size_bytes: 256,
+        line_bytes: 2,
+        ways: 2,
+    },
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -57,6 +113,47 @@ proptest! {
             let wrong = (0..n).filter(|_| !p.observe(7, taken)).count() as u64;
             prop_assert!(wrong <= 4, "{}: {wrong} wrong of {n}", p.name());
         }
+    }
+
+    /// The batched walk equals the scalar walk on every degenerate
+    /// geometry the fast-path sentinels could trip over — single-set,
+    /// direct-mapped, one-entry, and tiny-line caches — on address
+    /// streams that hug both ends of the address space, including the
+    /// lines adjacent to the `u64::MAX` memo sentinel. Outcome counts
+    /// and every per-level statistic must be bit-identical.
+    #[test]
+    fn access_many_matches_scalar_on_boundary_geometries(
+        geometry in 0usize..4,
+        raw in prop::collection::vec(any::<u64>(), 1..400),
+    ) {
+        // Fold each draw into one of three regions: the bottom of the
+        // address space, the top (where line numbers sit next to the
+        // `u64::MAX` sentinel — including `u64::MAX` itself), or anywhere.
+        let addrs: Vec<u64> = raw
+            .iter()
+            .map(|&r| match r % 3 {
+                0 => r % 8192,
+                1 => u64::MAX - (r % 8192),
+                _ => r,
+            })
+            .collect();
+        let l1 = BOUNDARY_GEOMETRIES[geometry];
+        // Small deeper levels and a tiny TLB so the stream reaches every
+        // layer: L2, L3, DRAM row buffers, and TLB evictions all churn.
+        let l2 = CacheConfig { size_bytes: 2048, line_bytes: 64, ways: 4 };
+        let l3 = CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 8 };
+        let dram = DramConfig { banks: 4, row_bytes: 1024, line_bytes: 64 };
+        let mut batched = MemoryHierarchy::with_configs(l1, l2, l3, 4, dram);
+        let mut scalar = batched.clone();
+        let want = scalar_batch(&mut scalar, &addrs);
+        let got = batched.access_many(&addrs);
+        prop_assert_eq!(got, want, "geometry {:?} diverged", l1);
+        prop_assert_eq!(batched.l1d_stats(), scalar.l1d_stats());
+        prop_assert_eq!(batched.l2_stats(), scalar.l2_stats());
+        prop_assert_eq!(batched.l3_stats(), scalar.l3_stats());
+        prop_assert_eq!(batched.dtlb_stats(), scalar.dtlb_stats());
+        prop_assert_eq!(batched.dram_stats(), scalar.dram_stats());
+        prop_assert_eq!(batched.dram_bytes_read(), scalar.dram_bytes_read());
     }
 
     /// The Top-Down ratios always form a distribution, whatever event mix

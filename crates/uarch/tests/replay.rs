@@ -38,8 +38,11 @@ fn random_profile(script: &[u8]) -> Profile {
                 depth -= 1;
             }
             2 | 3 => prof.branch((b as u32) % 61, (b / 4) % 3 != 0),
-            4 => prof.load((x * 97) % (1 << 18)),
-            5 => prof.store(0x4000 + (x * 4099) % (1 << 20)),
+            // Spread far enough that the streams miss past the L2 into
+            // the shared L3 and DRAM — the shadow property must cover
+            // the full hierarchy, row-buffer outcomes included.
+            4 => prof.load((x * 97 * 8191) % (1 << 26)),
+            5 => prof.store(0x4000 + (x * 4099 * 127) % (1 << 27)),
             _ => prof.retire(1 + (b as u64 % 9)),
         }
     }
@@ -117,5 +120,44 @@ proptest! {
             let got = batched.replay_batched(&profile.chunks, (start, end), &probes, &fn_base);
             prop_assert_eq!(got, want, "window {} ({start}..{end}) diverged", w);
         }
+    }
+
+    /// A working set that fits in the shared L3 reaches DRAM exactly
+    /// once per distinct line — the cold miss — no matter how many
+    /// passes stream over it: LRU can evict a resident set only under
+    /// capacity or conflict pressure, and a contiguous range within
+    /// capacity produces neither. The same count is what the exact
+    /// footprint tracker reports, tying the two layers together.
+    #[test]
+    fn working_set_within_l3_capacity_has_only_cold_misses(
+        lines in 1u64..4096,
+        passes in 1u64..4,
+        base in 0u64..(1 << 30),
+    ) {
+        let mut prof = Profiler::new(SampleConfig {
+            trace_capacity: 1 << 15,
+            ..SampleConfig::default()
+        });
+        let f = prof.register_function("ws", 64);
+        prof.enter(f);
+        let base_line = base & !63;
+        for _ in 0..passes {
+            for i in 0..lines {
+                prof.load(base_line + i * 64);
+                prof.retire(1);
+            }
+        }
+        prof.exit();
+        let profile = prof.finish();
+        let cfg = MachineConfig::default();
+        prop_assert!(lines * 64 <= cfg.l3.size_bytes, "working set must fit the L3");
+        let predictor = PredictorKind::reference();
+        let model = TopDownModel::new(cfg, predictor);
+        let fn_base = model.code_layout(&profile);
+        let mut scalar = ReplayState::new(&cfg, predictor);
+        let counts = scalar.replay(&cfg, &profile, profile.trace.events(), &fn_base);
+        prop_assert_eq!(counts.dram_accesses, lines, "one DRAM fill per cold line");
+        prop_assert!(counts.row_hits <= counts.dram_accesses);
+        prop_assert_eq!(profile.footprint.lines, lines);
     }
 }
